@@ -1,0 +1,201 @@
+// Command vbrp checks bounded rewritability for queries written in the
+// text syntax of internal/parse. The input program declares access
+// constraints, views and queries; every relation mentioned is inferred
+// into the schema with positional attribute names.
+//
+// Usage:
+//
+//	vbrp -file program.txt [-M 8] [-lang CQ|UCQ|FO+] [-query Q]
+//	vbrp -demo            # run the built-in Example 1.1 program
+//
+// Program syntax:
+//
+//	# constraints:         rel(x, y -> z, N)
+//	movie(studio, release -> mid, 100)
+//	rating(mid -> rank, 1)
+//	# views: rules whose name starts with V
+//	V1(mid) :- person(p, n, "NASA"), movie(mid, y, s, r), like(p, mid, "movie").
+//	# queries: any other rule; repeated names form unions
+//	Q0(mid) :- person(p, n, "NASA"), movie(mid, y, "Universal", "2014"), like(p, mid, "movie"), rating(mid, "5").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/fo"
+	"repro/internal/parse"
+	"repro/internal/plan"
+	"repro/internal/topped"
+	"repro/internal/vbrp"
+)
+
+const demoProgram = `
+# Example 1.1: the movie / Graph-Search workload
+rel person(pid, name, affiliation)
+rel movie(mid, mname, studio, release)
+rel rating(mid, rank)
+rel like(pid, id, type)
+
+movie(studio, release -> mid, 100)
+rating(mid -> rank, 1)
+
+V1(mid) :- person(p, n, "NASA"), movie(mid, y, s, r), like(p, mid, "movie").
+Q0(mid) :- movie(mid, y, "Universal", "2014"), V1(mid), rating(mid, "5").
+`
+
+func main() {
+	file := flag.String("file", "", "program file (see package comment for syntax)")
+	demo := flag.Bool("demo", false, "run the built-in Example 1.1 program")
+	m := flag.Int("M", 16, "plan size bound M")
+	langName := flag.String("lang", "CQ", "plan language: CQ, UCQ or FO+")
+	queryName := flag.String("query", "", "check only this query (default: all)")
+	exact := flag.Bool("exact", false, "run the exact enumeration decider instead of the PTIME effective syntax")
+	flag.Parse()
+
+	var text string
+	switch {
+	case *demo:
+		text = demoProgram
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vbrp -file program.txt | vbrp -demo")
+		os.Exit(2)
+	}
+
+	prog, err := parse.ParseProgram(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lang := plan.LangCQ
+	switch strings.ToUpper(*langName) {
+	case "CQ":
+	case "UCQ":
+		lang = plan.LangUCQ
+	case "FO+", "POSFO", "EFO+":
+		lang = plan.LangPosFO
+	default:
+		log.Fatalf("unknown language %q (want CQ, UCQ or FO+)", *langName)
+	}
+
+	// Split rules into views (name starts with V) and queries; infer the
+	// schema from all atoms.
+	views := map[string]*cq.UCQ{}
+	queries := map[string]*cq.UCQ{}
+	var queryOrder []string
+	for _, name := range prog.Order {
+		u := prog.Queries[name]
+		if strings.HasPrefix(name, "V") {
+			views[name] = u
+		} else {
+			queries[name] = u
+			queryOrder = append(queryOrder, name)
+		}
+	}
+	s := prog.Schema
+	if len(s.Relations) == 0 {
+		log.Fatal("vbrp: the program declares no relations (add `rel name(attr, ...)` lines)")
+	}
+	if err := prog.Constraints.Validate(s); err != nil {
+		log.Fatal(err)
+	}
+	viewArity := map[string]int{}
+	for name, u := range views {
+		viewArity[name] = len(u.Disjuncts[0].Head)
+	}
+	for name, u := range queries {
+		for _, d := range u.Disjuncts {
+			if err := d.Validate(s, viewArity); err != nil {
+				log.Fatalf("query %s: %v", name, err)
+			}
+		}
+	}
+	for name, u := range views {
+		for _, d := range u.Disjuncts {
+			if err := d.Validate(s, viewArity); err != nil {
+				log.Fatalf("view %s: %v", name, err)
+			}
+		}
+	}
+
+	fmt.Printf("schema:\n%s\n\naccess schema:\n%s\n", s, prog.Constraints)
+	for _, name := range queryOrder {
+		if *queryName != "" && name != *queryName {
+			continue
+		}
+		u := queries[name]
+		fmt.Printf("\n=== %s ===\n%s\n", name, u)
+		if *exact {
+			var consts []string
+			for _, d := range u.Disjuncts {
+				consts = append(consts, d.Constants()...)
+			}
+			prob := &vbrp.Problem{S: s, A: prog.Constraints, Views: views, M: *m, Lang: lang, Consts: consts}
+			dec, err := vbrp.Decide(u, prob)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if dec.Has {
+				fmt.Printf("HAS an %d-bounded rewriting in %s (checked %d candidates):\n%s",
+					*m, lang, dec.Checked, plan.Render(dec.Plan))
+			} else if dec.Exact {
+				fmt.Printf("has NO %d-bounded rewriting in %s (checked %d candidates)\n", *m, lang, dec.Checked)
+			} else {
+				fmt.Printf("search truncated after %d candidates: no witness found\n", dec.Checked)
+			}
+			continue
+		}
+		// Effective-syntax path (PTIME): embed as FO (single disjunct) or
+		// as a disjunction.
+		fq := toFO(u)
+		if fq == nil {
+			fmt.Println("cannot embed the union into a single safe FO query; use -exact")
+			continue
+		}
+		checker := topped.NewChecker(s, prog.Constraints, views)
+		res := checker.Check(fq, *m)
+		if res.Topped {
+			fmt.Printf("topped by (R, V, A, M=%d): %d-node plan\n%s", *m, res.Size, plan.Render(res.Plan))
+			rep := plan.Conforms(res.Plan, s, prog.Constraints, views)
+			fmt.Printf("conforms: %v, fetch bound: %d\n", rep.Conforms, rep.FetchBound)
+		} else {
+			fmt.Printf("not topped: %s\n", res.Reason)
+		}
+	}
+}
+
+// toFO embeds a UCQ into one FO query; nil when the disjunct heads differ
+// in arity.
+func toFO(u *cq.UCQ) *fo.Query {
+	var body fo.Expr
+	var head []string
+	for i, d := range u.Disjuncts {
+		fq := fo.FromCQ(d)
+		if i == 0 {
+			head = fq.Head
+			body = fq.Body
+			continue
+		}
+		if len(fq.Head) != len(head) {
+			return nil
+		}
+		sub := map[string]cq.Term{}
+		for j, h := range fq.Head {
+			sub[h] = cq.Var(head[j])
+		}
+		body = &fo.Or{L: body, R: fo.Substitute(fo.Rectify(fq.Body), sub)}
+	}
+	if body == nil {
+		return nil
+	}
+	return &fo.Query{Name: u.Name, Head: head, Body: body}
+}

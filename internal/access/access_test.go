@@ -1,0 +1,80 @@
+package access
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestConstraintNormalization(t *testing.T) {
+	c := NewConstraint("R", []string{"b", "a", "b"}, []string{"z", "y"}, 3)
+	if len(c.X) != 2 || c.X[0] != "a" || c.X[1] != "b" {
+		t.Fatalf("X not normalized: %v", c.X)
+	}
+	if len(c.Y) != 2 || c.Y[0] != "y" {
+		t.Fatalf("Y not normalized: %v", c.Y)
+	}
+	xy := c.XY()
+	if len(xy) != 4 {
+		t.Fatalf("XY: %v", xy)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	c := NewConstraint("R", []string{"a"}, []string{"b", "c"}, 5)
+	if !c.Covers("R", []string{"a"}, []string{"b"}) {
+		t.Fatal("Y ⊆ X∪Y' must be covered")
+	}
+	if !c.Covers("R", []string{"a"}, []string{"a", "c"}) {
+		t.Fatal("fetching X attributes back is covered")
+	}
+	if c.Covers("R", []string{"a"}, []string{"d"}) {
+		t.Fatal("attributes outside X∪Y' are not covered")
+	}
+	if c.Covers("R", []string{"b"}, []string{"c"}) {
+		t.Fatal("different X is not covered")
+	}
+	if c.Covers("S", []string{"a"}, []string{"b"}) {
+		t.Fatal("different relation is not covered")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "a", "b", "c"))
+	good := NewConstraint("R", []string{"a"}, []string{"b"}, 1)
+	if err := good.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []*Constraint{
+		NewConstraint("S", []string{"a"}, []string{"b"}, 1),  // unknown relation
+		NewConstraint("R", []string{"zz"}, []string{"b"}, 1), // unknown X attr
+		NewConstraint("R", []string{"a"}, []string{"zz"}, 1), // unknown Y attr
+		NewConstraint("R", []string{"a"}, nil, 1),            // empty Y
+		NewConstraint("R", []string{"a"}, []string{"b"}, 0),  // N < 1
+	} {
+		if err := bad.Validate(s); err == nil {
+			t.Fatalf("constraint %v must be invalid", bad)
+		}
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	fd := NewConstraint("R", []string{"a"}, []string{"b"}, 1)
+	wide := NewConstraint("R", []string{"a"}, []string{"c"}, 9)
+	a := NewSchema(fd, wide)
+	if a.AllFDs() {
+		t.Fatal("N=9 is not an FD")
+	}
+	if !NewSchema(fd).AllFDs() {
+		t.Fatal("N=1 is an FD")
+	}
+	if got := a.OnRelation("R"); len(got) != 2 {
+		t.Fatalf("OnRelation: %v", got)
+	}
+	if a.Covering("R", []string{"a"}, []string{"c"}) != wide {
+		t.Fatal("Covering must find the matching constraint")
+	}
+	if a.Covering("R", []string{"c"}, []string{"a"}) != nil {
+		t.Fatal("Covering must fail on mismatched X")
+	}
+}

@@ -1,0 +1,101 @@
+package boundedness
+
+import (
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// BoundedOutputCQ decides BOP for a CQ (Theorem 3.4 / Lemma 3.7): Q has
+// bounded output under A iff for every element query Qe of Q, every
+// non-constant head variable of Qe belongs to cov(Qe, A). It returns the
+// verdict and, when bounded, a derived upper bound on |Q(D)| over all
+// D |= A (capped at MaxBound).
+//
+// The check runs over the ⊑-minimal element queries; by Lemma 3.6 an
+// uncovered refinement forces an uncovered minimal element query, so the
+// minimal set decides the problem (see element.go).
+func BoundedOutputCQ(q *cq.CQ, s *schema.Schema, a *access.Schema) (bool, int64) {
+	elems := MinimalElementQueries(q, s, a)
+	if len(elems) == 0 {
+		return true, 0 // A-unsatisfiable: output is empty on every D |= A
+	}
+	total := int64(0)
+	for _, e := range elems {
+		ok, b := HeadCovered(e, s, a)
+		if !ok {
+			return false, 0
+		}
+		total = addCap(total, b)
+	}
+	return true, total
+}
+
+func addCap(a, b int64) int64 {
+	if a > MaxBound-b {
+		return MaxBound
+	}
+	return a + b
+}
+
+// BoundedOutputUCQ decides BOP for a UCQ: bounded iff every disjunct is.
+func BoundedOutputUCQ(u *cq.UCQ, s *schema.Schema, a *access.Schema) (bool, int64) {
+	total := int64(0)
+	for _, d := range u.Disjuncts {
+		ok, b := BoundedOutputCQ(d, s, a)
+		if !ok {
+			return false, 0
+		}
+		total = addCap(total, b)
+	}
+	return true, total
+}
+
+// AContainedCQ decides Q1 ⊑_A Q2 for CQs (Lemma 3.2 machinery): Q1 is
+// A-equivalent to the union of its element queries, and each element query
+// Qe satisfies A, so its tableau is a legal counterexample candidate;
+// Q1 ⊑_A Q2 iff every minimal element query of Q1 is classically contained
+// in Q2.
+func AContainedCQ(q1, q2 *cq.CQ, s *schema.Schema, a *access.Schema) bool {
+	return AContainedUCQ(cq.NewUCQ(q1), cq.NewUCQ(q2), s, a)
+}
+
+// AContainedUCQ decides U1 ⊑_A U2 for UCQs.
+func AContainedUCQ(u1, u2 *cq.UCQ, s *schema.Schema, a *access.Schema) bool {
+	for _, d := range u1.Disjuncts {
+		for _, e := range MinimalElementQueries(d, s, a) {
+			if !cq.ContainedInUCQ(e, u2) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AEquivalentUCQ decides U1 ≡_A U2.
+func AEquivalentUCQ(u1, u2 *cq.UCQ, s *schema.Schema, a *access.Schema) bool {
+	return AContainedUCQ(u1, u2, s, a) && AContainedUCQ(u2, u1, s, a)
+}
+
+// AEquivalentCQ decides Q1 ≡_A Q2 for CQs.
+func AEquivalentCQ(q1, q2 *cq.CQ, s *schema.Schema, a *access.Schema) bool {
+	return AContainedCQ(q1, q2, s, a) && AContainedCQ(q2, q1, s, a)
+}
+
+// ASatisfiable reports whether Q has any element query under A, i.e.
+// whether Q(D) can be non-empty for some D |= A. It uses the early-exit
+// search (unbounded budget).
+func ASatisfiable(q *cq.CQ, s *schema.Schema, a *access.Schema) bool {
+	ok, _ := ASatisfiableSearch(q, s, a, 0)
+	return ok
+}
+
+// AEmptyUCQ reports whether U ≡_A ∅ (every disjunct A-unsatisfiable).
+func AEmptyUCQ(u *cq.UCQ, s *schema.Schema, a *access.Schema) bool {
+	for _, d := range u.Disjuncts {
+		if ASatisfiable(d, s, a) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,236 @@
+package boundedness
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Fixture from Section 3.1 / Example 3.5: schema R(X,Y) with access
+// constraint R(X -> Y, 2), query
+//
+//	Q(x) = R(y,x1) ∧ R(y,x2) ∧ R(y,x3) ∧ R(x3,x) ∧ x1=1 ∧ x2=2 ∧ y=k.
+func example35() (*schema.Schema, *access.Schema, *cq.CQ) {
+	s := schema.New(schema.NewRelation("R", "X", "Y"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, 2))
+	q := cq.NewCQ([]cq.Term{cq.Var("x")},
+		[]cq.Atom{
+			cq.NewAtom("R", cq.Var("y"), cq.Var("x1")),
+			cq.NewAtom("R", cq.Var("y"), cq.Var("x2")),
+			cq.NewAtom("R", cq.Var("y"), cq.Var("x3")),
+			cq.NewAtom("R", cq.Var("x3"), cq.Var("x")),
+		},
+		cq.Equality{L: cq.Var("x1"), R: cq.Cst("1")},
+		cq.Equality{L: cq.Var("x2"), R: cq.Cst("2")},
+		cq.Equality{L: cq.Var("y"), R: cq.Cst("k")},
+	)
+	return s, a, q
+}
+
+func TestExample35ElementQueries(t *testing.T) {
+	s, a, q := example35()
+	elems := MinimalElementQueries(q, s, a)
+	// The X=k group has Y-projections {1, 2, x3}: three distinct values
+	// against bound 2. Unifying 1 with 2 is inconsistent; the satisfiable
+	// repairs are x3=1 and x3=2 (the paper's Q3 and Q2).
+	if len(elems) != 2 {
+		t.Fatalf("expected 2 minimal element queries, got %d: %v", len(elems), elems)
+	}
+	// Each element query must now have a constant x3.
+	sawOne, sawTwo := false, false
+	for _, e := range elems {
+		for _, at := range e.Atoms {
+			if at.Args[0].Const && at.Args[0].Val == "1" {
+				sawOne = true
+			}
+			if at.Args[0].Const && at.Args[0].Val == "2" {
+				sawTwo = true
+			}
+		}
+	}
+	if !sawOne || !sawTwo {
+		t.Fatalf("expected x3 bound to 1 in one branch and 2 in the other: %v", elems)
+	}
+}
+
+func TestExample35Cov(t *testing.T) {
+	s, a, _ := example35()
+	// Element query Q2: x3 = 2; the only non-constant variable is x, and
+	// R("2", x) with constraint R(X -> Y, 2) covers it (Example 3.5).
+	q2 := cq.NewCQ([]cq.Term{cq.Var("x")},
+		[]cq.Atom{cq.NewAtom("R", cq.Cst("2"), cq.Var("x"))})
+	covered := Cov(q2, s, a)
+	if b, ok := covered["x"]; !ok || b != 2 {
+		t.Fatalf("cov(Q2) should cover x with bound 2, got %v", covered)
+	}
+}
+
+func TestExample35BoundedOutput(t *testing.T) {
+	s, a, q := example35()
+	ok, bound := BoundedOutputCQ(q, s, a)
+	if !ok {
+		t.Fatal("Q of Example 3.5 has bounded output")
+	}
+	if bound <= 0 || bound > 8 {
+		t.Fatalf("unexpected bound %d", bound)
+	}
+}
+
+func TestUnboundedOutput(t *testing.T) {
+	// Q(x) :- R(y,x) with only R(X -> Y, 2): x is a Y of an uncovered X.
+	s := schema.New(schema.NewRelation("R", "X", "Y"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, 2))
+	q := cq.NewCQ([]cq.Term{cq.Var("x")},
+		[]cq.Atom{cq.NewAtom("R", cq.Var("y"), cq.Var("x"))})
+	if ok, _ := BoundedOutputCQ(q, s, a); ok {
+		t.Fatal("Q(x) :- R(y,x) must have unbounded output")
+	}
+	// With R(∅ -> (X,Y), 5) everything is bounded.
+	a2 := access.NewSchema(access.NewConstraint("R", nil, []string{"X", "Y"}, 5))
+	ok, bound := BoundedOutputCQ(q, s, a2)
+	if !ok || bound != 5 {
+		t.Fatalf("under R(∅ -> XY, 5) output must be bounded by 5, got ok=%v bound=%d", ok, bound)
+	}
+}
+
+func TestBooleanQueryBounded(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "X", "Y"))
+	a := access.NewSchema() // no constraints at all
+	q := cq.NewCQ(nil, []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))})
+	ok, bound := BoundedOutputCQ(q, s, a)
+	if !ok || bound != 1 {
+		t.Fatalf("boolean queries always have bounded output, got ok=%v bound=%d", ok, bound)
+	}
+}
+
+func TestExhaustiveAgreesWithMinimal(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() (*schema.Schema, *access.Schema, *cq.CQ)
+	}{
+		{"example35", example35},
+		{"twoAtoms", func() (*schema.Schema, *access.Schema, *cq.CQ) {
+			s := schema.New(schema.NewRelation("R", "X", "Y"))
+			a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, 1))
+			q := cq.NewCQ([]cq.Term{cq.Var("u"), cq.Var("v")}, []cq.Atom{
+				cq.NewAtom("R", cq.Var("x"), cq.Var("u")),
+				cq.NewAtom("R", cq.Var("x"), cq.Var("v")),
+			})
+			return s, a, q
+		}},
+		{"groupOfThree", func() (*schema.Schema, *access.Schema, *cq.CQ) {
+			s := schema.New(schema.NewRelation("R", "X", "Y"))
+			a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, 2))
+			q := cq.NewCQ([]cq.Term{cq.Var("u")}, []cq.Atom{
+				cq.NewAtom("R", cq.Cst("c"), cq.Var("u")),
+				cq.NewAtom("R", cq.Cst("c"), cq.Var("v")),
+				cq.NewAtom("R", cq.Cst("c"), cq.Var("w")),
+			})
+			return s, a, q
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, a, q := tc.mk()
+			exh, err := ExhaustiveElementQueries(q, s, a)
+			if err != nil {
+				t.Fatalf("exhaustive: %v", err)
+			}
+			minimal := MinimalElementQueries(q, s, a)
+			// Verdict agreement on satisfiability.
+			if (len(exh) == 0) != (len(minimal) == 0) {
+				t.Fatalf("satisfiability disagreement: exhaustive %d, minimal %d", len(exh), len(minimal))
+			}
+			// Every exhaustive element query must refine (be contained in)
+			// some minimal one.
+			for _, e := range exh {
+				found := false
+				for _, m := range minimal {
+					if cq.Contained(e, m) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("element query %v refines no minimal element query", e)
+				}
+			}
+			// Bounded-output verdicts must agree between the two
+			// characterizations.
+			minVerdict, _ := BoundedOutputCQ(q, s, a)
+			exhVerdict := true
+			for _, e := range exh {
+				if ok, _ := HeadCovered(e, s, a); !ok {
+					exhVerdict = false
+					break
+				}
+			}
+			if minVerdict != exhVerdict {
+				t.Fatalf("BOP verdict disagreement: minimal=%v exhaustive=%v", minVerdict, exhVerdict)
+			}
+		})
+	}
+}
+
+func TestAContainmentViaFD(t *testing.T) {
+	// Under FD R(A -> B, 1): Q1(x,y) :- R(a,x), R(a,y) forces x = y,
+	// so Q1 ⊑_A Qd where Qd(x,y) :- R(a,x), x=y; classically it is not.
+	s := schema.New(schema.NewRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"A"}, []string{"B"}, 1))
+	q1 := cq.NewCQ([]cq.Term{cq.Var("x"), cq.Var("y")}, []cq.Atom{
+		cq.NewAtom("R", cq.Var("a"), cq.Var("x")),
+		cq.NewAtom("R", cq.Var("a"), cq.Var("y")),
+	})
+	qd := cq.NewCQ([]cq.Term{cq.Var("x"), cq.Var("y")},
+		[]cq.Atom{cq.NewAtom("R", cq.Var("a"), cq.Var("x"))},
+		cq.Equality{L: cq.Var("x"), R: cq.Var("y")})
+	if cq.Contained(q1, qd) {
+		t.Fatal("classical containment should fail")
+	}
+	if !AContainedCQ(q1, qd, s, a) {
+		t.Fatal("A-containment should hold under the FD")
+	}
+	if !AEquivalentCQ(q1, qd, s, a) {
+		t.Fatal("the two queries are A-equivalent under the FD")
+	}
+}
+
+func TestASatisfiability(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "X", "Y"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, 1))
+	// Q() :- R(c,"1"), R(c,"2") is unsatisfiable under the FD.
+	q := cq.NewCQ(nil, []cq.Atom{
+		cq.NewAtom("R", cq.Var("c"), cq.Cst("1")),
+		cq.NewAtom("R", cq.Var("c"), cq.Cst("2")),
+	})
+	if ASatisfiable(q, s, a) {
+		t.Fatal("query should be A-unsatisfiable")
+	}
+	if ok, bound := BoundedOutputCQ(q, s, a); !ok || bound != 0 {
+		t.Fatalf("A-unsatisfiable query has (trivially) bounded empty output, got %v %d", ok, bound)
+	}
+	// Without the constraint it is satisfiable.
+	if !ASatisfiable(q, s, access.NewSchema()) {
+		t.Fatal("query should be satisfiable without constraints")
+	}
+}
+
+func TestAEquivalenceStricterThanClassical(t *testing.T) {
+	// Classical equivalence implies A-equivalence (but not conversely).
+	s := schema.New(schema.NewRelation("R", "X", "Y"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, 3))
+	q1 := cq.NewCQ([]cq.Term{cq.Var("x")}, []cq.Atom{
+		cq.NewAtom("R", cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("R", cq.Var("x"), cq.Var("z")),
+	})
+	q2 := cq.NewCQ([]cq.Term{cq.Var("x")},
+		[]cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))})
+	if !cq.Equivalent(q1, q2) {
+		t.Fatal("q1 and q2 are classically equivalent")
+	}
+	if !AEquivalentCQ(q1, q2, s, a) {
+		t.Fatal("classical equivalence must imply A-equivalence")
+	}
+}

@@ -1,0 +1,117 @@
+// Package boundedness implements the boundedness theory of Section 3:
+// covered variables cov(Q,A), element queries (Lemma 3.6/3.7), the bounded
+// output problem BOP, and A-containment / A-equivalence for CQ, UCQ and
+// ∃FO+ queries (Lemma 3.2).
+package boundedness
+
+import (
+	"math"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// MaxBound caps derived cardinality bounds to avoid overflow; any bound at
+// or above this value should be read as "astronomically large but finite".
+const MaxBound = math.MaxInt64 / 4
+
+// Cov computes the covered variables cov(Q, A) of a normalized CQ together
+// with a derived cardinality bound per covered variable (the constant the
+// constraint arithmetic of Lemma 3.6 yields). Constant terms do not appear
+// in the result: they are bounded by definition.
+//
+// The fixpoint follows Section 3.1: a variable y is added when some atom
+// R(x̄, ȳ, z̄) and constraint R(X -> Y, N) have all non-constant X-position
+// variables already covered; then bound(y) <= N * Π bound(x).
+func Cov(q *cq.CQ, s *schema.Schema, a *access.Schema) map[string]int64 {
+	n, err := q.Normalize()
+	if err != nil {
+		return map[string]int64{}
+	}
+	covered := make(map[string]int64)
+	for {
+		changed := false
+		for _, c := range a.Constraints {
+			rel := s.Relation(c.Rel)
+			if rel == nil {
+				continue
+			}
+			xpos, errX := rel.Positions(c.X)
+			ypos, errY := rel.Positions(c.Y)
+			if errX != nil || errY != nil {
+				continue
+			}
+			for _, at := range n.Atoms {
+				if at.Rel != c.Rel {
+					continue
+				}
+				// All non-constant X-position terms must be covered.
+				inBound := int64(1)
+				ok := true
+				for _, p := range xpos {
+					t := at.Args[p]
+					if t.Const {
+						continue
+					}
+					b, cov := covered[t.Val]
+					if !cov {
+						ok = false
+						break
+					}
+					inBound = mulCap(inBound, b)
+				}
+				if !ok {
+					continue
+				}
+				yb := mulCap(inBound, int64(c.N))
+				for _, p := range ypos {
+					t := at.Args[p]
+					if t.Const {
+						continue
+					}
+					if cur, cov := covered[t.Val]; !cov || yb < cur {
+						covered[t.Val] = yb
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return covered
+		}
+	}
+}
+
+func mulCap(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > MaxBound/b {
+		return MaxBound
+	}
+	return a * b
+}
+
+// HeadCovered reports whether every head term of the normalized query is a
+// constant or a covered variable, and the product bound over the head
+// (Lemma 3.6's characterization of bounded output for queries satisfying A).
+func HeadCovered(q *cq.CQ, s *schema.Schema, a *access.Schema) (bool, int64) {
+	n, err := q.Normalize()
+	if err != nil {
+		return true, 0 // unsatisfiable: empty output
+	}
+	covered := Cov(n, s, a)
+	bound := int64(1)
+	for _, t := range n.Head {
+		if t.Const {
+			continue
+		}
+		b, ok := covered[t.Val]
+		if !ok {
+			return false, 0
+		}
+		bound = mulCap(bound, b)
+	}
+	return true, bound
+}

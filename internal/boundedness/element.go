@@ -1,0 +1,315 @@
+package boundedness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/access"
+	"repro/internal/chase"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// An element query of Q under A is Q ∧ ψ for a conjunction ψ of equalities
+// such that the tableau of Q ∧ ψ satisfies A (Section 3.1). Q is
+// A-equivalent to the union of its element queries, which is what turns
+// A-reasoning into classical reasoning.
+//
+// Two enumerators are provided:
+//
+//   - ExhaustiveElementQueries enumerates every equality-augmentation (all
+//     partitions of the query's terms) and keeps the satisfiable ones whose
+//     tableau satisfies A. This is the textbook definition; it is
+//     exponential (Bell numbers) and guarded by a size limit. It serves as
+//     ground truth in property tests.
+//
+//   - MinimalElementQueries runs a violation-driven disjunctive chase:
+//     while some access constraint is violated by the tableau, branch over
+//     the ways of unifying two offending Y-projections. The results are the
+//     ⊑-minimal element queries; every element query refines one of them.
+//     Since variable coverage and classical containment are monotone under
+//     further unification, the minimal set suffices for both BOP and
+//     A-containment.
+
+// ExhaustiveLimit is the maximum number of distinct terms for which the
+// exhaustive enumerator will run.
+const ExhaustiveLimit = 10
+
+// ErrTooLarge is returned when the exhaustive enumerator would exceed its
+// search limit.
+var ErrTooLarge = fmt.Errorf("boundedness: query too large for exhaustive element-query enumeration")
+
+// ExhaustiveElementQueries returns all element queries of q under a, i.e.
+// all normalized satisfiable Q ∧ ψ whose tableau satisfies A, deduplicated
+// by canonical form.
+func ExhaustiveElementQueries(q *cq.CQ, s *schema.Schema, a *access.Schema) ([]*cq.CQ, error) {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, nil // unsatisfiable: no element queries
+	}
+	vars := n.Vars()
+	consts := n.Constants()
+	if len(vars) > ExhaustiveLimit {
+		return nil, ErrTooLarge
+	}
+	// Classes: each constant is its own fixed class; variables are assigned
+	// to either a constant's class, an existing variable class, or a new
+	// class (restricted-growth enumeration).
+	type class struct {
+		constVal string // "" when the class has no constant
+		members  []string
+	}
+	var out []*cq.CQ
+	seen := map[string]struct{}{}
+	var classes []class
+	for _, c := range consts {
+		classes = append(classes, class{constVal: c})
+	}
+	nConstClasses := len(classes)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			var eqs []cq.Equality
+			for _, cl := range classes {
+				if cl.constVal != "" {
+					for _, m := range cl.members {
+						eqs = append(eqs, cq.Equality{L: cq.Var(m), R: cq.Cst(cl.constVal)})
+					}
+					continue
+				}
+				for _, m := range cl.members[1:] {
+					eqs = append(eqs, cq.Equality{L: cq.Var(cl.members[0]), R: cq.Var(m)})
+				}
+			}
+			cand := n.Clone()
+			cand.Eqs = append(cand.Eqs, eqs...)
+			norm, err := cand.Normalize()
+			if err != nil {
+				return
+			}
+			if !chase.TableauSatisfies(norm, s, a) {
+				return
+			}
+			key := norm.Canonical()
+			if _, dup := seen[key]; dup {
+				return
+			}
+			seen[key] = struct{}{}
+			out = append(out, norm)
+			return
+		}
+		v := vars[i]
+		for j := range classes {
+			classes[j].members = append(classes[j].members, v)
+			rec(i + 1)
+			classes[j].members = classes[j].members[:len(classes[j].members)-1]
+		}
+		classes = append(classes, class{members: []string{v}})
+		rec(i + 1)
+		classes = classes[:len(classes)-1]
+	}
+	_ = nConstClasses
+	rec(0)
+	return out, nil
+}
+
+// MinimalElementQueries returns the ⊑-minimal element queries of q under a
+// via the violation-driven disjunctive chase. The empty slice means q is
+// A-unsatisfiable (no unification makes the tableau satisfy A, or q itself
+// is inconsistent).
+func MinimalElementQueries(q *cq.CQ, s *schema.Schema, a *access.Schema) []*cq.CQ {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil
+	}
+	var out []*cq.CQ
+	seen := map[string]struct{}{}
+	var rec func(cur *cq.CQ)
+	rec = func(cur *cq.CQ) {
+		key := cur.Canonical()
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = struct{}{}
+		pairs, violated := findViolation(cur, s, a)
+		if !violated {
+			out = append(out, cur)
+			return
+		}
+		for _, eqs := range pairs {
+			cand := cur.Clone()
+			cand.Eqs = append(cand.Eqs, eqs...)
+			norm, err := cand.Normalize()
+			if err != nil {
+				continue // this branch equates distinct constants
+			}
+			rec(norm)
+		}
+	}
+	rec(n)
+	// Drop non-minimal results (a branch may overshoot another's fixpoint).
+	return minimalOnly(out)
+}
+
+// findViolation locates the violated constraint group with the fewest
+// consistent repair branches (fail-first) and returns, for each unordered
+// pair of distinct Y-projections in the group, the equalities unifying
+// that pair. violated is false when the tableau satisfies every
+// constraint; a violated group with an empty branch list is a dead end
+// (only distinct constants could be unified).
+func findViolation(q *cq.CQ, s *schema.Schema, a *access.Schema) (branches [][]cq.Equality, violated bool) {
+	first := true
+	for _, b := range allViolations(q, s, a) {
+		if first || len(b) < len(branches) {
+			branches, violated, first = b, true, false
+		}
+		if len(branches) == 0 {
+			break
+		}
+	}
+	return branches, violated
+}
+
+// allViolations returns, per violated group, its consistent repair
+// branches. Branches equating two distinct constants are dropped
+// immediately; a violated group with no consistent repair yields an empty
+// branch list, which callers treat as a dead end.
+func allViolations(q *cq.CQ, s *schema.Schema, a *access.Schema) [][][]cq.Equality {
+	var out [][][]cq.Equality
+	for _, c := range a.Constraints {
+		rel := s.Relation(c.Rel)
+		if rel == nil {
+			continue
+		}
+		xpos, errX := rel.Positions(c.X)
+		ypos, errY := rel.Positions(c.Y)
+		if errX != nil || errY != nil {
+			continue
+		}
+		groups := make(map[string][][]cq.Term) // xkey -> distinct y-projections
+		groupSeen := make(map[string]map[string]struct{})
+		for _, at := range q.Atoms {
+			if at.Rel != c.Rel {
+				continue
+			}
+			xkey, ykey := "", ""
+			yproj := make([]cq.Term, len(ypos))
+			for _, p := range xpos {
+				xkey += at.Args[p].String() + "\x1f"
+			}
+			for i, p := range ypos {
+				yproj[i] = at.Args[p]
+				ykey += at.Args[p].String() + "\x1f"
+			}
+			gs := groupSeen[xkey]
+			if gs == nil {
+				gs = make(map[string]struct{})
+				groupSeen[xkey] = gs
+			}
+			if _, dup := gs[ykey]; dup {
+				continue
+			}
+			gs[ykey] = struct{}{}
+			groups[xkey] = append(groups[xkey], yproj)
+		}
+		for _, projs := range groups {
+			if len(projs) <= c.N {
+				continue
+			}
+			var branches [][]cq.Equality
+			for i := 0; i < len(projs); i++ {
+			pair:
+				for j := i + 1; j < len(projs); j++ {
+					var eqs []cq.Equality
+					for k := range projs[i] {
+						l, r := projs[i][k], projs[j][k]
+						if l == r {
+							continue
+						}
+						if l.Const && r.Const {
+							continue pair // equates distinct constants
+						}
+						eqs = append(eqs, cq.Equality{L: l, R: r})
+					}
+					if len(eqs) > 0 {
+						branches = append(branches, eqs)
+					}
+				}
+			}
+			out = append(out, branches)
+		}
+	}
+	return out
+}
+
+// ASatisfiableSearch reports whether some unification makes q's tableau
+// satisfy A, by depth-first search with early exit (the satisfiability
+// side of the element-query machinery; NP-hard in general, per the
+// Theorem 4.1 reductions). budget caps the number of search states; when
+// exhausted the second result is false (verdict unreliable).
+func ASatisfiableSearch(q *cq.CQ, s *schema.Schema, a *access.Schema, budget int) (bool, bool) {
+	n, err := q.Normalize()
+	if err != nil {
+		return false, true
+	}
+	seen := map[string]struct{}{}
+	steps := 0
+	var rec func(cur *cq.CQ) (bool, bool)
+	rec = func(cur *cq.CQ) (bool, bool) {
+		key := cur.Canonical()
+		if _, dup := seen[key]; dup {
+			return false, true
+		}
+		seen[key] = struct{}{}
+		steps++
+		if budget > 0 && steps > budget {
+			return false, false
+		}
+		branches, violated := findViolation(cur, s, a)
+		if !violated {
+			return true, true
+		}
+		exact := true
+		for _, eqs := range branches {
+			cand := cur.Clone()
+			cand.Eqs = append(cand.Eqs, eqs...)
+			norm, err := cand.Normalize()
+			if err != nil {
+				continue
+			}
+			ok, ex := rec(norm)
+			if ok {
+				return true, true
+			}
+			exact = exact && ex
+		}
+		return false, exact
+	}
+	return rec(n)
+}
+
+// minimalOnly removes results that are strict refinements of another
+// result, using homomorphic containment both ways as the refinement test.
+func minimalOnly(qs []*cq.CQ) []*cq.CQ {
+	// Sort by size so that coarser (fewer merged terms = more distinct
+	// terms) candidates come first; then keep q unless an earlier kept r
+	// has q ⊑ r and r ⋢ q (q strictly refines r) — those q are redundant
+	// for both BOP and containment checks.
+	sort.Slice(qs, func(i, j int) bool {
+		return len(qs[i].Vars())+len(qs[i].Constants()) > len(qs[j].Vars())+len(qs[j].Constants())
+	})
+	var kept []*cq.CQ
+	for _, q := range qs {
+		redundant := false
+		for _, r := range kept {
+			if cq.Contained(q, r) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, q)
+		}
+	}
+	return kept
+}

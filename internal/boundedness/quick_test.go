@@ -1,0 +1,135 @@
+package boundedness
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// randomSmallCQ builds a tiny query over R(X,Y) from fuzz bytes, with at
+// most 3 atoms and 4 variables so the exhaustive enumeration stays cheap.
+func randomSmallCQ(data []byte) *cq.CQ {
+	term := func(b byte) cq.Term {
+		if b%4 == 0 {
+			return cq.Cst(fmt.Sprintf("c%d", b%2))
+		}
+		return cq.Var(fmt.Sprintf("v%d", b%4))
+	}
+	q := &cq.CQ{}
+	for i := 0; i+1 < len(data) && len(q.Atoms) < 3; i += 2 {
+		q.Atoms = append(q.Atoms, cq.NewAtom("R", term(data[i]), term(data[i+1])))
+	}
+	if len(q.Atoms) == 0 {
+		q.Atoms = []cq.Atom{cq.NewAtom("R", cq.Var("v0"), cq.Var("v1"))}
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if !t.Const {
+				q.Head = []cq.Term{t}
+				return q
+			}
+		}
+	}
+	return q
+}
+
+// Property (the minimal-element-query correctness argument): on random
+// small queries and constraints, the exhaustive and violation-driven
+// enumerations agree on (a) A-satisfiability, (b) the refinement relation
+// (every exhaustive element query is contained in some minimal one), and
+// (c) the bounded-output verdict.
+func TestQuickMinimalVsExhaustive(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "X", "Y"))
+	f := func(data []byte, nRaw byte) bool {
+		n := 1 + int(nRaw%3)
+		a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, n))
+		q := randomSmallCQ(data)
+
+		exh, err := ExhaustiveElementQueries(q, s, a)
+		if err != nil {
+			return true // too large; skip
+		}
+		minimal := MinimalElementQueries(q, s, a)
+		if (len(exh) == 0) != (len(minimal) == 0) {
+			return false
+		}
+		for _, e := range exh {
+			found := false
+			for _, m := range minimal {
+				if cq.Contained(e, m) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		minVerdict, _ := BoundedOutputCQ(q, s, a)
+		exhVerdict := true
+		for _, e := range exh {
+			if ok, _ := HeadCovered(e, s, a); !ok {
+				exhVerdict = false
+				break
+			}
+		}
+		return minVerdict == exhVerdict
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A-containment is sound on the canonical instances — if
+// Q1 ⊑_A Q2, then on the tableau of each element query of Q1 (an instance
+// satisfying A) Q2 answers whatever Q1 answers.
+func TestQuickAContainmentReflexiveAndSound(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "X", "Y"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, 2))
+	f := func(data []byte) bool {
+		q := randomSmallCQ(data)
+		if !AContainedCQ(q, q, s, a) {
+			return false
+		}
+		// A-containment in a strictly more general query.
+		gen := &cq.CQ{Head: q.Head, Atoms: q.Atoms[:1]}
+		if len(gen.Head) > 0 && !gen.Head[0].Const {
+			found := false
+			for _, t := range gen.Atoms[0].Args {
+				if t == gen.Head[0] {
+					found = true
+				}
+			}
+			if !found {
+				return true // head not bound by first atom; skip
+			}
+		}
+		return AContainedCQ(q, gen, s, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ASatisfiableSearch agrees with the full enumeration.
+func TestQuickSatisfiabilityAgreement(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "X", "Y"))
+	f := func(data []byte, nRaw byte) bool {
+		n := 1 + int(nRaw%2)
+		a := access.NewSchema(access.NewConstraint("R", []string{"X"}, []string{"Y"}, n))
+		q := randomSmallCQ(data)
+		fast, exact := ASatisfiableSearch(q, s, a, 0)
+		if !exact {
+			return false
+		}
+		full := MinimalElementQueries(q, s, a)
+		return fast == (len(full) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}

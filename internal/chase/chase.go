@@ -1,0 +1,157 @@
+// Package chase implements the classical tableau chase with FD-shaped
+// access constraints R(X -> Y, 1), the engine behind the PTIME results of
+// Corollary 4.4 and Proposition 4.5: chasing the tableau of Q by the FDs in
+// A yields a query Q_A with Q_A ≡_A Q whose tableau satisfies A, reducing
+// A-containment to classical containment.
+package chase
+
+import (
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Chase chases the tableau of q with the FD-shaped constraints of a
+// (constraints with N > 1 are ignored — callers in the FD-only regimes
+// guarantee there are none). It returns the chased query and ok=true, or
+// ok=false when the chase equates two distinct constants, in which case
+// q ≡_A ∅ (no instance satisfying A embeds the tableau).
+func Chase(q *cq.CQ, s *schema.Schema, a *access.Schema) (*cq.CQ, bool) {
+	cur, err := q.Normalize()
+	if err != nil {
+		return nil, false
+	}
+	for {
+		eqs := step(cur, s, a)
+		if len(eqs) == 0 {
+			return cur, true
+		}
+		next := cur.Clone()
+		next.Eqs = append(next.Eqs, eqs...)
+		n, err := next.Normalize()
+		if err != nil {
+			return nil, false
+		}
+		cur = n
+	}
+}
+
+// step finds one FD violation in the (normalized) query's atoms and returns
+// the equalities that repair it; nil when no FD is violated.
+func step(q *cq.CQ, s *schema.Schema, a *access.Schema) []cq.Equality {
+	for _, c := range a.Constraints {
+		if !c.IsFD() {
+			continue
+		}
+		rel := s.Relation(c.Rel)
+		if rel == nil {
+			continue
+		}
+		xpos, err := rel.Positions(c.X)
+		if err != nil {
+			continue
+		}
+		ypos, err := rel.Positions(c.Y)
+		if err != nil {
+			continue
+		}
+		// Group atoms of this relation by their X-projection.
+		groups := make(map[string][]cq.Atom)
+		for _, at := range q.Atoms {
+			if at.Rel != c.Rel {
+				continue
+			}
+			key := ""
+			for _, p := range xpos {
+				key += at.Args[p].String() + "\x1f"
+			}
+			groups[key] = append(groups[key], at)
+		}
+		for _, g := range groups {
+			if len(g) < 2 {
+				continue
+			}
+			base := g[0]
+			for _, other := range g[1:] {
+				var eqs []cq.Equality
+				for _, p := range ypos {
+					if base.Args[p] != other.Args[p] {
+						eqs = append(eqs, cq.Equality{L: base.Args[p], R: other.Args[p]})
+					}
+				}
+				if len(eqs) > 0 {
+					return eqs
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AContainedFD decides q1 ⊑_A q2 when A consists of FDs only, per
+// Corollary 4.4: chase q1 by A, then test classical containment of the
+// chased query in q2.
+func AContainedFD(q1, q2 *cq.CQ, s *schema.Schema, a *access.Schema) bool {
+	c1, ok := Chase(q1, s, a)
+	if !ok {
+		return true // q1 ≡_A ∅ is contained in everything
+	}
+	return cq.Contained(c1, q2)
+}
+
+// AEquivalentFD decides q1 ≡_A q2 in the FD-only regime.
+func AEquivalentFD(q1, q2 *cq.CQ, s *schema.Schema, a *access.Schema) bool {
+	c1, ok1 := Chase(q1, s, a)
+	c2, ok2 := Chase(q2, s, a)
+	if !ok1 || !ok2 {
+		return ok1 == ok2 // both A-empty, or one empty and one not
+	}
+	return cq.Contained(c1, c2) && cq.Contained(c2, c1)
+}
+
+// TableauSatisfies reports whether the tableau of q (variables viewed as
+// constants) satisfies every cardinality constraint in a; this is the
+// "Q satisfies A" notion used to define element queries (Section 3.1).
+func TableauSatisfies(q *cq.CQ, s *schema.Schema, a *access.Schema) bool {
+	n, err := q.Normalize()
+	if err != nil {
+		return false
+	}
+	for _, c := range a.Constraints {
+		rel := s.Relation(c.Rel)
+		if rel == nil {
+			continue
+		}
+		xpos, err := rel.Positions(c.X)
+		if err != nil {
+			return false
+		}
+		ypos, err := rel.Positions(c.Y)
+		if err != nil {
+			return false
+		}
+		groups := make(map[string]map[string]struct{})
+		for _, at := range n.Atoms {
+			if at.Rel != c.Rel {
+				continue
+			}
+			xkey, ykey := "", ""
+			for _, p := range xpos {
+				xkey += at.Args[p].String() + "\x1f"
+			}
+			for _, p := range ypos {
+				ykey += at.Args[p].String() + "\x1f"
+			}
+			g := groups[xkey]
+			if g == nil {
+				g = make(map[string]struct{})
+				groups[xkey] = g
+			}
+			g[ykey] = struct{}{}
+			if len(g) > c.N {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package chase
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+func fixture() (*schema.Schema, *access.Schema) {
+	s := schema.New(schema.NewRelation("R", "A", "B", "C"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"A"}, []string{"B"}, 1))
+	return s, a
+}
+
+func TestChaseUnifies(t *testing.T) {
+	s, a := fixture()
+	// R(x,y1,z1), R(x,y2,z2) with A -> B forces y1 = y2.
+	q := cq.NewCQ([]cq.Term{cq.Var("y1"), cq.Var("y2")}, []cq.Atom{
+		cq.NewAtom("R", cq.Var("x"), cq.Var("y1"), cq.Var("z1")),
+		cq.NewAtom("R", cq.Var("x"), cq.Var("y2"), cq.Var("z2")),
+	})
+	c, ok := Chase(q, s, a)
+	if !ok {
+		t.Fatal("chase must succeed")
+	}
+	if c.Head[0] != c.Head[1] {
+		t.Fatalf("chase must unify y1 and y2: %s", c)
+	}
+	if len(c.Atoms) != 2 {
+		t.Fatalf("z1 and z2 stay distinct, expect 2 atoms: %s", c)
+	}
+}
+
+func TestChaseTransitive(t *testing.T) {
+	s, a := fixture()
+	// Unification can cascade: first B's unify, making the two "c"-keyed
+	// atoms collide next.
+	q := cq.NewCQ(nil, []cq.Atom{
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("b1"), cq.Var("z")),
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("b2"), cq.Var("z")),
+		cq.NewAtom("R", cq.Var("b1"), cq.Cst("u"), cq.Var("z")),
+		cq.NewAtom("R", cq.Var("b2"), cq.Cst("v"), cq.Var("z")),
+	})
+	_, ok := Chase(q, s, a)
+	// After b1 = b2, the atoms R(b1,"u",z) and R(b1,"v",z) force u = v —
+	// two distinct constants: the chase must fail (Q ≡_A ∅).
+	if ok {
+		t.Fatal("cascading chase must detect the constant clash")
+	}
+}
+
+func TestChaseInconsistent(t *testing.T) {
+	s, a := fixture()
+	q := cq.NewCQ(nil, []cq.Atom{
+		cq.NewAtom("R", cq.Cst("k"), cq.Cst("1"), cq.Var("z")),
+		cq.NewAtom("R", cq.Cst("k"), cq.Cst("2"), cq.Var("z")),
+	})
+	if _, ok := Chase(q, s, a); ok {
+		t.Fatal("two distinct constants under an FD must be inconsistent")
+	}
+}
+
+func TestAContainedFD(t *testing.T) {
+	s, a := fixture()
+	q1 := cq.NewCQ([]cq.Term{cq.Var("y1"), cq.Var("y2")}, []cq.Atom{
+		cq.NewAtom("R", cq.Var("x"), cq.Var("y1"), cq.Var("z1")),
+		cq.NewAtom("R", cq.Var("x"), cq.Var("y2"), cq.Var("z2")),
+	})
+	qd := cq.NewCQ([]cq.Term{cq.Var("y"), cq.Var("y")}, []cq.Atom{
+		cq.NewAtom("R", cq.Var("x"), cq.Var("y"), cq.Var("z")),
+	})
+	if cq.Contained(q1, qd) {
+		t.Fatal("not classically contained")
+	}
+	if !AContainedFD(q1, qd, s, a) {
+		t.Fatal("A-contained under the FD")
+	}
+	if !AEquivalentFD(q1, qd, s, a) {
+		t.Fatal("A-equivalent under the FD")
+	}
+	// Containment must still fail when genuinely different.
+	other := cq.NewCQ([]cq.Term{cq.Var("y"), cq.Var("y")}, []cq.Atom{
+		cq.NewAtom("R", cq.Cst("fixed"), cq.Var("y"), cq.Var("z")),
+	})
+	if AContainedFD(q1, other, s, a) {
+		t.Fatal("containment into a constant-restricted query must fail")
+	}
+}
+
+func TestTableauSatisfies(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"A"}, []string{"B"}, 2))
+	ok := cq.NewCQ(nil, []cq.Atom{
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("x")),
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("y")),
+	})
+	if !TableauSatisfies(ok, s, a) {
+		t.Fatal("two Y-values within bound 2 satisfy A")
+	}
+	bad := cq.NewCQ(nil, []cq.Atom{
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("x")),
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("y")),
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("z")),
+	})
+	if TableauSatisfies(bad, s, a) {
+		t.Fatal("three distinct Y-values exceed bound 2")
+	}
+}

@@ -1,0 +1,73 @@
+// Package core gathers the paper's primary contribution under one import:
+// the bounded-rewriting decision machinery (VBRP, Sections 3-4 and 6), the
+// boundedness theory it stands on (element queries, BOP, A-equivalence),
+// and the effective syntax that makes it practical (topped and
+// size-bounded queries, Section 5).
+//
+// The implementations live in the sibling packages boundedness, vbrp and
+// topped; core re-exports the entry points so that callers of "the
+// algorithm of the paper" need a single import. The repository-root
+// package repro additionally bundles storage and evaluation into a
+// user-facing facade.
+package core
+
+import (
+	"repro/internal/boundedness"
+	"repro/internal/topped"
+	"repro/internal/vbrp"
+)
+
+// Decision procedures (Sections 3, 4, 6).
+type (
+	// VBRPProblem fixes the parameters (R, A, V, M, L) of a bounded
+	// rewriting instance.
+	VBRPProblem = vbrp.Problem
+	// VBRPDecision is the decision outcome with the witnessing plan.
+	VBRPDecision = vbrp.Decision
+)
+
+// Decision entry points.
+var (
+	// DecideVBRP is the exact Σp3-style decision procedure (Theorem 3.1).
+	DecideVBRP = vbrp.Decide
+	// DecideVBRPBoolean handles Boolean queries including the empty plan.
+	DecideVBRPBoolean = vbrp.DecideBoolean
+	// DecideVBRPACQ is AlgACQ via the maximum-plan characterization
+	// (Theorem 4.2 / Lemma 3.12).
+	DecideVBRPACQ = vbrp.DecideACQ
+	// MaximumPlan is AlgMP (Theorem 4.2).
+	MaximumPlan = vbrp.MaximumPlan
+)
+
+// Boundedness theory (Section 3).
+var (
+	// BoundedOutput decides BOP for UCQs (Theorem 3.4).
+	BoundedOutput = boundedness.BoundedOutputUCQ
+	// AEquivalent decides A-equivalence for UCQs (Lemma 3.2 machinery).
+	AEquivalent = boundedness.AEquivalentUCQ
+	// AContained decides A-containment for UCQs.
+	AContained = boundedness.AContainedUCQ
+	// ElementQueries enumerates the ⊑-minimal element queries of a CQ.
+	ElementQueries = boundedness.MinimalElementQueries
+	// CoveredVariables computes cov(Q, A) with derived bounds.
+	CoveredVariables = boundedness.Cov
+)
+
+// Effective syntax (Section 5).
+type (
+	// ToppedChecker checks topped-ness and synthesizes plans (Theorem 5.1).
+	ToppedChecker = topped.Checker
+	// ToppedResult is the outcome of a topped-ness check.
+	ToppedResult = topped.Result
+)
+
+// Effective-syntax entry points.
+var (
+	// NewToppedChecker builds a checker for (R, V, A).
+	NewToppedChecker = topped.NewChecker
+	// MakeSizeBounded wraps an FO query in the size-bounded syntax
+	// (Theorem 5.2).
+	MakeSizeBounded = topped.MakeSizeBounded
+	// IsSizeBounded recognizes the size-bounded syntax.
+	IsSizeBounded = topped.IsSizeBounded
+)

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/fo"
+	"repro/internal/plan"
+	"repro/internal/schema"
+)
+
+// The core facade must expose working entry points for the paper's three
+// pillars: decision, boundedness and effective syntax.
+func TestCoreFacade(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"A"}, []string{"B"}, 2))
+	q := cq.NewCQ([]cq.Term{cq.Var("x")}, []cq.Atom{cq.NewAtom("R", cq.Cst("a"), cq.Var("x"))})
+
+	// Boundedness.
+	if ok, bound := BoundedOutput(cq.NewUCQ(q), s, a); !ok || bound != 2 {
+		t.Fatalf("BoundedOutput: %v %d", ok, bound)
+	}
+	if !AEquivalent(cq.NewUCQ(q), cq.NewUCQ(q), s, a) {
+		t.Fatal("AEquivalent must be reflexive")
+	}
+	if len(ElementQueries(q, s, a)) == 0 {
+		t.Fatal("ElementQueries must be non-empty for a satisfiable query")
+	}
+	if cov := CoveredVariables(q, s, a); cov["x"] != 2 {
+		t.Fatalf("CoveredVariables: %v", cov)
+	}
+
+	// Decision.
+	prob := &VBRPProblem{S: s, A: a, M: 3, Lang: plan.LangCQ, Consts: q.Constants()}
+	dec, err := DecideVBRP(cq.NewUCQ(q), prob)
+	if err != nil || !dec.Has {
+		t.Fatalf("DecideVBRP: %v %v", dec.Has, err)
+	}
+
+	// Effective syntax.
+	checker := NewToppedChecker(s, a, nil)
+	res := checker.Check(fo.FromCQ(q), 8)
+	if !res.Topped {
+		t.Fatalf("topped check failed: %s", res.Reason)
+	}
+	inner := &fo.Query{Head: []string{"x"}, Body: fo.Expr(fo.NewAtom("R", cq.Var("x"), cq.Var("y")))}
+	_ = inner
+	sb := MakeSizeBounded(&fo.Query{Head: []string{"x"}, Body: fo.Expr(fo.NewAtom("R", cq.Var("x"), cq.Var("x")))}, 2)
+	if k, _, ok := IsSizeBounded(sb); !ok || k != 2 {
+		t.Fatalf("size-bounded round trip: %v %d", ok, k)
+	}
+}

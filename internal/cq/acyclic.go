@@ -1,0 +1,91 @@
+package cq
+
+// IsAcyclic reports whether the CQ is acyclic (hypertree-width 1) via GYO
+// reduction (Graham 1979; Yu & Özsoyoğlu 1979), the test Section 4 uses to
+// define ACQ. The hypergraph has one vertex per variable and one hyperedge
+// per relation atom (constants are ignored). The query is acyclic iff the
+// GYO reduction eliminates every hyperedge.
+//
+// GYO reduction repeats two steps until neither applies:
+//  1. remove a vertex that occurs in exactly one hyperedge;
+//  2. remove a hyperedge that is empty or contained in another hyperedge.
+func IsAcyclic(q *CQ) bool {
+	n, err := q.Normalize()
+	if err != nil {
+		// Unsatisfiable queries are vacuously acyclic.
+		return true
+	}
+	// Build hyperedges as variable sets.
+	edges := make([]map[string]bool, 0, len(n.Atoms))
+	for _, a := range n.Atoms {
+		e := make(map[string]bool)
+		for _, t := range a.Args {
+			if !t.Const {
+				e[t.Val] = true
+			}
+		}
+		edges = append(edges, e)
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Count vertex occurrences.
+		occ := make(map[string]int)
+		for _, e := range edges {
+			for v := range e {
+				occ[v]++
+			}
+		}
+		// Step 1: drop isolated vertices.
+		for _, e := range edges {
+			for v := range e {
+				if occ[v] == 1 {
+					delete(e, v)
+					changed = true
+				}
+			}
+		}
+		// Step 2: drop empty or subsumed hyperedges. An edge e is dropped
+		// if it is empty, or some kept-or-later edge f contains it (with
+		// duplicates, only the last copy survives).
+		w := 0
+	outer:
+		for i, e := range edges {
+			if len(e) == 0 {
+				changed = true
+				continue
+			}
+			for j, f := range edges {
+				if i == j {
+					continue
+				}
+				// Drop e when e ⊆ f; break ties between equal sets by index
+				// so exactly one copy survives.
+				if subset(e, f) && (!setsEqual(e, f) || i < j) {
+					changed = true
+					continue outer
+				}
+			}
+			edges[w] = e
+			w++
+		}
+		edges = edges[:w]
+	}
+	return len(edges) == 0
+}
+
+func subset(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func setsEqual(a, b map[string]bool) bool {
+	return len(a) == len(b) && subset(a, b)
+}

@@ -1,0 +1,234 @@
+// Package cq implements conjunctive queries (CQ) and unions of conjunctive
+// queries (UCQ) in the tableau formalism of the paper (Sections 2-3):
+// terms, atoms, equality conditions, normalization by unification,
+// homomorphisms, classical containment (Chandra-Merlin), evaluation over
+// instances, and GYO acyclicity (Section 4).
+package cq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Term is a variable or a constant. The zero Term is invalid.
+type Term struct {
+	Const bool   // true if the term is a constant
+	Val   string // variable name or constant value
+}
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{Const: false, Val: name} }
+
+// Cst returns a constant term.
+func Cst(val string) Term { return Term{Const: true, Val: val} }
+
+// String renders variables bare and constants quoted.
+func (t Term) String() string {
+	if t.Const {
+		return "\"" + t.Val + "\""
+	}
+	return t.Val
+}
+
+// Atom is a relation atom R(t1,...,tk). Rel may name a database relation or
+// a view; the distinction is resolved by the consumer.
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(rel string, args ...Term) Atom { return Atom{Rel: rel, Args: args} }
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return a.Rel + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Clone deep-copies the atom.
+func (a Atom) Clone() Atom {
+	return Atom{Rel: a.Rel, Args: append([]Term(nil), a.Args...)}
+}
+
+// Equality is an equality condition between two terms (x = y, x = c, or
+// c = c'). Inequalities are not part of CQ; they appear only in the FO AST.
+type Equality struct {
+	L, R Term
+}
+
+// String renders the equality.
+func (e Equality) String() string { return e.L.String() + "=" + e.R.String() }
+
+// CQ is a conjunctive query Q(x̄) = ∃ ȳ (atoms ∧ equalities). Head lists the
+// free terms (variables, or constants after normalization); every other
+// variable is existentially quantified.
+type CQ struct {
+	Name  string // optional, used when the query defines a view
+	Head  []Term
+	Atoms []Atom
+	Eqs   []Equality
+}
+
+// NewCQ builds a CQ.
+func NewCQ(head []Term, atoms []Atom, eqs ...Equality) *CQ {
+	return &CQ{Head: head, Atoms: atoms, Eqs: eqs}
+}
+
+// Clone deep-copies the query.
+func (q *CQ) Clone() *CQ {
+	out := &CQ{
+		Name:  q.Name,
+		Head:  append([]Term(nil), q.Head...),
+		Atoms: make([]Atom, len(q.Atoms)),
+		Eqs:   append([]Equality(nil), q.Eqs...),
+	}
+	for i, a := range q.Atoms {
+		out.Atoms[i] = a.Clone()
+	}
+	return out
+}
+
+// Vars returns the sorted set of variable names occurring anywhere in the
+// query (head, atoms, equalities).
+func (q *CQ) Vars() []string {
+	seen := make(map[string]struct{})
+	add := func(t Term) {
+		if !t.Const {
+			seen[t.Val] = struct{}{}
+		}
+	}
+	for _, t := range q.Head {
+		add(t)
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			add(t)
+		}
+	}
+	for _, e := range q.Eqs {
+		add(e.L)
+		add(e.R)
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Constants returns the sorted set of constants occurring in the query.
+func (q *CQ) Constants() []string {
+	seen := make(map[string]struct{})
+	add := func(t Term) {
+		if t.Const {
+			seen[t.Val] = struct{}{}
+		}
+	}
+	for _, t := range q.Head {
+		add(t)
+	}
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			add(t)
+		}
+	}
+	for _, e := range q.Eqs {
+		add(e.L)
+		add(e.R)
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns |Q|: the number of atoms plus equality conditions, the
+// measure the paper's complexity statements use.
+func (q *CQ) Size() int { return len(q.Atoms) + len(q.Eqs) }
+
+// String renders the query as Q(head) :- atoms, equalities.
+func (q *CQ) String() string {
+	name := q.Name
+	if name == "" {
+		name = "Q"
+	}
+	hp := make([]string, len(q.Head))
+	for i, t := range q.Head {
+		hp[i] = t.String()
+	}
+	var body []string
+	for _, a := range q.Atoms {
+		body = append(body, a.String())
+	}
+	for _, e := range q.Eqs {
+		body = append(body, e.String())
+	}
+	return name + "(" + strings.Join(hp, ",") + ") :- " + strings.Join(body, ", ")
+}
+
+// Validate checks all relation atoms against the database schema (arity and
+// existence). Atoms naming relations absent from the schema are reported;
+// pass extra view signatures in views (name -> arity) to allow view atoms.
+func (q *CQ) Validate(s *schema.Schema, views map[string]int) error {
+	for _, a := range q.Atoms {
+		if r := s.Relation(a.Rel); r != nil {
+			if len(a.Args) != r.Arity() {
+				return fmt.Errorf("cq: atom %s has %d args, relation %s has arity %d", a, len(a.Args), a.Rel, r.Arity())
+			}
+			continue
+		}
+		if ar, ok := views[a.Rel]; ok {
+			if len(a.Args) != ar {
+				return fmt.Errorf("cq: atom %s has %d args, view %s has arity %d", a, len(a.Args), a.Rel, ar)
+			}
+			continue
+		}
+		return fmt.Errorf("cq: atom %s references unknown relation", a)
+	}
+	return nil
+}
+
+// UCQ is a union of conjunctive queries with identical head arity.
+type UCQ struct {
+	Name      string
+	Disjuncts []*CQ
+}
+
+// NewUCQ builds a UCQ.
+func NewUCQ(disjuncts ...*CQ) *UCQ { return &UCQ{Disjuncts: disjuncts} }
+
+// Clone deep-copies the UCQ.
+func (u *UCQ) Clone() *UCQ {
+	out := &UCQ{Name: u.Name, Disjuncts: make([]*CQ, len(u.Disjuncts))}
+	for i, d := range u.Disjuncts {
+		out.Disjuncts[i] = d.Clone()
+	}
+	return out
+}
+
+// Arity returns the head arity (0 for an empty union).
+func (u *UCQ) Arity() int {
+	if len(u.Disjuncts) == 0 {
+		return 0
+	}
+	return len(u.Disjuncts[0].Head)
+}
+
+// String renders the union.
+func (u *UCQ) String() string {
+	parts := make([]string, len(u.Disjuncts))
+	for i, d := range u.Disjuncts {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "\n∪ ")
+}

@@ -1,0 +1,216 @@
+package cq
+
+import (
+	"testing"
+)
+
+func TestNormalizeChains(t *testing.T) {
+	// Q(x) :- R(x,y), x=y, y=z, z="c"  =>  Q("c") :- R("c","c")
+	q := NewCQ(
+		[]Term{Var("x")},
+		[]Atom{NewAtom("R", Var("x"), Var("y"))},
+		Equality{L: Var("x"), R: Var("y")},
+		Equality{L: Var("y"), R: Var("z")},
+		Equality{L: Var("z"), R: Cst("c")},
+	)
+	n, err := q.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if len(n.Eqs) != 0 {
+		t.Fatalf("expected no equalities, got %v", n.Eqs)
+	}
+	if !n.Head[0].Const || n.Head[0].Val != "c" {
+		t.Fatalf("head not resolved to constant: %v", n.Head)
+	}
+	a := n.Atoms[0]
+	if !a.Args[0].Const || a.Args[0].Val != "c" || !a.Args[1].Const || a.Args[1].Val != "c" {
+		t.Fatalf("atom args not resolved: %v", a)
+	}
+}
+
+func TestNormalizeInconsistent(t *testing.T) {
+	q := NewCQ(
+		[]Term{Var("x")},
+		[]Atom{NewAtom("R", Var("x"))},
+		Equality{L: Var("x"), R: Cst("a")},
+		Equality{L: Var("x"), R: Cst("b")},
+	)
+	if _, err := q.Normalize(); err == nil {
+		t.Fatal("expected inconsistency error")
+	}
+	// Equating a constant to itself is consistent.
+	q2 := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Var("x"))},
+		Equality{L: Cst("a"), R: Cst("a")})
+	if _, err := q2.Normalize(); err != nil {
+		t.Fatalf("self-equality should be consistent: %v", err)
+	}
+}
+
+func TestNormalizeDedupesAtoms(t *testing.T) {
+	q := NewCQ(
+		[]Term{Var("x")},
+		[]Atom{NewAtom("R", Var("x"), Var("y")), NewAtom("R", Var("x"), Var("z"))},
+		Equality{L: Var("y"), R: Var("z")},
+	)
+	n, err := q.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Atoms) != 1 {
+		t.Fatalf("expected 1 atom after dedup, got %d: %v", len(n.Atoms), n.Atoms)
+	}
+}
+
+func TestContainment(t *testing.T) {
+	// Q1(x) :- R(x,y), R(y,x)   (2-cycle through x)
+	// Q2(x) :- R(x,y)           (out-edge from x)
+	q1 := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Var("x"), Var("y")), NewAtom("R", Var("y"), Var("x"))})
+	q2 := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Var("x"), Var("y"))})
+	if !Contained(q1, q2) {
+		t.Fatal("2-cycle query should be contained in out-edge query")
+	}
+	if Contained(q2, q1) {
+		t.Fatal("out-edge query should not be contained in 2-cycle query")
+	}
+	if !Equivalent(q1, q1) || !Equivalent(q2, q2) {
+		t.Fatal("queries must be self-equivalent")
+	}
+}
+
+func TestContainmentWithConstants(t *testing.T) {
+	// Q1(x) :- R("a",x)  vs  Q2(x) :- R(y,x): Q1 ⊑ Q2, not conversely.
+	q1 := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Cst("a"), Var("x"))})
+	q2 := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Var("y"), Var("x"))})
+	if !Contained(q1, q2) {
+		t.Fatal("constant-bound query should be contained in general query")
+	}
+	if Contained(q2, q1) {
+		t.Fatal("general query must not be contained in constant-bound query")
+	}
+}
+
+func TestContainmentInconsistentLHS(t *testing.T) {
+	bad := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Var("x"))},
+		Equality{L: Cst("a"), R: Cst("b")})
+	any := NewCQ([]Term{Var("x")}, []Atom{NewAtom("S", Var("x"))})
+	if !Contained(bad, any) {
+		t.Fatal("inconsistent query is contained in everything")
+	}
+}
+
+func TestUCQContainment(t *testing.T) {
+	// R("a",x) ∪ R("b",x) ⊑ R(y,x); and R(y,x) ⋢ R("a",x) ∪ R("b",x).
+	d1 := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Cst("a"), Var("x"))})
+	d2 := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Cst("b"), Var("x"))})
+	gen := NewCQ([]Term{Var("x")}, []Atom{NewAtom("R", Var("y"), Var("x"))})
+	u := NewUCQ(d1, d2)
+	if !UCQContained(u, NewUCQ(gen)) {
+		t.Fatal("union of specializations should be contained in generalization")
+	}
+	if ContainedInUCQ(gen, u) {
+		t.Fatal("generalization must not be contained in the union")
+	}
+}
+
+func TestEvalOnRows(t *testing.T) {
+	rows := map[string][][]string{
+		"R": {{"a", "b"}, {"b", "c"}, {"c", "a"}},
+	}
+	// Q(x,z) :- R(x,y), R(y,z): paths of length 2.
+	q := NewCQ([]Term{Var("x"), Var("z")},
+		[]Atom{NewAtom("R", Var("x"), Var("y")), NewAtom("R", Var("y"), Var("z"))})
+	got, complete := EvalOnRows(q, rows)
+	if !complete {
+		t.Fatal("evaluation should be complete")
+	}
+	want := [][]string{{"a", "c"}, {"b", "a"}, {"c", "b"}}
+	if !RowsEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestEvalBooleanQuery(t *testing.T) {
+	rows := map[string][][]string{"R": {{"a"}}}
+	q := NewCQ(nil, []Atom{NewAtom("R", Var("x"))})
+	got, _ := EvalOnRows(q, rows)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("boolean query should yield the empty tuple, got %v", got)
+	}
+	q2 := NewCQ(nil, []Atom{NewAtom("R", Cst("zzz"))})
+	got2, _ := EvalOnRows(q2, rows)
+	if len(got2) != 0 {
+		t.Fatalf("boolean query should be false, got %v", got2)
+	}
+}
+
+func TestAcyclicity(t *testing.T) {
+	path := NewCQ([]Term{Var("x")},
+		[]Atom{NewAtom("R", Var("x"), Var("y")), NewAtom("R", Var("y"), Var("z"))})
+	if !IsAcyclic(path) {
+		t.Fatal("path query is acyclic")
+	}
+	triangle := NewCQ([]Term{Var("x")}, []Atom{
+		NewAtom("R", Var("x"), Var("y")),
+		NewAtom("R", Var("y"), Var("z")),
+		NewAtom("R", Var("z"), Var("x")),
+	})
+	if IsAcyclic(triangle) {
+		t.Fatal("triangle query is cyclic")
+	}
+	// A triangle covered by a 3-ary atom is acyclic (it has a join tree).
+	covered := NewCQ([]Term{Var("x")}, []Atom{
+		NewAtom("R", Var("x"), Var("y")),
+		NewAtom("R", Var("y"), Var("z")),
+		NewAtom("R", Var("z"), Var("x")),
+		NewAtom("T", Var("x"), Var("y"), Var("z")),
+	})
+	if !IsAcyclic(covered) {
+		t.Fatal("triangle plus covering atom is acyclic")
+	}
+	star := NewCQ([]Term{Var("x")}, []Atom{
+		NewAtom("R", Var("x"), Var("a")),
+		NewAtom("R", Var("x"), Var("b")),
+		NewAtom("R", Var("x"), Var("c")),
+	})
+	if !IsAcyclic(star) {
+		t.Fatal("star query is acyclic")
+	}
+}
+
+func TestQ0IsAcyclic(t *testing.T) {
+	// Q0 from Example 1.1 is an ACQ per Section 4.
+	q0 := NewCQ([]Term{Var("mid")}, []Atom{
+		NewAtom("person", Var("xp"), Var("xp2"), Cst("NASA")),
+		NewAtom("movie", Var("mid"), Var("ym"), Cst("Universal"), Cst("2014")),
+		NewAtom("like", Var("xp"), Var("mid"), Cst("movie")),
+		NewAtom("rating", Var("mid"), Cst("5")),
+	})
+	if !IsAcyclic(q0) {
+		t.Fatal("Q0 must be acyclic (Example 1.1)")
+	}
+}
+
+func TestVarsAndConstants(t *testing.T) {
+	q := NewCQ([]Term{Var("x"), Cst("k")},
+		[]Atom{NewAtom("R", Var("y"), Cst("c1"))},
+		Equality{L: Var("z"), R: Cst("c2")})
+	vars := q.Vars()
+	if len(vars) != 3 || vars[0] != "x" || vars[1] != "y" || vars[2] != "z" {
+		t.Fatalf("vars: %v", vars)
+	}
+	consts := q.Constants()
+	if len(consts) != 3 {
+		t.Fatalf("constants: %v", consts)
+	}
+}
+
+func TestCanonicalStability(t *testing.T) {
+	q1 := NewCQ([]Term{Var("x")},
+		[]Atom{NewAtom("R", Var("x"), Var("y")), NewAtom("S", Var("y"))})
+	q2 := NewCQ([]Term{Var("x")},
+		[]Atom{NewAtom("S", Var("y")), NewAtom("R", Var("x"), Var("y"))})
+	if q1.Canonical() != q2.Canonical() {
+		t.Fatal("canonical form must be atom-order invariant")
+	}
+}

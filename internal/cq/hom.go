@@ -1,0 +1,334 @@
+package cq
+
+import (
+	"sort"
+)
+
+// FrozenPrefix marks frozen variables in canonical (tableau) instances.
+// User-supplied constants never start with a NUL byte, so frozen values
+// cannot collide with real constants.
+const FrozenPrefix = "\x00v:"
+
+// FreezeVar returns the frozen-constant encoding of variable v.
+func FreezeVar(v string) string { return FrozenPrefix + v }
+
+// Tableau is the canonical instance T_Q of a (normalized) CQ: every atom
+// becomes a tuple, with variables frozen as constants. Head is the frozen
+// summary ū.
+type Tableau struct {
+	Rows map[string][][]string // relation name -> tuples
+	Head []string              // frozen head terms
+}
+
+// Freeze builds the tableau of q. The query must be normalized (no
+// equality conditions); Freeze normalizes it first and returns an error
+// only via ok=false when the query is inconsistent.
+func Freeze(q *CQ) (*Tableau, bool) {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, false
+	}
+	t := &Tableau{Rows: make(map[string][][]string)}
+	for _, a := range n.Atoms {
+		row := make([]string, len(a.Args))
+		for i, tm := range a.Args {
+			row[i] = freezeTerm(tm)
+		}
+		t.Rows[a.Rel] = append(t.Rows[a.Rel], row)
+	}
+	t.Head = make([]string, len(n.Head))
+	for i, tm := range n.Head {
+		t.Head[i] = freezeTerm(tm)
+	}
+	return t, true
+}
+
+func freezeTerm(t Term) string {
+	if t.Const {
+		return t.Val
+	}
+	return FreezeVar(t.Val)
+}
+
+// AddRows merges extra rows (e.g. another tableau) into t, deduplicating.
+func (t *Tableau) AddRows(other map[string][][]string) {
+	for rel, rows := range other {
+		seen := make(map[string]struct{}, len(t.Rows[rel]))
+		for _, r := range t.Rows[rel] {
+			seen[rowKey(r)] = struct{}{}
+		}
+		for _, r := range rows {
+			k := rowKey(r)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			t.Rows[rel] = append(t.Rows[rel], r)
+		}
+	}
+}
+
+func rowKey(r []string) string {
+	out := ""
+	for i, v := range r {
+		if i > 0 {
+			out += "\x1f"
+		}
+		out += v
+	}
+	return out
+}
+
+// homSearch finds homomorphisms from the atoms of a normalized CQ into a
+// target set of rows. Bindings map variable names to target values;
+// constants must match exactly. fixed pre-binds variables (used to require
+// a specific head image).
+type homSearch struct {
+	atoms  []Atom
+	target map[string][][]string
+	bind   map[string]string
+}
+
+// orderAtoms orders atoms to bind variables early: greedily pick the atom
+// with the most already-bound terms, tie-broken by fewer candidate rows.
+func (h *homSearch) orderAtoms() []Atom {
+	remaining := append([]Atom(nil), h.atoms...)
+	bound := make(map[string]bool, len(h.bind))
+	for v := range h.bind {
+		bound[v] = true
+	}
+	var out []Atom
+	for len(remaining) > 0 {
+		best, bestScore := -1, -1<<60
+		for i, a := range remaining {
+			score := 0
+			for _, t := range a.Args {
+				if t.Const || bound[t.Val] {
+					score += 1000
+				}
+			}
+			score -= len(h.target[a.Rel])
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, t := range a.Args {
+			if !t.Const {
+				bound[t.Val] = true
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// run reports whether a homomorphism exists, invoking found for each
+// complete binding; found returning false stops the search.
+func (h *homSearch) run(found func(map[string]string) bool) bool {
+	ordered := h.orderAtoms()
+	var rec func(i int) bool
+	stopped := false
+	rec = func(i int) bool {
+		if stopped {
+			return true
+		}
+		if i == len(ordered) {
+			if !found(h.bind) {
+				stopped = true
+			}
+			return true
+		}
+		a := ordered[i]
+		rows := h.target[a.Rel]
+	nextRow:
+		for _, row := range rows {
+			if len(row) != len(a.Args) {
+				continue
+			}
+			var newly []string
+			for j, t := range a.Args {
+				want := row[j]
+				if t.Const {
+					if t.Val != want {
+						for _, v := range newly {
+							delete(h.bind, v)
+						}
+						continue nextRow
+					}
+					continue
+				}
+				if cur, ok := h.bind[t.Val]; ok {
+					if cur != want {
+						for _, v := range newly {
+							delete(h.bind, v)
+						}
+						continue nextRow
+					}
+					continue
+				}
+				h.bind[t.Val] = want
+				newly = append(newly, t.Val)
+			}
+			matched := rec(i + 1)
+			for _, v := range newly {
+				delete(h.bind, v)
+			}
+			if matched && stopped {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+	return stopped
+}
+
+// HasHomomorphism reports whether there is a homomorphism from the
+// normalized query q into target with the given pre-bindings.
+func HasHomomorphism(q *CQ, target map[string][][]string, fixed map[string]string) bool {
+	bind := make(map[string]string, len(fixed))
+	for k, v := range fixed {
+		bind[k] = v
+	}
+	h := &homSearch{atoms: q.Atoms, target: target, bind: bind}
+	return h.run(func(map[string]string) bool { return false })
+}
+
+// EvalOnRows evaluates a CQ over a small row set (e.g. a tableau),
+// returning the distinct head images. Used by A-containment checks, the
+// hardness gadget tests and small-instance property tests; the production
+// evaluation engine lives in internal/eval.
+func EvalOnRows(q *CQ, target map[string][][]string) ([][]string, bool) {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, true // unsatisfiable query: empty result
+	}
+	seen := make(map[string]struct{})
+	var out [][]string
+	h := &homSearch{atoms: n.Atoms, target: target, bind: map[string]string{}}
+	complete := true
+	h.run(func(bind map[string]string) bool {
+		row := make([]string, len(n.Head))
+		for i, t := range n.Head {
+			if t.Const {
+				row[i] = t.Val
+			} else if v, ok := bind[t.Val]; ok {
+				row[i] = v
+			} else {
+				// Head variable not bound by any atom: the query is unsafe
+				// over this formalism; report incompleteness.
+				complete = false
+				return false
+			}
+		}
+		k := rowKey(row)
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out = append(out, row)
+		}
+		return true
+	})
+	return out, complete
+}
+
+// AnswerOnRows reports whether row tuple ans is in q's answer over target.
+func AnswerOnRows(q *CQ, target map[string][][]string, ans []string) bool {
+	n, err := q.Normalize()
+	if err != nil {
+		return false
+	}
+	if len(ans) != len(n.Head) {
+		return false
+	}
+	fixed := make(map[string]string)
+	for i, t := range n.Head {
+		if t.Const {
+			if t.Val != ans[i] {
+				return false
+			}
+			continue
+		}
+		if cur, ok := fixed[t.Val]; ok {
+			if cur != ans[i] {
+				return false
+			}
+			continue
+		}
+		fixed[t.Val] = ans[i]
+	}
+	return HasHomomorphism(n, target, fixed)
+}
+
+// Contained reports classical containment q1 ⊑ q2 (Chandra-Merlin): freeze
+// q1 and test whether q1's frozen head is an answer of q2 over T_{q1}.
+// An inconsistent q1 is contained in everything.
+func Contained(q1, q2 *CQ) bool {
+	t, ok := Freeze(q1)
+	if !ok {
+		return true
+	}
+	return AnswerOnRows(q2, t.Rows, t.Head)
+}
+
+// ContainedInUCQ reports q1 ⊑ u for a CQ q1 and UCQ u.
+func ContainedInUCQ(q1 *CQ, u *UCQ) bool {
+	t, ok := Freeze(q1)
+	if !ok {
+		return true
+	}
+	for _, d := range u.Disjuncts {
+		if AnswerOnRows(d, t.Rows, t.Head) {
+			return true
+		}
+	}
+	return false
+}
+
+// UCQContained reports u1 ⊑ u2 for UCQs: every disjunct of u1 is contained
+// in u2.
+func UCQContained(u1, u2 *UCQ) bool {
+	for _, d := range u1.Disjuncts {
+		if !ContainedInUCQ(d, u2) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports classical equivalence of CQs.
+func Equivalent(q1, q2 *CQ) bool { return Contained(q1, q2) && Contained(q2, q1) }
+
+// SortRows sorts a row set lexicographically; helper for deterministic
+// comparison in tests and experiment output.
+func SortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// RowsEqual reports set equality of two row sets.
+func RowsEqual(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]int, len(a))
+	for _, r := range a {
+		seen[rowKey(r)]++
+	}
+	for _, r := range b {
+		k := rowKey(r)
+		if seen[k] == 0 {
+			return false
+		}
+		seen[k]--
+	}
+	return true
+}

@@ -1,0 +1,170 @@
+package cq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ErrInconsistent is returned when normalization equates two distinct
+// constants, making the query unsatisfiable on all instances.
+var ErrInconsistent = fmt.Errorf("cq: equality conditions equate distinct constants")
+
+// unionFind resolves the equality conditions of a query: each class holds
+// at most one constant; two constants in one class is an inconsistency.
+type unionFind struct {
+	parent map[string]string // variable -> parent variable
+	cnst   map[string]string // root variable -> constant value (if any)
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[string]string), cnst: make(map[string]string)}
+}
+
+func (u *unionFind) find(v string) string {
+	p, ok := u.parent[v]
+	if !ok {
+		u.parent[v] = v
+		return v
+	}
+	if p == v {
+		return v
+	}
+	r := u.find(p)
+	u.parent[v] = r
+	return r
+}
+
+// uniteVars merges the classes of variables a and b.
+func (u *unionFind) uniteVars(a, b string) error {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return nil
+	}
+	ca, okA := u.cnst[ra]
+	cb, okB := u.cnst[rb]
+	if okA && okB && ca != cb {
+		return ErrInconsistent
+	}
+	u.parent[rb] = ra
+	if okB && !okA {
+		u.cnst[ra] = cb
+	}
+	delete(u.cnst, rb)
+	return nil
+}
+
+// bindConst binds variable v's class to constant c.
+func (u *unionFind) bindConst(v, c string) error {
+	r := u.find(v)
+	if cur, ok := u.cnst[r]; ok {
+		if cur != c {
+			return ErrInconsistent
+		}
+		return nil
+	}
+	u.cnst[r] = c
+	return nil
+}
+
+// resolve maps a term to its representative term after unification.
+func (u *unionFind) resolve(t Term) Term {
+	if t.Const {
+		return t
+	}
+	r := u.find(t.Val)
+	if c, ok := u.cnst[r]; ok {
+		return Cst(c)
+	}
+	return Var(r)
+}
+
+// Normalize applies the equality conditions of q, replacing every term by
+// its class representative and dropping the equalities. The result has
+// Eqs == nil. It returns ErrInconsistent if two distinct constants are
+// equated (the query is unsatisfiable); callers that enumerate element
+// queries rely on this to discard unsatisfiable candidates (Section 3.1).
+func (q *CQ) Normalize() (*CQ, error) {
+	u := newUnionFind()
+	for _, e := range q.Eqs {
+		switch {
+		case !e.L.Const && !e.R.Const:
+			if err := u.uniteVars(e.L.Val, e.R.Val); err != nil {
+				return nil, err
+			}
+		case !e.L.Const && e.R.Const:
+			if err := u.bindConst(e.L.Val, e.R.Val); err != nil {
+				return nil, err
+			}
+		case e.L.Const && !e.R.Const:
+			if err := u.bindConst(e.R.Val, e.L.Val); err != nil {
+				return nil, err
+			}
+		default:
+			if e.L.Val != e.R.Val {
+				return nil, ErrInconsistent
+			}
+		}
+	}
+	out := &CQ{Name: q.Name, Head: make([]Term, len(q.Head)), Atoms: make([]Atom, len(q.Atoms))}
+	for i, t := range q.Head {
+		out.Head[i] = u.resolve(t)
+	}
+	for i, a := range q.Atoms {
+		na := Atom{Rel: a.Rel, Args: make([]Term, len(a.Args))}
+		for j, t := range a.Args {
+			na.Args[j] = u.resolve(t)
+		}
+		out.Atoms[i] = na
+	}
+	out.dedupeAtoms()
+	return out, nil
+}
+
+// dedupeAtoms removes duplicate atoms (identical after normalization),
+// preserving order of first occurrence.
+func (q *CQ) dedupeAtoms() {
+	seen := make(map[string]struct{}, len(q.Atoms))
+	w := 0
+	for _, a := range q.Atoms {
+		k := a.String()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		q.Atoms[w] = a
+		w++
+	}
+	q.Atoms = q.Atoms[:w]
+}
+
+// Canonical returns a canonical string for the normalized query, invariant
+// under atom order (but not under variable renaming). Used for memoization
+// and deduplication of candidate element queries.
+func (q *CQ) Canonical() string {
+	atoms := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.String()
+	}
+	sort.Strings(atoms)
+	head := make([]string, len(q.Head))
+	for i, t := range q.Head {
+		head[i] = t.String()
+	}
+	eqs := make([]string, len(q.Eqs))
+	for i, e := range q.Eqs {
+		eqs[i] = e.String()
+	}
+	sort.Strings(eqs)
+	return "(" + join(head) + ")<-" + join(atoms) + "|" + join(eqs)
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ";"
+		}
+		out += p
+	}
+	return out
+}

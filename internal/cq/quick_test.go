@@ -1,0 +1,151 @@
+package cq
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// randomCQ decodes a byte string into a small conjunctive query over a
+// binary relation E with variables v0..v3 and constants c0..c2.
+func randomCQ(data []byte) *CQ {
+	term := func(b byte) Term {
+		if b%5 < 3 {
+			return Var(fmt.Sprintf("v%d", b%4))
+		}
+		return Cst(fmt.Sprintf("c%d", b%3))
+	}
+	q := &CQ{}
+	for i := 0; i+1 < len(data) && len(q.Atoms) < 4; i += 2 {
+		q.Atoms = append(q.Atoms, NewAtom("E", term(data[i]), term(data[i+1])))
+	}
+	if len(q.Atoms) == 0 {
+		q.Atoms = append(q.Atoms, NewAtom("E", Var("v0"), Var("v1")))
+	}
+	// Head: the first variable occurring, if any.
+	for _, a := range q.Atoms {
+		for _, t := range a.Args {
+			if !t.Const {
+				q.Head = []Term{t}
+				return q
+			}
+		}
+	}
+	q.Head = nil
+	return q
+}
+
+// Property: containment is reflexive.
+func TestQuickContainmentReflexive(t *testing.T) {
+	f := func(data []byte) bool {
+		q := randomCQ(data)
+		return Contained(q, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalization is idempotent.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(data []byte, eqPairs []byte) bool {
+		q := randomCQ(data)
+		for i := 0; i+1 < len(eqPairs) && i < 6; i += 2 {
+			l := Var(fmt.Sprintf("v%d", eqPairs[i]%4))
+			var r Term
+			if eqPairs[i+1]%2 == 0 {
+				r = Var(fmt.Sprintf("v%d", eqPairs[i+1]%4))
+			} else {
+				r = Cst(fmt.Sprintf("c%d", eqPairs[i+1]%3))
+			}
+			q.Eqs = append(q.Eqs, Equality{L: l, R: r})
+		}
+		n1, err := q.Normalize()
+		if err != nil {
+			return true // inconsistent: nothing to check
+		}
+		n2, err := n1.Normalize()
+		if err != nil {
+			return false
+		}
+		return n1.Canonical() == n2.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding an atom can only shrink the answer (monotone
+// specialization): q ∧ extra ⊑ q.
+func TestQuickConjunctionSpecializes(t *testing.T) {
+	f := func(data []byte, extraL, extraR byte) bool {
+		q := randomCQ(data)
+		ext := q.Clone()
+		term := func(b byte) Term {
+			if b%2 == 0 {
+				return Var(fmt.Sprintf("v%d", b%4))
+			}
+			return Cst(fmt.Sprintf("c%d", b%3))
+		}
+		ext.Atoms = append(ext.Atoms, NewAtom("E", term(extraL), term(extraR)))
+		return Contained(ext, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the frozen head of a satisfiable query is an answer over its
+// own tableau (the canonical-instance property behind Chandra-Merlin).
+func TestQuickCanonicalInstanceAnswers(t *testing.T) {
+	f := func(data []byte) bool {
+		q := randomCQ(data)
+		tab, ok := Freeze(q)
+		if !ok {
+			return true
+		}
+		return AnswerOnRows(q, tab.Rows, tab.Head)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: evaluation respects containment — if q1 ⊑ q2 then on every
+// instance q1's answers are a subset of q2's.
+func TestQuickContainmentSoundOnInstances(t *testing.T) {
+	f := func(data1, data2 []byte, edges [][2]byte) bool {
+		q1 := randomCQ(data1)
+		q2 := randomCQ(data2)
+		if len(q1.Head) != len(q2.Head) {
+			return true
+		}
+		if !Contained(q1, q2) {
+			return true
+		}
+		rows := map[string][][]string{}
+		for _, e := range edges {
+			rows["E"] = append(rows["E"], []string{
+				fmt.Sprintf("c%d", e[0]%3), fmt.Sprintf("c%d", e[1]%3),
+			})
+		}
+		a1, ok1 := EvalOnRows(q1, rows)
+		a2, ok2 := EvalOnRows(q2, rows)
+		if !ok1 || !ok2 {
+			return true
+		}
+		seen := map[string]bool{}
+		for _, r := range a2 {
+			seen[fmt.Sprint(r)] = true
+		}
+		for _, r := range a1 {
+			if !seen[fmt.Sprint(r)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+package cq
+
+// SubstituteCQ applies a simultaneous substitution of variables by terms to
+// head, atoms and equalities. Unlike sequential renaming, chains like
+// {a→b, b→c} do not cascade.
+func SubstituteCQ(q *CQ, sub map[string]Term) *CQ {
+	apply := func(t Term) Term {
+		if t.Const {
+			return t
+		}
+		if r, ok := sub[t.Val]; ok {
+			return r
+		}
+		return t
+	}
+	out := &CQ{Name: q.Name, Head: make([]Term, len(q.Head)), Atoms: make([]Atom, len(q.Atoms)), Eqs: make([]Equality, len(q.Eqs))}
+	for i, t := range q.Head {
+		out.Head[i] = apply(t)
+	}
+	for i, a := range q.Atoms {
+		na := Atom{Rel: a.Rel, Args: make([]Term, len(a.Args))}
+		for j, t := range a.Args {
+			na.Args[j] = apply(t)
+		}
+		out.Atoms[i] = na
+	}
+	for i, e := range q.Eqs {
+		out.Eqs[i] = Equality{L: apply(e.L), R: apply(e.R)}
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+// Package eval is the direct query-evaluation engine: it computes Q(D) by
+// scanning and joining full relations, the way an engine without access
+// constraints must. It serves two roles: (1) the baseline that bounded
+// plans are compared against in the experiments, and (2) the reference
+// semantics for correctness tests of plans and rewritings.
+//
+// CQ/UCQ evaluation uses constant pushdown and left-deep hash joins. FO
+// evaluation is structural over safe-range formulas (RANF-style): positive
+// conjuncts are joined first, comparisons filter or extend, negated
+// conjuncts anti-join, disjuncts union, quantifiers project.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/fo"
+	"repro/internal/instance"
+)
+
+// Source resolves relation (or view) names to row sets.
+type Source struct {
+	DB    *instance.Database
+	Views map[string][][]string
+}
+
+// Rows returns the rows of a relation or materialized view.
+func (s *Source) Rows(rel string) ([][]string, bool) {
+	if s.DB != nil {
+		if t := s.DB.Table(rel); t != nil {
+			rows := make([][]string, len(t.Tuples))
+			for i, tu := range t.Tuples {
+				rows[i] = tu
+			}
+			return rows, true
+		}
+	}
+	if s.Views != nil {
+		if rows, ok := s.Views[rel]; ok {
+			return rows, true
+		}
+	}
+	return nil, false
+}
+
+// CQOnDB evaluates a conjunctive query over the source with set semantics.
+func CQOnDB(q *cq.CQ, src *Source) ([][]string, error) {
+	n, err := q.Normalize()
+	if err != nil {
+		return nil, nil // unsatisfiable
+	}
+	if len(n.Atoms) == 0 {
+		// Pure constant query: the head must be all-constant.
+		row := make([]string, len(n.Head))
+		for i, t := range n.Head {
+			if !t.Const {
+				return nil, fmt.Errorf("eval: unsafe query, unbound head variable %s", t.Val)
+			}
+			row[i] = t.Val
+		}
+		return [][]string{row}, nil
+	}
+	atoms := orderAtoms(n.Atoms, src)
+
+	// Bindings are rows over varOrder.
+	var varOrder []string
+	varPos := map[string]int{}
+	bindings := [][]string{{}}
+
+	for _, at := range atoms {
+		rows, ok := src.Rows(at.Rel)
+		if !ok {
+			return nil, fmt.Errorf("eval: unknown relation %s", at.Rel)
+		}
+		// Classify argument positions.
+		var joinUses []varUse // variables already bound
+		var newUses []varUse  // first occurrence of a variable in this atom
+		newSeen := map[string]int{}
+		for i, t := range at.Args {
+			if t.Const {
+				continue
+			}
+			if _, bound := varPos[t.Val]; bound {
+				joinUses = append(joinUses, varUse{i, t.Val})
+			} else if p, dup := newSeen[t.Val]; dup {
+				// Repeated new variable within the atom: equality filter.
+				joinUses = append(joinUses, varUse{i, "\x00self:" + fmt.Sprint(p)})
+			} else {
+				newSeen[t.Val] = i
+				newUses = append(newUses, varUse{i, t.Val})
+			}
+		}
+		// Filter rows by constants and intra-atom repeats, index by join key.
+		index := map[string][][]string{}
+	rowLoop:
+		for _, r := range rows {
+			if len(r) != len(at.Args) {
+				continue
+			}
+			for i, t := range at.Args {
+				if t.Const && r[i] != t.Val {
+					continue rowLoop
+				}
+			}
+			for v, first := range newSeen {
+				for i, t := range at.Args {
+					if !t.Const && t.Val == v && r[i] != r[first] {
+						continue rowLoop
+					}
+				}
+			}
+			key := joinKeyRow(r, joinUses)
+			index[key] = append(index[key], r)
+		}
+		// Extend bindings.
+		next := make([][]string, 0, len(bindings))
+		for _, b := range bindings {
+			key := joinKeyBinding(b, varPos, joinUses)
+			for _, r := range index[key] {
+				nb := make([]string, len(b), len(b)+len(newUses))
+				copy(nb, b)
+				for _, nu := range newUses {
+					nb = append(nb, r[nu.pos])
+				}
+				next = append(next, nb)
+			}
+		}
+		for _, nu := range newUses {
+			varPos[nu.name] = len(varOrder)
+			varOrder = append(varOrder, nu.name)
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil, nil
+		}
+	}
+
+	// Project the head.
+	seen := map[string]bool{}
+	var out [][]string
+	for _, b := range bindings {
+		row := make([]string, len(n.Head))
+		for i, t := range n.Head {
+			if t.Const {
+				row[i] = t.Val
+				continue
+			}
+			p, ok := varPos[t.Val]
+			if !ok {
+				return nil, fmt.Errorf("eval: unsafe query, unbound head variable %s", t.Val)
+			}
+			row[i] = b[p]
+		}
+		k := instance.Tuple(row).Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// varUse records that an atom argument position uses a named variable.
+type varUse struct {
+	pos  int
+	name string
+}
+
+// joinKeyRow keys a candidate row by its join positions. Self-join markers
+// ("\x00self:p") compare against position p of the same row, so they do not
+// participate in the cross-binding key; they were filtered already.
+func joinKeyRow(r []string, uses []varUse) string {
+	var b strings.Builder
+	for _, u := range uses {
+		if strings.HasPrefix(u.name, "\x00self:") {
+			continue
+		}
+		b.WriteString(r[u.pos])
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+func joinKeyBinding(bnd []string, varPos map[string]int, uses []varUse) string {
+	var b strings.Builder
+	for _, u := range uses {
+		if strings.HasPrefix(u.name, "\x00self:") {
+			continue
+		}
+		b.WriteString(bnd[varPos[u.name]])
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// orderAtoms greedily orders atoms to maximize already-bound variables and
+// prefer smaller relations, the same heuristic as the containment engine.
+func orderAtoms(atoms []cq.Atom, src *Source) []cq.Atom {
+	remaining := append([]cq.Atom(nil), atoms...)
+	bound := map[string]bool{}
+	var out []cq.Atom
+	for len(remaining) > 0 {
+		best, bestScore := -1, -1<<60
+		for i, a := range remaining {
+			score := 0
+			for _, t := range a.Args {
+				if t.Const || bound[t.Val] {
+					score += 1 << 20
+				}
+			}
+			if rows, ok := src.Rows(a.Rel); ok {
+				score -= len(rows)
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, t := range a.Args {
+			if !t.Const {
+				bound[t.Val] = true
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// UCQOnDB evaluates a union of conjunctive queries with set semantics.
+func UCQOnDB(u *cq.UCQ, src *Source) ([][]string, error) {
+	seen := map[string]bool{}
+	var out [][]string
+	for _, d := range u.Disjuncts {
+		rows, err := CQOnDB(d, src)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			k := instance.Tuple(r).Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SortRows sorts rows lexicographically, for deterministic output.
+func SortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// Materialize computes the extents of a set of views (UCQ definitions) over
+// the database, for caching as plan inputs.
+func Materialize(views map[string]*cq.UCQ, db *instance.Database) (map[string][][]string, error) {
+	src := &Source{DB: db}
+	out := make(map[string][][]string, len(views))
+	for name, def := range views {
+		rows, err := UCQOnDB(def, src)
+		if err != nil {
+			return nil, fmt.Errorf("eval: view %s: %w", name, err)
+		}
+		out[name] = rows
+	}
+	return out, nil
+}
+
+var _ = fo.Query{} // fo evaluation lives in fo_eval.go

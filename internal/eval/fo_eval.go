@@ -1,0 +1,651 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cq"
+	"repro/internal/fo"
+	"repro/internal/instance"
+)
+
+// relation is an intermediate FO-evaluation result: a set of rows over
+// named columns (sorted column order).
+type relation struct {
+	cols []string
+	rows [][]string
+}
+
+func (r *relation) key(row []string) string { return instance.Tuple(row).Key() }
+
+// FOOnDB evaluates a safe-range FO query over the source with set
+// semantics. Universal quantifiers and implications are desugared first.
+// It returns an error when the formula falls outside the supported
+// safe-range discipline (e.g. a negation whose free variables are not
+// bound by a positive conjunct).
+func FOOnDB(q *fo.Query, src *Source) ([][]string, error) {
+	body := fo.Desugar(fo.Rectify(q.Body))
+	rel, err := evalExpr(body, src)
+	if err != nil {
+		return nil, err
+	}
+	// Align columns to the head order.
+	pos := make([]int, len(q.Head))
+	for i, h := range q.Head {
+		p := indexOfStr(rel.cols, h)
+		if p < 0 {
+			return nil, fmt.Errorf("eval: head variable %s not produced by the body", h)
+		}
+		pos[i] = p
+	}
+	seen := map[string]bool{}
+	var out [][]string
+	for _, r := range rel.rows {
+		row := make([]string, len(pos))
+		for i, p := range pos {
+			row[i] = r[p]
+		}
+		k := instance.Tuple(row).Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func evalExpr(e fo.Expr, src *Source) (*relation, error) {
+	switch x := e.(type) {
+	case *fo.Atom:
+		return evalAtom(x, src)
+	case *fo.Or:
+		l, err := evalExpr(x.L, src)
+		if err != nil {
+			return nil, err
+		}
+		r, err := evalExpr(x.R, src)
+		if err != nil {
+			return nil, err
+		}
+		return unionRel(l, r)
+	case *fo.Exists:
+		inner, err := evalExpr(x.E, src)
+		if err != nil {
+			return nil, err
+		}
+		return projectOut(inner, x.Vars), nil
+	case *fo.And:
+		return evalAnd(conjunctList(x), src)
+	case *fo.Cmp:
+		// A bare comparison: only const=const is domain-independent.
+		if x.L.Const && x.R.Const {
+			ok := (x.L.Val == x.R.Val) != x.Neq
+			rel := &relation{}
+			if ok {
+				rel.rows = [][]string{{}}
+			}
+			return rel, nil
+		}
+		return nil, fmt.Errorf("eval: comparison %s is not range-restricted outside a conjunction", x)
+	case *fo.Not:
+		// A bare negation of a closed formula.
+		if len(x.E.FreeVars()) == 0 {
+			inner, err := evalExpr(x.E, src)
+			if err != nil {
+				return nil, err
+			}
+			rel := &relation{}
+			if len(inner.rows) == 0 {
+				rel.rows = [][]string{{}}
+			}
+			return rel, nil
+		}
+		// Negation with free variables outside a conjunction: complement
+		// relative to the active domain (classical active-domain
+		// semantics; sound for domain-independent formulas such as the
+		// size-bounded guards of Section 5.3).
+		return complementRel(x.E, src)
+	default:
+		return nil, fmt.Errorf("eval: unsupported formula %T (desugar first)", e)
+	}
+}
+
+// evalAnd evaluates a conjunction with the RANF discipline: positive
+// relational conjuncts join first; equalities extend or filter;
+// inequalities filter; negations anti-join once their variables are bound.
+func evalAnd(conj []fo.Expr, src *Source) (*relation, error) {
+	var positives []fo.Expr
+	var cmps []*fo.Cmp
+	var negs []fo.Expr
+	for _, c := range conj {
+		switch y := c.(type) {
+		case *fo.Cmp:
+			cmps = append(cmps, y)
+		case *fo.Not:
+			negs = append(negs, y.E)
+		default:
+			positives = append(positives, c)
+		}
+	}
+	cur := &relation{rows: [][]string{{}}}
+	var err error
+	for _, p := range positives {
+		var rel *relation
+		rel, err = evalExpr(p, src)
+		if err != nil {
+			return nil, err
+		}
+		cur = joinRel(cur, rel)
+	}
+	// Apply equality extensions repeatedly until fixpoint, then filters.
+	pending := append([]*fo.Cmp(nil), cmps...)
+	for {
+		progressed := false
+		var rest []*fo.Cmp
+		for _, c := range pending {
+			applied, err2 := applyCmp(cur, c)
+			if err2 != nil {
+				return nil, err2
+			}
+			if applied {
+				progressed = true
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		pending = rest
+		if len(pending) == 0 {
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("eval: comparison %s over unbound variables", pending[0])
+		}
+	}
+	for _, neg := range negs {
+		cur, err = antiJoin(cur, neg, src)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// applyCmp applies one comparison to the relation if its variables permit:
+// filter when both sides are bound (or constants); extend when an equality
+// has exactly one bound/constant side. Returns false when neither side is
+// available yet.
+func applyCmp(cur *relation, c *fo.Cmp) (bool, error) {
+	lBound := c.L.Const || indexOfStr(cur.cols, c.L.Val) >= 0
+	rBound := c.R.Const || indexOfStr(cur.cols, c.R.Val) >= 0
+	val := func(row []string, t cq.Term) string {
+		if t.Const {
+			return t.Val
+		}
+		return row[indexOfStr(cur.cols, t.Val)]
+	}
+	switch {
+	case lBound && rBound:
+		var kept [][]string
+		for _, r := range cur.rows {
+			if (val(r, c.L) == val(r, c.R)) != c.Neq {
+				kept = append(kept, r)
+			}
+		}
+		cur.rows = kept
+		return true, nil
+	case c.Neq:
+		return false, nil // ≠ can only filter
+	case lBound && !rBound:
+		cur.cols = append(cur.cols, c.R.Val)
+		for i, r := range cur.rows {
+			cur.rows[i] = append(r, val(r, c.L))
+		}
+		return true, nil
+	case rBound && !lBound:
+		cur.cols = append(cur.cols, c.L.Val)
+		for i, r := range cur.rows {
+			cur.rows[i] = append(r, val(r, c.R))
+		}
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// antiJoin removes rows for which the negated formula holds. The negated
+// formula's free variables must all be bound by cur (safe-range condition).
+func antiJoin(cur *relation, neg fo.Expr, src *Source) (*relation, error) {
+	fv := neg.FreeVars()
+	pos := make([]int, len(fv))
+	for i, v := range fv {
+		p := indexOfStr(cur.cols, v)
+		if p < 0 {
+			return nil, fmt.Errorf("eval: negation variable %s not bound by positive part", v)
+		}
+		pos[i] = p
+	}
+	rel, err := evalExpr(neg, src)
+	if err != nil {
+		return nil, err
+	}
+	// Key the negated relation on fv order.
+	npos := make([]int, len(fv))
+	for i, v := range fv {
+		p := indexOfStr(rel.cols, v)
+		if p < 0 {
+			return nil, fmt.Errorf("eval: negated formula does not produce variable %s", v)
+		}
+		npos[i] = p
+	}
+	bad := map[string]bool{}
+	for _, r := range rel.rows {
+		var b strings.Builder
+		for _, p := range npos {
+			b.WriteString(r[p])
+			b.WriteByte(0x1f)
+		}
+		bad[b.String()] = true
+	}
+	var kept [][]string
+	for _, r := range cur.rows {
+		var b strings.Builder
+		for _, p := range pos {
+			b.WriteString(r[p])
+			b.WriteByte(0x1f)
+		}
+		if !bad[b.String()] {
+			kept = append(kept, r)
+		}
+	}
+	return &relation{cols: cur.cols, rows: kept}, nil
+}
+
+// maxComplementRows caps the size of active-domain complements.
+const maxComplementRows = 4_000_000
+
+// complementRel evaluates ¬E over the active domain: it enumerates all
+// assignments of E's free variables over the active domain and keeps those
+// under which E is false, deciding E by direct model checking. This is the
+// classical active-domain semantics; it is sound for domain-independent
+// formulas such as the size-bounded guards of Section 5.3.
+func complementRel(e fo.Expr, src *Source) (*relation, error) {
+	fv := e.FreeVars()
+	dom := activeDomain(src)
+	total := 1
+	for range fv {
+		if total > maxComplementRows/max(1, len(dom)) {
+			return nil, fmt.Errorf("eval: active-domain complement of %s too large", e)
+		}
+		total *= max(1, len(dom))
+	}
+	mc := newModelChecker(src, dom)
+	out := &relation{cols: fv}
+	bind := map[string]string{}
+	row := make([]string, len(fv))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(fv) {
+			ok, err := mc.holds(e, bind)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				out.rows = append(out.rows, append([]string(nil), row...))
+			}
+			return nil
+		}
+		for _, v := range dom {
+			row[i] = v
+			bind[fv[i]] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(bind, fv[i])
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// modelChecker decides FO formulas under complete variable bindings over
+// the active domain.
+type modelChecker struct {
+	src  *Source
+	dom  []string
+	rels map[string]map[string]bool // relation -> row-key set
+}
+
+func newModelChecker(src *Source, dom []string) *modelChecker {
+	return &modelChecker{src: src, dom: dom, rels: map[string]map[string]bool{}}
+}
+
+func (m *modelChecker) rowSet(rel string) (map[string]bool, error) {
+	if s, ok := m.rels[rel]; ok {
+		return s, nil
+	}
+	rows, ok := m.src.Rows(rel)
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown relation %s", rel)
+	}
+	s := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		s[instance.Tuple(r).Key()] = true
+	}
+	m.rels[rel] = s
+	return s, nil
+}
+
+// holds decides e under bind; every free variable of e must be bound.
+func (m *modelChecker) holds(e fo.Expr, bind map[string]string) (bool, error) {
+	resolve := func(t cq.Term) (string, error) {
+		if t.Const {
+			return t.Val, nil
+		}
+		v, ok := bind[t.Val]
+		if !ok {
+			return "", fmt.Errorf("eval: unbound variable %s in model check", t.Val)
+		}
+		return v, nil
+	}
+	switch x := e.(type) {
+	case *fo.Atom:
+		set, err := m.rowSet(x.Rel)
+		if err != nil {
+			return false, err
+		}
+		row := make([]string, len(x.Args))
+		for i, t := range x.Args {
+			v, err := resolve(t)
+			if err != nil {
+				return false, err
+			}
+			row[i] = v
+		}
+		return set[instance.Tuple(row).Key()], nil
+	case *fo.Cmp:
+		l, err := resolve(x.L)
+		if err != nil {
+			return false, err
+		}
+		r, err := resolve(x.R)
+		if err != nil {
+			return false, err
+		}
+		return (l == r) != x.Neq, nil
+	case *fo.And:
+		ok, err := m.holds(x.L, bind)
+		if err != nil || !ok {
+			return false, err
+		}
+		return m.holds(x.R, bind)
+	case *fo.Or:
+		ok, err := m.holds(x.L, bind)
+		if err != nil || ok {
+			return ok, err
+		}
+		return m.holds(x.R, bind)
+	case *fo.Not:
+		ok, err := m.holds(x.E, bind)
+		return !ok, err
+	case *fo.Implies:
+		ok, err := m.holds(x.A, bind)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		return m.holds(x.B, bind)
+	case *fo.Exists:
+		return m.quant(x.Vars, x.E, bind, false)
+	case *fo.Forall:
+		return m.quant(x.Vars, x.E, bind, true)
+	default:
+		return false, fmt.Errorf("eval: unknown formula %T", e)
+	}
+}
+
+// quant enumerates assignments for the quantified variables; forall=false
+// searches for a witness, forall=true for a counterexample.
+func (m *modelChecker) quant(vars []string, e fo.Expr, bind map[string]string, forall bool) (bool, error) {
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(vars) {
+			ok, err := m.holds(e, bind)
+			if err != nil {
+				return false, err
+			}
+			return ok != forall, nil // witness (∃) or counterexample (∀)
+		}
+		saved, had := bind[vars[i]]
+		for _, v := range m.dom {
+			bind[vars[i]] = v
+			found, err := rec(i + 1)
+			if err != nil {
+				return false, err
+			}
+			if found {
+				if had {
+					bind[vars[i]] = saved
+				} else {
+					delete(bind, vars[i])
+				}
+				return true, nil
+			}
+		}
+		if had {
+			bind[vars[i]] = saved
+		} else {
+			delete(bind, vars[i])
+		}
+		return false, nil
+	}
+	found, err := rec(0)
+	if err != nil {
+		return false, err
+	}
+	return found != forall, nil // ∃: found witness; ∀: no counterexample
+}
+
+// activeDomain collects every value in the source (database and views).
+func activeDomain(src *Source) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(rows [][]string) {
+		for _, r := range rows {
+			for _, v := range r {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	if src.DB != nil {
+		for _, t := range src.DB.Tables {
+			rows := make([][]string, len(t.Tuples))
+			for i, tu := range t.Tuples {
+				rows[i] = tu
+			}
+			add(rows)
+		}
+	}
+	for _, rows := range src.Views {
+		add(rows)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func evalAtom(a *fo.Atom, src *Source) (*relation, error) {
+	rows, ok := src.Rows(a.Rel)
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown relation %s", a.Rel)
+	}
+	// Distinct variables in order of first occurrence.
+	var cols []string
+	first := map[string]int{}
+	for i, t := range a.Args {
+		if !t.Const {
+			if _, dup := first[t.Val]; !dup {
+				first[t.Val] = i
+				cols = append(cols, t.Val)
+			}
+		}
+	}
+	out := &relation{cols: cols}
+rowLoop:
+	for _, r := range rows {
+		if len(r) != len(a.Args) {
+			continue
+		}
+		for i, t := range a.Args {
+			if t.Const {
+				if r[i] != t.Val {
+					continue rowLoop
+				}
+			} else if r[i] != r[first[t.Val]] {
+				continue rowLoop
+			}
+		}
+		row := make([]string, len(cols))
+		for j, c := range cols {
+			row[j] = r[first[c]]
+		}
+		out.rows = append(out.rows, row)
+	}
+	out.rows = dedupeRows(out.rows)
+	return out, nil
+}
+
+func joinRel(l, r *relation) *relation {
+	// Natural join on shared columns.
+	var shared []string
+	for _, c := range r.cols {
+		if indexOfStr(l.cols, c) >= 0 {
+			shared = append(shared, c)
+		}
+	}
+	lpos := make([]int, len(shared))
+	rpos := make([]int, len(shared))
+	for i, c := range shared {
+		lpos[i] = indexOfStr(l.cols, c)
+		rpos[i] = indexOfStr(r.cols, c)
+	}
+	var extraCols []string
+	var extraPos []int
+	for i, c := range r.cols {
+		if indexOfStr(l.cols, c) < 0 {
+			extraCols = append(extraCols, c)
+			extraPos = append(extraPos, i)
+		}
+	}
+	index := map[string][][]string{}
+	for _, row := range r.rows {
+		var b strings.Builder
+		for _, p := range rpos {
+			b.WriteString(row[p])
+			b.WriteByte(0x1f)
+		}
+		index[b.String()] = append(index[b.String()], row)
+	}
+	out := &relation{cols: append(append([]string{}, l.cols...), extraCols...)}
+	for _, lrow := range l.rows {
+		var b strings.Builder
+		for _, p := range lpos {
+			b.WriteString(lrow[p])
+			b.WriteByte(0x1f)
+		}
+		for _, rrow := range index[b.String()] {
+			row := make([]string, 0, len(lrow)+len(extraPos))
+			row = append(row, lrow...)
+			for _, p := range extraPos {
+				row = append(row, rrow[p])
+			}
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}
+
+func unionRel(l, r *relation) (*relation, error) {
+	ls := append([]string(nil), l.cols...)
+	rs := append([]string(nil), r.cols...)
+	sort.Strings(ls)
+	sort.Strings(rs)
+	if strings.Join(ls, ",") != strings.Join(rs, ",") {
+		return nil, fmt.Errorf("eval: union of incompatible column sets %v and %v", l.cols, r.cols)
+	}
+	pos := make([]int, len(l.cols))
+	for i, c := range l.cols {
+		pos[i] = indexOfStr(r.cols, c)
+	}
+	out := &relation{cols: l.cols, rows: append([][]string{}, l.rows...)}
+	for _, rr := range r.rows {
+		row := make([]string, len(pos))
+		for i, p := range pos {
+			row[i] = rr[p]
+		}
+		out.rows = append(out.rows, row)
+	}
+	out.rows = dedupeRows(out.rows)
+	return out, nil
+}
+
+func projectOut(rel *relation, vars []string) *relation {
+	drop := map[string]bool{}
+	for _, v := range vars {
+		drop[v] = true
+	}
+	var cols []string
+	var pos []int
+	for i, c := range rel.cols {
+		if !drop[c] {
+			cols = append(cols, c)
+			pos = append(pos, i)
+		}
+	}
+	out := &relation{cols: cols}
+	for _, r := range rel.rows {
+		row := make([]string, len(pos))
+		for i, p := range pos {
+			row[i] = r[p]
+		}
+		out.rows = append(out.rows, row)
+	}
+	out.rows = dedupeRows(out.rows)
+	return out
+}
+
+func dedupeRows(rows [][]string) [][]string {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := instance.Tuple(r).Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func conjunctList(e fo.Expr) []fo.Expr {
+	if a, ok := e.(*fo.And); ok {
+		return append(conjunctList(a.L), conjunctList(a.R)...)
+	}
+	return []fo.Expr{e}
+}
+
+func indexOfStr(xs []string, s string) int {
+	for i, x := range xs {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+func maintFixture() (*schema.Schema, map[string]*cq.UCQ) {
+	s := schema.New(
+		schema.NewRelation("E", "A", "B"),
+		schema.NewRelation("L", "X"),
+	)
+	// V1(x,z): 2-paths; V2(x): labeled nodes with an out-edge.
+	v1 := cq.NewCQ([]cq.Term{cq.Var("x"), cq.Var("z")}, []cq.Atom{
+		cq.NewAtom("E", cq.Var("x"), cq.Var("y")),
+		cq.NewAtom("E", cq.Var("y"), cq.Var("z")),
+	})
+	v2 := cq.NewCQ([]cq.Term{cq.Var("x")}, []cq.Atom{
+		cq.NewAtom("L", cq.Var("x")),
+		cq.NewAtom("E", cq.Var("x"), cq.Var("y")),
+	})
+	return s, map[string]*cq.UCQ{"V1": cq.NewUCQ(v1), "V2": cq.NewUCQ(v2)}
+}
+
+func TestMaintainerInsertMatchesRecompute(t *testing.T) {
+	s, views := maintFixture()
+	db := instance.NewDatabase(s)
+	m, err := NewMaintainer(db, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	node := func() string { return fmt.Sprintf("n%d", rng.Intn(8)) }
+	for i := 0; i < 120; i++ {
+		if rng.Intn(4) == 0 {
+			if err := m.Insert("L", node()); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.Insert("E", node(), node()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%17 == 0 {
+			assertFresh(t, m, views)
+		}
+	}
+	assertFresh(t, m, views)
+}
+
+func TestMaintainerDeleteRefreshes(t *testing.T) {
+	s, views := maintFixture()
+	db := instance.NewDatabase(s)
+	m, err := NewMaintainer(db, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		if err := m.Insert("E", e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Insert("L", "a"); err != nil {
+		t.Fatal(err)
+	}
+	assertFresh(t, m, views)
+	if err := m.Delete("E", "b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	assertFresh(t, m, views)
+	if len(m.Views()["V1"]) != 0 {
+		t.Fatalf("after deleting b→c no 2-path remains, got %v", m.Views()["V1"])
+	}
+	// Deleting a non-existent tuple is a no-op.
+	if err := m.Delete("E", "zz", "zz"); err != nil {
+		t.Fatal(err)
+	}
+	assertFresh(t, m, views)
+}
+
+func TestMaintainerConstantAtomBinding(t *testing.T) {
+	// Views with constants in atoms must only react to matching inserts.
+	s := schema.New(schema.NewRelation("E", "A", "B"))
+	v := cq.NewCQ([]cq.Term{cq.Var("x")}, []cq.Atom{cq.NewAtom("E", cq.Cst("hub"), cq.Var("x"))})
+	views := map[string]*cq.UCQ{"V": cq.NewUCQ(v)}
+	db := instance.NewDatabase(s)
+	m, err := NewMaintainer(db, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert("E", "other", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Views()["V"]) != 0 {
+		t.Fatal("non-matching insert must not affect the view")
+	}
+	if err := m.Insert("E", "hub", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if !cq.RowsEqual(m.Views()["V"], [][]string{{"1"}}) {
+		t.Fatalf("got %v", m.Views()["V"])
+	}
+}
+
+func assertFresh(t *testing.T, m *Maintainer, views map[string]*cq.UCQ) {
+	t.Helper()
+	for name, def := range views {
+		want, err := UCQOnDB(def, &Source{DB: m.DB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cq.RowsEqual(m.Views()[name], want) {
+			SortRows(want)
+			got := append([][]string{}, m.Views()[name]...)
+			SortRows(got)
+			t.Fatalf("view %s stale:\ngot  %v\nwant %v", name, got, want)
+		}
+	}
+}

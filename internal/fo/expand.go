@@ -1,0 +1,134 @@
+package fo
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cq"
+)
+
+// ExpandViews replaces every atom naming a view by the view's definition
+// (a UCQ), with head positions bound to the atom's arguments and bound
+// variables freshened. The result mentions only base relations.
+func ExpandViews(e Expr, views map[string]*cq.UCQ) Expr {
+	counter := 0
+	fresh := func() string {
+		counter++
+		return "!v" + strconv.Itoa(counter)
+	}
+	var rec func(e Expr) Expr
+	rec = func(e Expr) Expr {
+		switch x := e.(type) {
+		case *Atom:
+			def, isView := views[x.Rel]
+			if !isView {
+				return x.clone()
+			}
+			var branches []Expr
+			for _, d := range def.Disjuncts {
+				branches = append(branches, expandDisjunct(d, x.Args, fresh))
+			}
+			if len(branches) == 0 {
+				// Empty view: unsatisfiable atom.
+				return Eq(cq.Cst("0"), cq.Cst("1"))
+			}
+			return Disj(branches...)
+		case *Cmp:
+			return x.clone()
+		case *And:
+			return &And{L: rec(x.L), R: rec(x.R)}
+		case *Or:
+			return &Or{L: rec(x.L), R: rec(x.R)}
+		case *Not:
+			return &Not{E: rec(x.E)}
+		case *Implies:
+			return &Implies{A: rec(x.A), B: rec(x.B)}
+		case *Exists:
+			return &Exists{Vars: append([]string(nil), x.Vars...), E: rec(x.E)}
+		case *Forall:
+			return &Forall{Vars: append([]string(nil), x.Vars...), E: rec(x.E)}
+		default:
+			panic(fmt.Sprintf("fo: unknown expression %T", e))
+		}
+	}
+	return rec(e)
+}
+
+// expandDisjunct instantiates one CQ disjunct of a view definition with the
+// call-site arguments: all variables of the disjunct are freshened, head
+// variables are equated with the argument terms, and body variables are
+// existentially quantified.
+func expandDisjunct(d *cq.CQ, args []cq.Term, fresh func() string) Expr {
+	sub := map[string]cq.Term{}
+	var exVars []string
+	for _, v := range d.Vars() {
+		nv := fresh()
+		sub[v] = cq.Var(nv)
+		exVars = append(exVars, nv)
+	}
+	var conj []Expr
+	for _, a := range d.Atoms {
+		na := &Atom{Rel: a.Rel, Args: make([]cq.Term, len(a.Args))}
+		for i, t := range a.Args {
+			na.Args[i] = applySub(t, sub)
+		}
+		conj = append(conj, na)
+	}
+	for _, e := range d.Eqs {
+		conj = append(conj, Eq(applySub(e.L, sub), applySub(e.R, sub)))
+	}
+	// Bind head positions to the call-site arguments.
+	for i, h := range d.Head {
+		if i >= len(args) {
+			break
+		}
+		conj = append(conj, Eq(applySub(h, sub), args[i]))
+	}
+	if len(conj) == 0 {
+		return Eq(cq.Cst("0"), cq.Cst("1"))
+	}
+	body := Conj(conj...)
+	if len(exVars) == 0 {
+		return body
+	}
+	return &Exists{Vars: exVars, E: body}
+}
+
+func applySub(t cq.Term, sub map[string]cq.Term) cq.Term {
+	if t.Const {
+		return t
+	}
+	if r, ok := sub[t.Val]; ok {
+		return r
+	}
+	return t
+}
+
+// PositiveApprox returns an ∃FO+ over-approximation of the formula: each
+// negated subformula is replaced by true (so the result's answers contain
+// the original's on every instance). Forall and Implies are desugared
+// first. Used for sound bounded-output checks on FO contexts.
+func PositiveApprox(e Expr) Expr {
+	t := func() Expr { return Eq(cq.Cst("⊤"), cq.Cst("⊤")) }
+	var rec func(e Expr) Expr
+	rec = func(e Expr) Expr {
+		switch x := e.(type) {
+		case *Atom, *Cmp:
+			if c, ok := e.(*Cmp); ok && c.Neq {
+				return t()
+			}
+			return e.clone()
+		case *And:
+			return &And{L: rec(x.L), R: rec(x.R)}
+		case *Or:
+			return &Or{L: rec(x.L), R: rec(x.R)}
+		case *Not:
+			return t()
+		case *Exists:
+			return &Exists{Vars: append([]string(nil), x.Vars...), E: rec(x.E)}
+		default:
+			panic(fmt.Sprintf("fo: PositiveApprox expects a desugared formula, got %T", e))
+		}
+	}
+	return rec(Desugar(e))
+}

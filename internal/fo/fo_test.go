@@ -1,0 +1,234 @@
+package fo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func atom(rel string, args ...cq.Term) *Atom { return NewAtom(rel, args...) }
+
+func TestFreeVars(t *testing.T) {
+	e := &Exists{Vars: []string{"y"}, E: &And{
+		L: atom("R", cq.Var("x"), cq.Var("y")),
+		R: Eq(cq.Var("z"), cq.Cst("c")),
+	}}
+	fv := e.FreeVars()
+	if len(fv) != 2 || fv[0] != "x" || fv[1] != "z" {
+		t.Fatalf("free vars: %v", fv)
+	}
+}
+
+func TestRectifyMakesBoundVarsDistinct(t *testing.T) {
+	// ∃x R(x) ∧ ∃x S(x): the two x's must get distinct names.
+	e := &And{
+		L: &Exists{Vars: []string{"x"}, E: atom("R", cq.Var("x"))},
+		R: &Exists{Vars: []string{"x"}, E: atom("S", cq.Var("x"))},
+	}
+	r := Rectify(e).(*And)
+	l := r.L.(*Exists)
+	rr := r.R.(*Exists)
+	if l.Vars[0] == rr.Vars[0] {
+		t.Fatalf("bound variables not rectified: %s", r)
+	}
+	// A bound variable shadowing a free one must be renamed away from it.
+	e2 := &And{
+		L: atom("R", cq.Var("x")),
+		R: &Exists{Vars: []string{"x"}, E: atom("S", cq.Var("x"))},
+	}
+	r2 := Rectify(e2).(*And)
+	if r2.R.(*Exists).Vars[0] == "x" {
+		t.Fatal("shadowing bound variable must be renamed")
+	}
+	if r2.L.(*Atom).Args[0].Val != "x" {
+		t.Fatal("free occurrence must be untouched")
+	}
+}
+
+func TestSubstituteShadowing(t *testing.T) {
+	// Substituting x inside ∃x must be a no-op.
+	e := &Exists{Vars: []string{"x"}, E: atom("R", cq.Var("x"))}
+	s := Substitute(e, map[string]cq.Term{"x": cq.Cst("c")})
+	if strings.Contains(s.String(), "\"c\"") {
+		t.Fatalf("bound occurrence substituted: %s", s)
+	}
+	e2 := atom("R", cq.Var("x"))
+	s2 := Substitute(e2, map[string]cq.Term{"x": cq.Cst("c")})
+	if !s2.(*Atom).Args[0].Const {
+		t.Fatal("free occurrence must be substituted")
+	}
+}
+
+func TestDesugar(t *testing.T) {
+	// ∀x (A → B) becomes ¬∃x ¬(¬A ∨ B).
+	e := &Forall{Vars: []string{"x"}, E: &Implies{
+		A: atom("R", cq.Var("x")),
+		B: atom("S", cq.Var("x")),
+	}}
+	d := Desugar(e)
+	if _, ok := d.(*Not); !ok {
+		t.Fatalf("expected ¬∃¬ shape, got %s", d)
+	}
+	hasForall := false
+	Walk(d, func(x Expr) {
+		switch x.(type) {
+		case *Forall, *Implies:
+			hasForall = true
+		}
+	})
+	if hasForall {
+		t.Fatal("desugared formula must not contain ∀ or →")
+	}
+}
+
+func TestIsPositiveExistential(t *testing.T) {
+	pos := &Exists{Vars: []string{"x"}, E: &Or{
+		L: atom("R", cq.Var("x"), cq.Var("y")),
+		R: &And{L: atom("S", cq.Var("y")), R: Eq(cq.Var("y"), cq.Cst("1"))},
+	}}
+	if !IsPositiveExistential(pos) {
+		t.Fatal("formula is ∃FO+")
+	}
+	if IsPositiveExistential(&Not{E: pos}) {
+		t.Fatal("negation is not ∃FO+")
+	}
+	if IsPositiveExistential(Neq(cq.Var("x"), cq.Cst("1"))) {
+		t.Fatal("≠ is not ∃FO+")
+	}
+}
+
+func TestToUCQDistributes(t *testing.T) {
+	// (R(a,x) ∨ R(b,x)) ∧ S(x) => two disjuncts.
+	e := &And{
+		L: &Or{
+			L: atom("R", cq.Cst("a"), cq.Var("x")),
+			R: atom("R", cq.Cst("b"), cq.Var("x")),
+		},
+		R: atom("S", cq.Var("x")),
+	}
+	u, err := ToUCQ([]string{"x"}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 2 {
+		t.Fatalf("expected 2 disjuncts, got %d", len(u.Disjuncts))
+	}
+	for _, d := range u.Disjuncts {
+		if len(d.Atoms) != 2 {
+			t.Fatalf("each disjunct has R and S: %s", d)
+		}
+	}
+}
+
+func TestToUCQRejectsUnsafe(t *testing.T) {
+	// Head variable x unbound in the disjunct.
+	e := Eq(cq.Var("y"), cq.Var("z"))
+	if _, err := ToUCQ([]string{"x"}, e); err == nil {
+		t.Fatal("unsafe formula must be rejected")
+	}
+}
+
+func TestToUCQDropsInconsistentDisjuncts(t *testing.T) {
+	e := &Or{
+		L: &And{L: atom("R", cq.Var("x")), R: Eq(cq.Cst("a"), cq.Cst("b"))},
+		R: atom("R", cq.Var("x")),
+	}
+	u, err := ToUCQ([]string{"x"}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Disjuncts) != 1 {
+		t.Fatalf("inconsistent disjunct must be dropped, got %d", len(u.Disjuncts))
+	}
+}
+
+func TestFromCQ(t *testing.T) {
+	q := cq.NewCQ([]cq.Term{cq.Var("x"), cq.Cst("k")},
+		[]cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))})
+	fq := FromCQ(q)
+	if len(fq.Head) != 2 {
+		t.Fatalf("head: %v", fq.Head)
+	}
+	if err := fq.Validate(); err != nil {
+		t.Fatalf("embedded query invalid: %v", err)
+	}
+}
+
+func TestSafeRange(t *testing.T) {
+	safe := &Query{Head: []string{"x"}, Body: &And{
+		L: &Exists{Vars: []string{"y"}, E: atom("R", cq.Var("x"), cq.Var("y"))},
+		R: &Not{E: atom("S", cq.Var("x"))},
+	}}
+	if !SafeRange(safe) {
+		t.Fatal("guarded negation is safe-range")
+	}
+	unsafe := &Query{Head: []string{"x"}, Body: &Not{E: atom("S", cq.Var("x"))}}
+	if SafeRange(unsafe) {
+		t.Fatal("bare negation is not safe-range")
+	}
+	unsafeOr := &Query{Head: []string{"x", "y"}, Body: &Or{
+		L: atom("R", cq.Var("x"), cq.Var("x")),
+		R: atom("R", cq.Var("y"), cq.Var("y")),
+	}}
+	if SafeRange(unsafeOr) {
+		t.Fatal("disjunction with mismatched variables is not safe-range")
+	}
+}
+
+func TestExpandViews(t *testing.T) {
+	v := cq.NewCQ([]cq.Term{cq.Var("a")}, []cq.Atom{
+		cq.NewAtom("R", cq.Var("a"), cq.Var("b")),
+		cq.NewAtom("S", cq.Var("b")),
+	})
+	views := map[string]*cq.UCQ{"V": cq.NewUCQ(v)}
+	e := atom("V", cq.Cst("k"))
+	x := ExpandViews(e, views)
+	sawR, sawS, sawV := false, false, false
+	Walk(x, func(sub Expr) {
+		if a, ok := sub.(*Atom); ok {
+			switch a.Rel {
+			case "R":
+				sawR = true
+			case "S":
+				sawS = true
+			case "V":
+				sawV = true
+			}
+		}
+	})
+	if !sawR || !sawS || sawV {
+		t.Fatalf("view must be replaced by its definition: %s", x)
+	}
+}
+
+func TestPositiveApproxDropsNegation(t *testing.T) {
+	e := &And{
+		L: atom("R", cq.Var("x")),
+		R: &Not{E: atom("S", cq.Var("x"))},
+	}
+	p := PositiveApprox(e)
+	if !IsPositiveExistential(p) {
+		t.Fatalf("approximation must be ∃FO+: %s", p)
+	}
+	sawS := false
+	Walk(p, func(sub Expr) {
+		if a, ok := sub.(*Atom); ok && a.Rel == "S" {
+			sawS = true
+		}
+	})
+	if sawS {
+		t.Fatal("negated atom must be dropped")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	e := &And{
+		L: atom("R", cq.Cst("a"), cq.Var("x")),
+		R: Eq(cq.Var("x"), cq.Cst("b")),
+	}
+	cs := Constants(e)
+	if len(cs) != 2 || cs[0] != "a" || cs[1] != "b" {
+		t.Fatalf("constants: %v", cs)
+	}
+}

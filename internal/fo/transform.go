@@ -1,0 +1,410 @@
+package fo
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cq"
+)
+
+// Rectify renames bound variables so that every quantifier binds a distinct
+// variable name, disjoint from every free variable. Required before the
+// DNF expansion to UCQ, which merges variable scopes.
+func Rectify(e Expr) Expr {
+	used := map[string]bool{}
+	for _, v := range e.FreeVars() {
+		used[v] = true
+	}
+	counter := 0
+	fresh := func(base string) string {
+		for {
+			counter++
+			cand := base + "#" + strconv.Itoa(counter)
+			if !used[cand] {
+				used[cand] = true
+				return cand
+			}
+		}
+	}
+	var rec func(e Expr, ren map[string]string) Expr
+	rec = func(e Expr, ren map[string]string) Expr {
+		switch x := e.(type) {
+		case *Atom:
+			out := &Atom{Rel: x.Rel, Args: make([]cq.Term, len(x.Args))}
+			for i, t := range x.Args {
+				out.Args[i] = renameTerm(t, ren)
+			}
+			return out
+		case *Cmp:
+			return &Cmp{L: renameTerm(x.L, ren), R: renameTerm(x.R, ren), Neq: x.Neq}
+		case *And:
+			return &And{L: rec(x.L, ren), R: rec(x.R, ren)}
+		case *Or:
+			return &Or{L: rec(x.L, ren), R: rec(x.R, ren)}
+		case *Not:
+			return &Not{E: rec(x.E, ren)}
+		case *Implies:
+			return &Implies{A: rec(x.A, ren), B: rec(x.B, ren)}
+		case *Exists:
+			ren2, vars := pushScope(x.Vars, ren, used, fresh)
+			return &Exists{Vars: vars, E: rec(x.E, ren2)}
+		case *Forall:
+			ren2, vars := pushScope(x.Vars, ren, used, fresh)
+			return &Forall{Vars: vars, E: rec(x.E, ren2)}
+		default:
+			panic(fmt.Sprintf("fo: unknown expression %T", e))
+		}
+	}
+	return rec(e, map[string]string{})
+}
+
+func pushScope(vars []string, ren map[string]string, used map[string]bool, fresh func(string) string) (map[string]string, []string) {
+	ren2 := make(map[string]string, len(ren)+len(vars))
+	for k, v := range ren {
+		ren2[k] = v
+	}
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		nv := v
+		if used[v] {
+			nv = fresh(v)
+		} else {
+			used[v] = true
+		}
+		ren2[v] = nv
+		out[i] = nv
+	}
+	return ren2, out
+}
+
+func renameTerm(t cq.Term, ren map[string]string) cq.Term {
+	if t.Const {
+		return t
+	}
+	if nv, ok := ren[t.Val]; ok {
+		return cq.Var(nv)
+	}
+	return t
+}
+
+// Substitute replaces free occurrences of variables per sub (variable name
+// -> replacement term). Bound variables shadow substitutions. The formula
+// should be rectified if the replacement terms contain variables, to avoid
+// capture.
+func Substitute(e Expr, sub map[string]cq.Term) Expr {
+	switch x := e.(type) {
+	case *Atom:
+		out := &Atom{Rel: x.Rel, Args: make([]cq.Term, len(x.Args))}
+		for i, t := range x.Args {
+			out.Args[i] = subTerm(t, sub)
+		}
+		return out
+	case *Cmp:
+		return &Cmp{L: subTerm(x.L, sub), R: subTerm(x.R, sub), Neq: x.Neq}
+	case *And:
+		return &And{L: Substitute(x.L, sub), R: Substitute(x.R, sub)}
+	case *Or:
+		return &Or{L: Substitute(x.L, sub), R: Substitute(x.R, sub)}
+	case *Not:
+		return &Not{E: Substitute(x.E, sub)}
+	case *Implies:
+		return &Implies{A: Substitute(x.A, sub), B: Substitute(x.B, sub)}
+	case *Exists:
+		return &Exists{Vars: x.Vars, E: Substitute(x.E, shadow(sub, x.Vars))}
+	case *Forall:
+		return &Forall{Vars: x.Vars, E: Substitute(x.E, shadow(sub, x.Vars))}
+	default:
+		panic(fmt.Sprintf("fo: unknown expression %T", e))
+	}
+}
+
+func subTerm(t cq.Term, sub map[string]cq.Term) cq.Term {
+	if t.Const {
+		return t
+	}
+	if r, ok := sub[t.Val]; ok {
+		return r
+	}
+	return t
+}
+
+func shadow(sub map[string]cq.Term, vars []string) map[string]cq.Term {
+	out := make(map[string]cq.Term, len(sub))
+	for k, v := range sub {
+		out[k] = v
+	}
+	for _, v := range vars {
+		delete(out, v)
+	}
+	return out
+}
+
+// Desugar eliminates Implies (→ ¬A ∨ B) and Forall (→ ¬∃¬), producing a
+// formula over the kernel connectives only.
+func Desugar(e Expr) Expr {
+	switch x := e.(type) {
+	case *Atom, *Cmp:
+		return e.clone()
+	case *And:
+		return &And{L: Desugar(x.L), R: Desugar(x.R)}
+	case *Or:
+		return &Or{L: Desugar(x.L), R: Desugar(x.R)}
+	case *Not:
+		return &Not{E: Desugar(x.E)}
+	case *Implies:
+		return &Or{L: &Not{E: Desugar(x.A)}, R: Desugar(x.B)}
+	case *Exists:
+		return &Exists{Vars: append([]string(nil), x.Vars...), E: Desugar(x.E)}
+	case *Forall:
+		return &Not{E: &Exists{Vars: append([]string(nil), x.Vars...), E: &Not{E: Desugar(x.E)}}}
+	default:
+		panic(fmt.Sprintf("fo: unknown expression %T", e))
+	}
+}
+
+// FromCQ embeds a conjunctive query into the FO AST: existential closure of
+// the conjunction of its atoms and equalities.
+func FromCQ(q *cq.CQ) *Query {
+	headVars := map[string]bool{}
+	var head []string
+	var eqHead []Expr
+	for i, t := range q.Head {
+		if t.Const {
+			// Constant head positions become an equality with a fresh
+			// variable so the FO head is all-variable.
+			v := "h#" + strconv.Itoa(i)
+			head = append(head, v)
+			eqHead = append(eqHead, Eq(cq.Var(v), t))
+			continue
+		}
+		head = append(head, t.Val)
+		headVars[t.Val] = true
+	}
+	var conj []Expr
+	for _, a := range q.Atoms {
+		conj = append(conj, NewAtom(a.Rel, append([]cq.Term(nil), a.Args...)...))
+	}
+	for _, e := range q.Eqs {
+		conj = append(conj, Eq(e.L, e.R))
+	}
+	conj = append(conj, eqHead...)
+	if len(conj) == 0 {
+		panic("fo: cannot embed an empty CQ")
+	}
+	body := Conj(conj...)
+	var exVars []string
+	for _, v := range q.Vars() {
+		if !headVars[v] {
+			exVars = append(exVars, v)
+		}
+	}
+	var full Expr = body
+	if len(exVars) > 0 {
+		full = &Exists{Vars: exVars, E: body}
+	}
+	return &Query{Name: q.Name, Head: head, Body: full}
+}
+
+// ToUCQ converts a positive-existential formula to a UCQ with the given
+// head variables. It returns an error if the formula is not in ∃FO+ or if
+// some disjunct does not bind all head variables (unsafe).
+func ToUCQ(head []string, e Expr) (*cq.UCQ, error) {
+	if !IsPositiveExistential(e) {
+		return nil, fmt.Errorf("fo: formula is not positive-existential: %s", e)
+	}
+	r := Rectify(e)
+	type partial struct {
+		atoms []cq.Atom
+		eqs   []cq.Equality
+	}
+	var rec func(e Expr) []partial
+	rec = func(e Expr) []partial {
+		switch x := e.(type) {
+		case *Atom:
+			return []partial{{atoms: []cq.Atom{{Rel: x.Rel, Args: append([]cq.Term(nil), x.Args...)}}}}
+		case *Cmp:
+			return []partial{{eqs: []cq.Equality{{L: x.L, R: x.R}}}}
+		case *And:
+			ls, rs := rec(x.L), rec(x.R)
+			var out []partial
+			for _, l := range ls {
+				for _, rr := range rs {
+					out = append(out, partial{
+						atoms: append(append([]cq.Atom(nil), l.atoms...), rr.atoms...),
+						eqs:   append(append([]cq.Equality(nil), l.eqs...), rr.eqs...),
+					})
+				}
+			}
+			return out
+		case *Or:
+			return append(rec(x.L), rec(x.R)...)
+		case *Exists:
+			// After rectification bound variables are globally fresh, so
+			// the quantifier prefix can simply be dropped: any variable not
+			// in the head is existential in CQ form.
+			return rec(x.E)
+		default:
+			panic(fmt.Sprintf("fo: unexpected %T in positive-existential formula", e))
+		}
+	}
+	parts := rec(r)
+	u := &cq.UCQ{}
+	headTerms := make([]cq.Term, len(head))
+	for i, h := range head {
+		headTerms[i] = cq.Var(h)
+	}
+	for _, p := range parts {
+		q := &cq.CQ{Head: append([]cq.Term(nil), headTerms...), Atoms: p.atoms, Eqs: p.eqs}
+		n, err := q.Normalize()
+		if err != nil {
+			continue // unsatisfiable disjunct: drop
+		}
+		// Safety: every head variable must be bound by an atom or equated
+		// to a constant after normalization.
+		bound := map[string]bool{}
+		for _, a := range n.Atoms {
+			for _, t := range a.Args {
+				if !t.Const {
+					bound[t.Val] = true
+				}
+			}
+		}
+		for _, t := range n.Head {
+			if !t.Const && !bound[t.Val] {
+				return nil, fmt.Errorf("fo: head variable %s unbound in disjunct %s", t.Val, q)
+			}
+		}
+		u.Disjuncts = append(u.Disjuncts, q)
+	}
+	return u, nil
+}
+
+// SafeRange reports whether the formula is safe-range with respect to its
+// free variables: every free variable is range-restricted. This is the
+// classical syntactic safety condition (Abiteboul-Hull-Vianu ch. 5) that
+// topped queries refine.
+func SafeRange(q *Query) bool {
+	rr, ok := rangeRestricted(Desugar(Rectify(q.Body)))
+	if !ok {
+		return false
+	}
+	for _, v := range q.Body.FreeVars() {
+		if !rr[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeRestricted returns the set of range-restricted variables of e and
+// whether every subformula satisfies its own safety condition.
+func rangeRestricted(e Expr) (map[string]bool, bool) {
+	switch x := e.(type) {
+	case *Atom:
+		out := map[string]bool{}
+		for _, t := range x.Args {
+			if !t.Const {
+				out[t.Val] = true
+			}
+		}
+		return out, true
+	case *Cmp:
+		out := map[string]bool{}
+		if !x.Neq {
+			if !x.L.Const && x.R.Const {
+				out[x.L.Val] = true
+			}
+			if !x.R.Const && x.L.Const {
+				out[x.R.Val] = true
+			}
+		}
+		return out, true
+	case *And:
+		l, okL := rangeRestricted(x.L)
+		r, okR := rangeRestricted(x.R)
+		if !okL || !okR {
+			return nil, false
+		}
+		out := map[string]bool{}
+		for v := range l {
+			out[v] = true
+		}
+		for v := range r {
+			out[v] = true
+		}
+		// Propagate through top-level variable equalities.
+		changed := true
+		for changed {
+			changed = false
+			for _, c := range conjuncts(x) {
+				if cmp, ok := c.(*Cmp); ok && !cmp.Neq && !cmp.L.Const && !cmp.R.Const {
+					if out[cmp.L.Val] && !out[cmp.R.Val] {
+						out[cmp.R.Val] = true
+						changed = true
+					}
+					if out[cmp.R.Val] && !out[cmp.L.Val] {
+						out[cmp.L.Val] = true
+						changed = true
+					}
+				}
+			}
+		}
+		// A negated conjunct is safe only if its free variables are
+		// restricted by the positive part.
+		for _, c := range conjuncts(x) {
+			if n, ok := c.(*Not); ok {
+				for _, v := range n.FreeVars() {
+					if !out[v] {
+						return nil, false
+					}
+				}
+			}
+		}
+		return out, true
+	case *Or:
+		l, okL := rangeRestricted(x.L)
+		r, okR := rangeRestricted(x.R)
+		if !okL || !okR {
+			return nil, false
+		}
+		out := map[string]bool{}
+		for v := range l {
+			if r[v] {
+				out[v] = true
+			}
+		}
+		return out, true
+	case *Not:
+		_, ok := rangeRestricted(x.E)
+		return map[string]bool{}, ok
+	case *Exists:
+		inner, ok := rangeRestricted(x.E)
+		if !ok {
+			return nil, false
+		}
+		for _, v := range x.Vars {
+			if !inner[v] {
+				return nil, false
+			}
+		}
+		out := map[string]bool{}
+		for v := range inner {
+			out[v] = true
+		}
+		for _, v := range x.Vars {
+			delete(out, v)
+		}
+		return out, true
+	default:
+		// Desugared input has no Forall/Implies.
+		return nil, false
+	}
+}
+
+// conjuncts flattens nested conjunctions into a list.
+func conjuncts(e Expr) []Expr {
+	if a, ok := e.(*And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []Expr{e}
+}

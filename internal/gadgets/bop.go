@@ -1,0 +1,55 @@
+package gadgets
+
+import (
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// BOPReduction is the 3SAT → BOP(CQ) reduction of Theorem 3.4: a fixed
+// schema R and access schema A, and a query Q(w) built from the formula ψ
+// such that Q has bounded output under A iff ψ is unsatisfiable.
+type BOPReduction struct {
+	S *schema.Schema
+	A *access.Schema
+	Q *cq.CQ
+}
+
+// NewBOPReduction builds the reduction for the given 3SAT instance. Per
+// the proof, R and A are fixed (they do not depend on ψ):
+//
+//	R = {R01(A), Ror(B,A1,A2), Rand(B,A1,A2), Rneg(A,NA), Ro(I,X)}
+//	A = {R01(∅→A,2), Ror(∅→(B,A1,A2),4), Rand(∅→(B,A1,A2),4),
+//	     Rneg(∅→(A,NA),2), Ro(I→X,2)}
+//
+// and Q(w) = Qc ∧ QX(x̄) ∧ Qψ(x̄,w1) ∧ R01(w1) ∧ Ro(k,1) ∧ Ro(k,w1) ∧ Ro(k,w).
+func NewBOPReduction(f *CNF) *BOPReduction {
+	rels := append(BoolSchema(), schema.NewRelation("Ro", "I", "X"))
+	s := schema.New(rels...)
+	a := access.NewSchema(
+		access.NewConstraint("R01", nil, []string{"A"}, 2),
+		access.NewConstraint("Ror", nil, []string{"B", "A1", "A2"}, 4),
+		access.NewConstraint("Rand", nil, []string{"B", "A1", "A2"}, 4),
+		access.NewConstraint("Rneg", nil, []string{"A", "NA"}, 2),
+		access.NewConstraint("Ro", []string{"I"}, []string{"X"}, 2),
+	)
+
+	atoms := QcAtoms(true)
+	// QX: every propositional variable ranges over the Boolean domain.
+	for _, v := range f.Vars {
+		atoms = append(atoms, cq.NewAtom("R01", cq.Var(v)))
+	}
+	// Qψ: the circuit; w1 holds ψ's value.
+	ckt := &circuit{}
+	w1 := ckt.build(f)
+	atoms = append(atoms, ckt.atoms...)
+	atoms = append(atoms,
+		cq.NewAtom("R01", w1),
+		cq.NewAtom("Ro", cq.Var("k"), cq.Cst("1")),
+		cq.NewAtom("Ro", cq.Var("k"), w1),
+		cq.NewAtom("Ro", cq.Var("k"), cq.Var("w")),
+	)
+	q := cq.NewCQ([]cq.Term{cq.Var("w")}, atoms)
+	q.Name = "Qbop"
+	return &BOPReduction{S: s, A: a, Q: q}
+}

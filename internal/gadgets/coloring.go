@@ -1,0 +1,162 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Graph is an undirected graph with string-named nodes.
+type Graph struct {
+	Nodes []string
+	Edges [][2]string
+}
+
+// Precoloring assigns colors in {r,g,b} to a subset of nodes (the proof
+// restricts it to leaves).
+type Precoloring map[string]string
+
+// ExtendableTo3Coloring decides by brute force whether the precoloring
+// extends to a proper 3-coloring (ground truth for the reduction).
+func (g *Graph) ExtendableTo3Coloring(pre Precoloring) bool {
+	colors := []string{"r", "g", "b"}
+	asn := map[string]string{}
+	for n, c := range pre {
+		asn[n] = c
+	}
+	var free []string
+	for _, n := range g.Nodes {
+		if _, fixed := pre[n]; !fixed {
+			free = append(free, n)
+		}
+	}
+	ok := func() bool {
+		for _, e := range g.Edges {
+			if asn[e[0]] == asn[e[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(free) {
+			return ok()
+		}
+		for _, c := range colors {
+			asn[free[i]] = c
+			if rec(i + 1) {
+				return true
+			}
+		}
+		delete(asn, free[i])
+		return false
+	}
+	return rec(0)
+}
+
+// ColoringReduction is the precoloring-extension → VBRP(ACQ) reduction of
+// Theorem 4.1(1): over a single binary relation R(A,B) with the single
+// access constraint R(A → B, 2) (fixed A), an acyclic Boolean CQ Q such
+// that Q ≡_A ∅ iff the precoloring does not extend — and, by the Qf
+// padding argument, Q has an M-bounded rewriting iff Q ≡_A ∅.
+//
+// The core of the reduction (what the validation suite checks against
+// ground truth) is the A-satisfiability of Q; the Qf padding only rules
+// out non-empty plans and is controlled by PadConstants.
+type ColoringReduction struct {
+	S *schema.Schema
+	A *access.Schema
+	Q *cq.CQ
+}
+
+// NewColoringReduction builds the reduction for graph g and precoloring
+// pre (which must color only leaves, and every connected component must
+// contain a precolored leaf, as the proof requires). padConstants adds the
+// Qf atoms R(y_i, i) for i ≤ padConstants.
+func NewColoringReduction(g *Graph, pre Precoloring, padConstants int) (*ColoringReduction, error) {
+	s := schema.New(schema.NewRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"A"}, []string{"B"}, 2))
+
+	deg := map[string]int{}
+	for _, e := range g.Edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for n := range pre {
+		if deg[n] != 1 {
+			return nil, fmt.Errorf("gadgets: precolored node %s is not a leaf", n)
+		}
+	}
+
+	nodeIdx := map[string]int{}
+	for i, n := range g.Nodes {
+		nodeIdx[n] = i + 1
+	}
+	nn := len(g.Nodes)
+	v := func(name string) cq.Term { return cq.Var("v_" + name) }
+	idc := func(i int) cq.Term { return cq.Cst("id" + itoa(i)) }
+
+	var atoms []cq.Atom
+
+	// QE: each edge, in both directions, over renamed endpoint variables.
+	edgeVar := func(e [2]string, end int) cq.Term {
+		return cq.Var(fmt.Sprintf("x%d_%s_%s", end, e[0], e[1]))
+	}
+	for _, e := range g.Edges {
+		atoms = append(atoms,
+			cq.NewAtom("R", edgeVar(e, 1), edgeVar(e, 2)),
+			cq.NewAtom("R", edgeVar(e, 2), edgeVar(e, 1)),
+		)
+	}
+
+	// Q1V/Q2V: tie the renamed endpoint variables back to the node
+	// variables using the fan-out-2 constraint: for node index i and an
+	// incident edge variable xe, the atom groups {R(id,c), R(id,v), R(id,xe)}
+	// for c = 1, 2, 3 force v = xe.
+	tie := func(node string, xe cq.Term) {
+		i := nodeIdx[node]
+		for c := 1; c <= 3; c++ {
+			id := idc(i + (c-1)*nn)
+			atoms = append(atoms,
+				cq.NewAtom("R", id, cq.Cst(itoa(c))),
+				cq.NewAtom("R", id, v(node)),
+				cq.NewAtom("R", id, xe),
+			)
+		}
+	}
+	for _, e := range g.Edges {
+		tie(e[0], edgeVar(e, 1))
+		tie(e[1], edgeVar(e, 2))
+	}
+
+	// QL: precolored leaves are pinned to their colors via the same
+	// three-group trick against the color constant.
+	for node, color := range pre {
+		i := nodeIdx[node]
+		for c := 1; c <= 3; c++ {
+			id := idc(3*nn + i + (c-1)*nn)
+			atoms = append(atoms,
+				cq.NewAtom("R", id, cq.Cst(itoa(c))),
+				cq.NewAtom("R", id, v(node)),
+				cq.NewAtom("R", id, cq.Cst(color)),
+			)
+		}
+	}
+
+	// Q1: the color cliques.
+	for _, p := range [][2]string{{"r", "g"}, {"r", "b"}, {"g", "r"}, {"g", "b"}, {"b", "r"}, {"b", "g"}} {
+		atoms = append(atoms, cq.NewAtom("R", cq.Cst(p[0]), cq.Cst(p[1])))
+	}
+
+	// Qf: padding constants.
+	for i := 1; i <= padConstants; i++ {
+		atoms = append(atoms, cq.NewAtom("R", cq.Var("yf"+itoa(i)), cq.Cst("pad"+itoa(i))))
+	}
+
+	q := cq.NewCQ(nil, atoms)
+	q.Name = "Qcol"
+	return &ColoringReduction{S: s, A: a, Q: q}, nil
+}

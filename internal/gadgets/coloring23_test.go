@@ -1,0 +1,68 @@
+package gadgets
+
+import (
+	"testing"
+
+	"repro/internal/boundedness"
+)
+
+// Theorem 4.1(2): Q A-satisfiable iff the graph is 3-colorable.
+func TestThreeColorReduction(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want bool
+	}{
+		{"triangle", &Graph{Nodes: []string{"a", "b", "c"},
+			Edges: [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}}}, true},
+		{"k4", &Graph{Nodes: []string{"a", "b", "c", "d"},
+			Edges: [][2]string{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"}, {"c", "d"}}}, false},
+		{"path", &Graph{Nodes: []string{"a", "b", "c"},
+			Edges: [][2]string{{"a", "b"}, {"b", "c"}}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.g.ThreeColorable(); got != tc.want {
+				t.Fatalf("brute force says %v, fixture expects %v", got, tc.want)
+			}
+			r := NewThreeColorReduction(tc.g)
+			got := boundedness.ASatisfiable(r.Q, r.S, r.A)
+			if got != tc.want {
+				t.Fatalf("A-satisfiability %v, want 3-colorability %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// Theorem 4.1(3): Q A-satisfiable iff ψ is satisfiable, with only
+// R((A,B)→C,1) and R'(∅→E,2).
+func TestSAT3KeyReduction(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *CNF
+	}{
+		{"sat", &CNF{Vars: []string{"x", "y"}, Clauses: []Clause{
+			{Pos("x"), Pos("y"), Pos("y")},
+			{Neg("x"), Pos("y"), Pos("y")},
+		}}},
+		{"unsat", &CNF{Vars: []string{"x"}, Clauses: []Clause{
+			{Pos("x"), Pos("x"), Pos("x")},
+			{Neg("x"), Neg("x"), Neg("x")},
+		}}},
+		{"sat_three_vars", &CNF{Vars: []string{"x", "y", "z"}, Clauses: []Clause{
+			{Pos("x"), Neg("y"), Pos("z")},
+			{Neg("x"), Pos("y"), Neg("z")},
+			{Pos("x"), Pos("y"), Pos("z")},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, want := tc.f.Satisfiable()
+			r := NewSAT3KeyReduction(tc.f)
+			got := boundedness.ASatisfiable(r.Q, r.S, r.A)
+			if got != want {
+				t.Fatalf("A-satisfiability %v, want SAT %v", got, want)
+			}
+		})
+	}
+}

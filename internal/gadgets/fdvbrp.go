@@ -1,0 +1,61 @@
+package gadgets
+
+import (
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// FDVBRPReduction is the 3SAT → VBRP(CQ) reduction of Proposition 4.5:
+// under FD-shaped constraints only, with fixed R, A, M = 1 and a single
+// view V() = Qc(), the Boolean query Q() = Qc() ∧ Qψ(x̄,1) has a 1-bounded
+// rewriting in CQ using V iff ψ is satisfiable (the only candidate plans
+// are the empty plan and V itself, and Q ≡_A V iff ψ is satisfiable).
+type FDVBRPReduction struct {
+	S     *schema.Schema
+	A     *access.Schema
+	Q     *cq.CQ
+	Views map[string]*cq.UCQ
+	M     int
+}
+
+// NewFDVBRPReduction builds the reduction. R drops R01 (its instance
+// cannot be pinned by FDs); the Boolean domain is extracted from Rneg.
+func NewFDVBRPReduction(f *CNF) *FDVBRPReduction {
+	s := schema.New(
+		schema.NewRelation("Ror", "B", "A1", "A2"),
+		schema.NewRelation("Rand", "B", "A1", "A2"),
+		schema.NewRelation("Rneg", "A", "NA"),
+	)
+	a := access.NewSchema(
+		access.NewConstraint("Ror", []string{"A1", "A2"}, []string{"B"}, 1),
+		access.NewConstraint("Rand", []string{"A1", "A2"}, []string{"B"}, 1),
+		access.NewConstraint("Rneg", []string{"A"}, []string{"NA"}, 1),
+	)
+
+	// Qc without the R01 atoms.
+	qcAtoms := QcAtoms(false)
+
+	// Q() = Qc ∧ Qψ(x̄, 1): the circuit output is pinned to 1; variables
+	// range over the Boolean domain via Rneg (each x has a complement).
+	atoms := append([]cq.Atom(nil), qcAtoms...)
+	ckt := &circuit{}
+	for _, v := range f.Vars {
+		nv := ckt.freshVar()
+		atoms = append(atoms, cq.NewAtom("Rneg", cq.Var(v), nv))
+	}
+	out := ckt.build(f)
+	atoms = append(atoms, ckt.atoms...)
+	q := cq.NewCQ(nil, atoms, cq.Equality{L: out, R: cq.Cst("1")})
+	q.Name = "Qfd"
+
+	// The single view V() = Qc().
+	v := cq.NewCQ(nil, qcAtoms)
+	v.Name = "Vc"
+
+	return &FDVBRPReduction{
+		S: s, A: a, Q: q,
+		Views: map[string]*cq.UCQ{"Vc": cq.NewUCQ(v)},
+		M:     1,
+	}
+}

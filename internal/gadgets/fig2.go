@@ -1,0 +1,147 @@
+package gadgets
+
+import (
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+// Figure 2 of the paper: the relation instances encoding the Boolean
+// domain and operations.
+//
+//	I01 = {0, 1}                                  over R01(A)
+//	I∨  = B = A1 ∨ A2 truth table                 over Ror(B,A1,A2)
+//	I∧  = B = A1 ∧ A2 truth table                 over Rand(B,A1,A2)
+//	I¬  = Ā = ¬A truth table                      over Rneg(A,NA)
+//
+// (ASCII relation names stand in for the paper's R∨, R∧, R¬.)
+
+// BoolSchema returns the four Boolean-encoding relation schemas.
+func BoolSchema() []*schema.Relation {
+	return []*schema.Relation{
+		schema.NewRelation("R01", "A"),
+		schema.NewRelation("Ror", "B", "A1", "A2"),
+		schema.NewRelation("Rand", "B", "A1", "A2"),
+		schema.NewRelation("Rneg", "A", "NA"),
+	}
+}
+
+// FillBool inserts the Figure 2 tuples into the database.
+func FillBool(db *instance.Database) {
+	db.MustInsert("R01", "0")
+	db.MustInsert("R01", "1")
+	// I∨: B = A1 ∨ A2.
+	db.MustInsert("Ror", "0", "0", "0")
+	db.MustInsert("Ror", "1", "0", "1")
+	db.MustInsert("Ror", "1", "1", "0")
+	db.MustInsert("Ror", "1", "1", "1")
+	// I∧: B = A1 ∧ A2.
+	db.MustInsert("Rand", "0", "0", "0")
+	db.MustInsert("Rand", "0", "0", "1")
+	db.MustInsert("Rand", "0", "1", "0")
+	db.MustInsert("Rand", "1", "1", "1")
+	// I¬.
+	db.MustInsert("Rneg", "0", "1")
+	db.MustInsert("Rneg", "1", "0")
+}
+
+// QcAtoms returns the atoms of the query Qc used throughout the proofs of
+// Theorems 3.4 and 3.1: it demands that the instance contains every
+// Figure 2 tuple. includeR01 controls whether the R01 atoms are included
+// (Proposition 4.5's variant drops them).
+func QcAtoms(includeR01 bool) []cq.Atom {
+	k := cq.Cst
+	var atoms []cq.Atom
+	if includeR01 {
+		atoms = append(atoms,
+			cq.NewAtom("R01", k("0")),
+			cq.NewAtom("R01", k("1")),
+		)
+	}
+	atoms = append(atoms,
+		cq.NewAtom("Ror", k("0"), k("0"), k("0")),
+		cq.NewAtom("Ror", k("1"), k("0"), k("1")),
+		cq.NewAtom("Ror", k("1"), k("1"), k("0")),
+		cq.NewAtom("Ror", k("1"), k("1"), k("1")),
+		cq.NewAtom("Rand", k("0"), k("0"), k("0")),
+		cq.NewAtom("Rand", k("0"), k("0"), k("1")),
+		cq.NewAtom("Rand", k("0"), k("1"), k("0")),
+		cq.NewAtom("Rand", k("1"), k("1"), k("1")),
+		cq.NewAtom("Rneg", k("0"), k("1")),
+		cq.NewAtom("Rneg", k("1"), k("0")),
+	)
+	return atoms
+}
+
+// circuit appends CQ atoms evaluating the CNF over the Boolean-encoding
+// relations: for each clause a chain of Ror gates (with Rneg for negated
+// literals), then a chain of Rand gates conjoining the clause outputs.
+// It returns the variable holding the formula's truth value and the
+// auxiliary variables introduced.
+type circuit struct {
+	atoms []cq.Atom
+	aux   []string
+	n     int
+}
+
+func (c *circuit) freshVar() cq.Term {
+	c.n++
+	v := "g" + itoa(c.n)
+	c.aux = append(c.aux, v)
+	return cq.Var(v)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// literal returns a term holding the literal's value, adding a Rneg gate
+// for negated literals.
+func (c *circuit) literal(l Lit) cq.Term {
+	if !l.Neg {
+		return cq.Var(l.Var)
+	}
+	out := c.freshVar()
+	c.atoms = append(c.atoms, cq.NewAtom("Rneg", cq.Var(l.Var), out))
+	return out
+}
+
+// or2 emits o = a ∨ b.
+func (c *circuit) or2(a, b cq.Term) cq.Term {
+	out := c.freshVar()
+	c.atoms = append(c.atoms, cq.NewAtom("Ror", out, a, b))
+	return out
+}
+
+// and2 emits o = a ∧ b.
+func (c *circuit) and2(a, b cq.Term) cq.Term {
+	out := c.freshVar()
+	c.atoms = append(c.atoms, cq.NewAtom("Rand", out, a, b))
+	return out
+}
+
+// build encodes the whole CNF, returning the output term.
+func (c *circuit) build(f *CNF) cq.Term {
+	var clauseOuts []cq.Term
+	for _, cl := range f.Clauses {
+		v1 := c.literal(cl[0])
+		v2 := c.literal(cl[1])
+		v3 := c.literal(cl[2])
+		clauseOuts = append(clauseOuts, c.or2(c.or2(v1, v2), v3))
+	}
+	out := clauseOuts[0]
+	for _, co := range clauseOuts[1:] {
+		out = c.and2(out, co)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package gadgets
+
+import (
+	"testing"
+
+	"repro/internal/boundedness"
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/plan"
+	"repro/internal/vbrp"
+)
+
+func TestFig2InstancesSatisfyGadgetConstraints(t *testing.T) {
+	r := NewBOPReduction(&CNF{Vars: []string{"x"}, Clauses: []Clause{{Pos("x"), Pos("x"), Pos("x")}}})
+	db := instance.NewDatabase(r.S)
+	FillBool(db)
+	db.MustInsert("Ro", "k", "1")
+	ok, err := db.SatisfiesAll(r.A)
+	if err != nil || !ok {
+		t.Fatalf("Figure 2 instances must satisfy the gadget access schema (err=%v, violations=%v)", err, db.Violations(r.A))
+	}
+}
+
+func TestCNFBruteForce(t *testing.T) {
+	sat := &CNF{Vars: []string{"x", "y"}, Clauses: []Clause{
+		{Pos("x"), Pos("y"), Pos("y")},
+		{Neg("x"), Pos("y"), Pos("y")},
+	}}
+	if _, ok := sat.Satisfiable(); !ok {
+		t.Fatal("formula is satisfiable (y=1)")
+	}
+	unsat := &CNF{Vars: []string{"x"}, Clauses: []Clause{
+		{Pos("x"), Pos("x"), Pos("x")},
+		{Neg("x"), Neg("x"), Neg("x")},
+	}}
+	if _, ok := unsat.Satisfiable(); ok {
+		t.Fatal("formula is unsatisfiable")
+	}
+}
+
+// Theorem 3.4: Q(w) has bounded output iff ψ is unsatisfiable.
+func TestBOPReductionAgreesWithSAT(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *CNF
+	}{
+		{"sat_single", &CNF{Vars: []string{"x"}, Clauses: []Clause{{Pos("x"), Pos("x"), Pos("x")}}}},
+		{"unsat_single", &CNF{Vars: []string{"x"}, Clauses: []Clause{
+			{Pos("x"), Pos("x"), Pos("x")}, {Neg("x"), Neg("x"), Neg("x")},
+		}}},
+		{"sat_two", &CNF{Vars: []string{"x", "y"}, Clauses: []Clause{
+			{Pos("x"), Neg("y"), Pos("y")},
+			{Neg("x"), Pos("y"), Pos("y")},
+		}}},
+		{"unsat_two", &CNF{Vars: []string{"x", "y"}, Clauses: []Clause{
+			{Pos("x"), Pos("y"), Pos("y")},
+			{Pos("x"), Neg("y"), Neg("y")},
+			{Neg("x"), Pos("y"), Pos("y")},
+			{Neg("x"), Neg("y"), Neg("y")},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, sat := tc.f.Satisfiable()
+			r := NewBOPReduction(tc.f)
+			bounded, _ := boundedness.BoundedOutputCQ(r.Q, r.S, r.A)
+			if bounded != !sat {
+				t.Fatalf("BOP verdict %v, want %v (sat=%v)", bounded, !sat, sat)
+			}
+		})
+	}
+}
+
+// Proposition 4.5: under FDs with M=1 and V={Qc}, Q has a 1-bounded
+// rewriting iff ψ is satisfiable.
+func TestFDVBRPReductionAgreesWithSAT(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *CNF
+	}{
+		{"sat", &CNF{Vars: []string{"x", "y"}, Clauses: []Clause{
+			{Pos("x"), Pos("y"), Pos("y")},
+			{Neg("x"), Pos("y"), Pos("y")},
+		}}},
+		{"unsat", &CNF{Vars: []string{"x"}, Clauses: []Clause{
+			{Pos("x"), Pos("x"), Pos("x")}, {Neg("x"), Neg("x"), Neg("x")},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, sat := tc.f.Satisfiable()
+			r := NewFDVBRPReduction(tc.f)
+			prob := &vbrp.Problem{
+				S: r.S, A: r.A, Views: r.Views, M: r.M,
+				Lang:   plan.LangCQ,
+				Consts: r.Q.Constants(),
+			}
+			dec, err := vbrp.DecideBoolean(cq.NewUCQ(r.Q), prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Has != sat {
+				t.Fatalf("VBRP verdict %v, want %v", dec.Has, sat)
+			}
+		})
+	}
+}
+
+// Theorem 4.1(1): Q ≡_A ∅ iff the precoloring does not extend to a proper
+// 3-coloring.
+func TestColoringReductionAgreesWithBruteForce(t *testing.T) {
+	// Path a–b–c with leaves a, c.
+	path := &Graph{Nodes: []string{"a", "b", "c"}, Edges: [][2]string{{"a", "b"}, {"b", "c"}}}
+	// Triangle with pendant leaves on each corner.
+	triangle := &Graph{
+		Nodes: []string{"u", "v", "w", "lu", "lv", "lw"},
+		Edges: [][2]string{{"u", "v"}, {"v", "w"}, {"w", "u"}, {"u", "lu"}, {"v", "lv"}, {"w", "lw"}},
+	}
+	cases := []struct {
+		name string
+		g    *Graph
+		pre  Precoloring
+	}{
+		{"path_extendable", path, Precoloring{"a": "r", "c": "r"}},
+		{"path_extendable2", path, Precoloring{"a": "r", "c": "g"}},
+		{"triangle_extendable", triangle, Precoloring{"lu": "r", "lv": "r", "lw": "r"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.g.ExtendableTo3Coloring(tc.pre)
+			r, err := NewColoringReduction(tc.g, tc.pre, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := boundedness.ASatisfiable(r.Q, r.S, r.A)
+			if got != want {
+				t.Fatalf("A-satisfiability %v, want extendability %v", got, want)
+			}
+		})
+	}
+}
+
+// Theorem 3.1: the Σp3 construction decides ∃∀∃ 3CNF through VBRP.
+func TestSigma3ReductionAgreesWithQBF(t *testing.T) {
+	cases := []struct {
+		name string
+		phi  *QBF3
+	}{
+		{"true_simple", &QBF3{
+			X: []string{"x1", "x2"}, Y: []string{"y1"}, Z: []string{"z1"},
+			// ψ = (x1 ∨ y1 ∨ z1) ∧ (x1 ∨ ¬y1 ∨ ¬z1): x1=1 satisfies both
+			// for every y1, so ∃X∀Y∃Z ψ is true.
+			Psi: &CNF{Vars: []string{"x1", "x2", "y1", "z1"}, Clauses: []Clause{
+				{Pos("x1"), Pos("y1"), Pos("z1")},
+				{Pos("x1"), Neg("y1"), Neg("z1")},
+			}},
+		}},
+		{"false_simple", &QBF3{
+			X: []string{"x1", "x2"}, Y: []string{"y1"}, Z: []string{"z1"},
+			// ψ = (y1 ∨ y1 ∨ y1): fails for y1=0 whatever X, Z are.
+			Psi: &CNF{Vars: []string{"x1", "x2", "y1", "z1"}, Clauses: []Clause{
+				{Pos("y1"), Pos("y1"), Pos("y1")},
+			}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.phi.Eval()
+			r, err := NewSigma3Reduction(tc.phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := r.Decide()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("VBRP verdict %v, want QBF value %v", got, want)
+			}
+		})
+	}
+}

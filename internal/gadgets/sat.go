@@ -1,0 +1,88 @@
+// Package gadgets implements the reductions from the paper's hardness
+// proofs as executable instance generators: the Boolean-encoding relations
+// of Figure 2, the 3SAT→BOP reduction (Theorem 3.4), the 3SAT→VBRP(CQ)
+// reduction under FDs (Proposition 4.5), the precoloring-extension→
+// VBRP(ACQ) reduction (Theorem 4.1(1)), and the ∃*∀*∃*3CNF→VBRP(CQ)
+// construction (Theorem 3.1). Each generator is paired with a brute-force
+// ground-truth solver, so the deciders of packages boundedness and vbrp
+// can be validated on labelled instance families (Table I).
+package gadgets
+
+import "fmt"
+
+// Lit is a propositional literal.
+type Lit struct {
+	Var string
+	Neg bool
+}
+
+// Clause is a disjunction of exactly three literals.
+type Clause [3]Lit
+
+// CNF is a 3SAT instance.
+type CNF struct {
+	Vars    []string
+	Clauses []Clause
+}
+
+// Validate checks that every literal references a declared variable.
+func (c *CNF) Validate() error {
+	vars := map[string]bool{}
+	for _, v := range c.Vars {
+		vars[v] = true
+	}
+	for i, cl := range c.Clauses {
+		for _, l := range cl {
+			if !vars[l.Var] {
+				return fmt.Errorf("gadgets: clause %d uses undeclared variable %s", i, l.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the formula under the assignment.
+func (c *CNF) Eval(asn map[string]bool) bool {
+	for _, cl := range c.Clauses {
+		ok := false
+		for _, l := range cl {
+			if asn[l.Var] != l.Neg {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable decides satisfiability by brute force (ground truth for the
+// reduction tests; fine for the ≤20-variable instances the benches use).
+func (c *CNF) Satisfiable() (map[string]bool, bool) {
+	n := len(c.Vars)
+	if n > 24 {
+		panic("gadgets: brute-force SAT limited to 24 variables")
+	}
+	asn := map[string]bool{}
+	for mask := 0; mask < 1<<n; mask++ {
+		for i, v := range c.Vars {
+			asn[v] = mask&(1<<i) != 0
+		}
+		if c.Eval(asn) {
+			out := make(map[string]bool, n)
+			for k, v := range asn {
+				out[k] = v
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// Pos and Neg are literal constructors.
+func Pos(v string) Lit { return Lit{Var: v} }
+
+// Neg builds a negated literal.
+func Neg(v string) Lit { return Lit{Var: v, Neg: true} }

@@ -1,0 +1,278 @@
+package gadgets
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/boundedness"
+	"repro/internal/cq"
+	"repro/internal/plan"
+	"repro/internal/schema"
+)
+
+// QBF3 is a ∃X ∀Y ∃Z ψ(X,Y,Z) sentence with ψ in 3CNF (the Σp3-complete
+// ∃*∀*∃*3CNF problem of Stockmeyer).
+type QBF3 struct {
+	X, Y, Z []string
+	Psi     *CNF
+}
+
+// Eval decides the sentence by brute force (ground truth).
+func (q *QBF3) Eval() bool {
+	asn := map[string]bool{}
+	var existsZ func(i int) bool
+	existsZ = func(i int) bool {
+		if i == len(q.Z) {
+			return q.Psi.Eval(asn)
+		}
+		for _, b := range []bool{false, true} {
+			asn[q.Z[i]] = b
+			if existsZ(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	var forallY func(i int) bool
+	forallY = func(i int) bool {
+		if i == len(q.Y) {
+			return existsZ(0)
+		}
+		for _, b := range []bool{false, true} {
+			asn[q.Y[i]] = b
+			if !forallY(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	var existsX func(i int) bool
+	existsX = func(i int) bool {
+		if i == len(q.X) {
+			return forallY(0)
+		}
+		for _, b := range []bool{false, true} {
+			asn[q.X[i]] = b
+			if existsX(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return existsX(0)
+}
+
+// Sigma3Reduction is the ∃*∀*∃*3CNF → VBRP(CQ) construction of
+// Theorem 3.1: fixed R, A and M = 6; a Boolean CQ Q and a single CQ view V
+// such that Q has a 6-bounded rewriting in CQ using {V} under A iff the
+// sentence is true. The proof shows the only viable plans are
+// π∅(σ_{YO=1}(fetch(I ∈ π_K(σ_{x̄=µ}(V)), Ro, YO))) for truth assignments
+// µ of X — so the NP "guess a plan" step is exactly a guess of µ.
+type Sigma3Reduction struct {
+	S     *schema.Schema
+	A     *access.Schema
+	Q     *cq.CQ
+	V     *cq.CQ
+	Views map[string]*cq.UCQ
+	M     int
+
+	phi *QBF3
+}
+
+// NewSigma3Reduction builds the construction. The proof assumes |X| ≥ 2.
+func NewSigma3Reduction(phi *QBF3) (*Sigma3Reduction, error) {
+	if len(phi.X) < 2 {
+		return nil, fmt.Errorf("gadgets: the Theorem 3.1 construction needs |X| ≥ 2")
+	}
+	rels := append(BoolSchema(),
+		schema.NewRelation("RY", "I1", "I2", "YV"),
+		schema.NewRelation("Ro", "I", "YO"),
+		schema.NewRelation("RI", "I", "K"),
+	)
+	s := schema.New(rels...)
+	a := access.NewSchema(
+		access.NewConstraint("R01", nil, []string{"A"}, 2),
+		access.NewConstraint("Ror", []string{"A1"}, []string{"A2", "B"}, 2),
+		access.NewConstraint("Rand", []string{"A1", "A2"}, []string{"B"}, 1),
+		access.NewConstraint("Rneg", []string{"A"}, []string{"NA"}, 1),
+		access.NewConstraint("RY", []string{"I1", "I2"}, []string{"YV"}, 1),
+		access.NewConstraint("Ro", []string{"I"}, []string{"YO"}, 1),
+		access.NewConstraint("RI", []string{"I"}, []string{"K"}, 1),
+	)
+
+	// Q() = ∃ȳ,k (Qc ∧ QY(ȳ) ∧ ∧_j RY(j,1,y_j) ∧ RI(y_1,k) ∧ Ro(k,1)).
+	qAtoms := QcAtoms(true)
+	for _, y := range phi.Y {
+		qAtoms = append(qAtoms, cq.NewAtom("R01", cq.Var(y)))
+	}
+	for j, y := range phi.Y {
+		qAtoms = append(qAtoms, cq.NewAtom("RY", cq.Cst("j"+itoa(j+1)), cq.Cst("1"), cq.Var(y)))
+	}
+	qAtoms = append(qAtoms,
+		cq.NewAtom("RI", cq.Var(phi.Y[0]), cq.Var("k")),
+		cq.NewAtom("Ro", cq.Var("k"), cq.Cst("1")),
+	)
+	q := cq.NewCQ(nil, qAtoms)
+	q.Name = "Qs3"
+
+	// V(x̄, k).
+	var vAtoms []cq.Atom
+	vAtoms = append(vAtoms, QcAtoms(true)...)
+	w := cq.Var("w")
+	// Q2: x'_i = w ∧ x_i.
+	xp := make([]cq.Term, len(phi.X))
+	for i, x := range phi.X {
+		xp[i] = cq.Var(x + "'")
+		vAtoms = append(vAtoms, cq.NewAtom("Rand", xp[i], w, cq.Var(x)))
+	}
+	// Q3: y'_k = w ∨ y_k, z'_k = w ∨ z_k.
+	for _, y := range phi.Y {
+		vAtoms = append(vAtoms, cq.NewAtom("Ror", cq.Var(y+"'"), w, cq.Var(y)))
+	}
+	for _, z := range phi.Z {
+		vAtoms = append(vAtoms, cq.NewAtom("Ror", cq.Var(z+"'"), w, cq.Var(z)))
+	}
+	// Q4: RY(j, w, y_j) and RI(y_1, k).
+	for j, y := range phi.Y {
+		vAtoms = append(vAtoms, cq.NewAtom("RY", cq.Cst("j"+itoa(j+1)), w, cq.Var(y)))
+	}
+	vAtoms = append(vAtoms, cq.NewAtom("RI", cq.Var(phi.Y[0]), cq.Var("k")))
+	// Q5: the tautology ∧_k (x_k ∨ x''_k ∨ ¬x''_k) with output w.
+	m := len(phi.X)
+	vpp := make([]cq.Term, m+1) // v''_k, 1-based
+	for k := 1; k <= m; k++ {
+		xk := cq.Var(phi.X[k-1])
+		xpp := cq.Var(fmt.Sprintf("x''%d", k))
+		vk := cq.Var(fmt.Sprintf("v%d", k))
+		vpk := cq.Var(fmt.Sprintf("v'%d", k))
+		vpp[k] = cq.Var(fmt.Sprintf("v''%d", k))
+		vAtoms = append(vAtoms,
+			cq.NewAtom("Ror", vk, xk, xpp),
+			cq.NewAtom("Ror", vpp[k], vk, vpk),
+			cq.NewAtom("Rneg", xpp, vpk),
+		)
+	}
+	// Conjoin v''_1 ... v''_m into w via Rand chain.
+	if m == 2 {
+		vAtoms = append(vAtoms, cq.NewAtom("Rand", w, vpp[1], vpp[2]))
+	} else {
+		vppp := make([]cq.Term, m)
+		vppp[1] = cq.Var("v'''2")
+		vAtoms = append(vAtoms, cq.NewAtom("Rand", vppp[1], vpp[1], vpp[2]))
+		for k := 2; k <= m-2; k++ {
+			vppp[k] = cq.Var(fmt.Sprintf("v'''%d", k+1))
+			vAtoms = append(vAtoms, cq.NewAtom("Rand", vppp[k], vppp[k-1], vpp[k+1]))
+		}
+		vAtoms = append(vAtoms, cq.NewAtom("Rand", w, vppp[m-2], vpp[m]))
+	}
+	// Qψ(x̄', ȳ, z̄, 1): the circuit over the primed X variables and the
+	// plain Y, Z variables, pinned to 1.
+	renamed := &CNF{Vars: append(append(append([]string{}, primeAll(phi.X)...), phi.Y...), phi.Z...)}
+	for _, cl := range phi.Psi.Clauses {
+		var ncl Clause
+		for i, l := range cl {
+			nv := l.Var
+			if contains(phi.X, l.Var) {
+				nv = l.Var + "'"
+			}
+			ncl[i] = Lit{Var: nv, Neg: l.Neg}
+		}
+		renamed.Clauses = append(renamed.Clauses, ncl)
+	}
+	ckt := &circuit{n: 1000} // keep gate variables disjoint from Q5's
+	out := ckt.build(renamed)
+	vAtoms = append(vAtoms, ckt.atoms...)
+
+	head := make([]cq.Term, 0, len(phi.X)+1)
+	for _, x := range phi.X {
+		head = append(head, cq.Var(x))
+	}
+	head = append(head, cq.Var("k"))
+	v := cq.NewCQ(head, vAtoms, cq.Equality{L: out, R: cq.Cst("1")})
+	v.Name = "Vs3"
+
+	return &Sigma3Reduction{
+		S: s, A: a, Q: q, V: v,
+		Views: map[string]*cq.UCQ{"Vs3": cq.NewUCQ(v)},
+		M:     6,
+		phi:   phi,
+	}, nil
+}
+
+func primeAll(xs []string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = x + "'"
+	}
+	return out
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// CandidatePlan builds the 6-node plan ξ_µ for a truth assignment µ of X:
+// S6 = V; S5 = σ_{x̄=µ}(S6); S4 = π_K(S5); S3 = fetch(I ∈ S4, Ro, YO);
+// S2 = σ_{YO=1}(S3); S1 = π∅(S2).
+func (r *Sigma3Reduction) CandidatePlan(mu map[string]bool) plan.Node {
+	cols := make([]string, 0, len(r.phi.X)+1)
+	var conds []plan.CondItem
+	for _, x := range r.phi.X {
+		cols = append(cols, x)
+		val := "0"
+		if mu[x] {
+			val = "1"
+		}
+		conds = append(conds, plan.CondItem{L: x, RConst: true, R: val})
+	}
+	cols = append(cols, "kk")
+	var ro *access.Constraint
+	for _, c := range r.A.Constraints {
+		if c.Rel == "Ro" {
+			ro = c
+		}
+	}
+	s6 := &plan.View{Name: "Vs3", Cols: cols}
+	s5 := &plan.Select{Child: s6, Cond: conds}
+	s4 := &plan.Project{Child: s5, Cols: []string{"kk"}}
+	s3 := &plan.Fetch{Child: s4, C: ro, Bind: []string{"kk"}}
+	s2 := &plan.Select{Child: s3, Cond: []plan.CondItem{{L: "YO", RConst: true, R: "1"}}}
+	return &plan.Project{Child: s2, Cols: nil}
+}
+
+// Decide decides whether Q has a 6-bounded rewriting in CQ using V under A
+// by the proof's structure: guess a truth assignment µ of X (the only
+// viable plans are the ξ_µ), and verify ξ_µ ≡_A Q with the element-query
+// machinery — the Σp3 shape NP^{Σp2} made concrete.
+func (r *Sigma3Reduction) Decide() (bool, map[string]bool, error) {
+	u := plan.NewUnfolder(r.S, r.Views)
+	qU := cq.NewUCQ(r.Q)
+	n := len(r.phi.X)
+	mu := map[string]bool{}
+	for mask := 0; mask < 1<<n; mask++ {
+		for i, x := range r.phi.X {
+			mu[x] = mask&(1<<i) != 0
+		}
+		p := r.CandidatePlan(mu)
+		if err := plan.Validate(p, r.S); err != nil {
+			return false, nil, err
+		}
+		qxi, err := u.UCQ(p)
+		if err != nil {
+			return false, nil, err
+		}
+		if boundedness.AEquivalentUCQ(qU, qxi, r.S, r.A) {
+			out := make(map[string]bool, n)
+			for k, v := range mu {
+				out[k] = v
+			}
+			return true, out, nil
+		}
+	}
+	return false, nil, nil
+}

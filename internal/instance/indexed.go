@@ -1,0 +1,113 @@
+package instance
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+)
+
+// Indexed wraps a Database with one hash index per access constraint,
+// realizing the "index function" an access constraint promises: given an
+// X-value a̅, return D_{R:XY}(X = a̅) in O(N) time. It also accounts for
+// every tuple fetched, which is how experiments measure |Dξ| — the amount
+// of data a bounded plan reads from the underlying database.
+type Indexed struct {
+	DB     *Database
+	Access *access.Schema
+
+	// indexes[constraintKey][xValueKey] = distinct XY-projections.
+	indexes map[string]map[string][]Tuple
+	// xyAttrs[constraintKey] = attribute names (ordered) of the stored projections.
+	xyAttrs map[string][]string
+
+	fetchedTuples int // running count of tuples returned by Fetch
+	fetchCalls    int // running count of Fetch invocations
+}
+
+// BuildIndexes constructs the index structures for every constraint in the
+// access schema. It does not verify the cardinality bounds; use
+// db.SatisfiesAll for that (experiments check it separately so that index
+// construction stays O(|D|)).
+func BuildIndexes(db *Database, a *access.Schema) (*Indexed, error) {
+	ix := &Indexed{
+		DB:      db,
+		Access:  a,
+		indexes: make(map[string]map[string][]Tuple, len(a.Constraints)),
+		xyAttrs: make(map[string][]string, len(a.Constraints)),
+	}
+	for _, c := range a.Constraints {
+		if err := ix.buildOne(c); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+func (ix *Indexed) buildOne(c *access.Constraint) error {
+	t := ix.DB.Table(c.Rel)
+	if t == nil {
+		return fmt.Errorf("instance: no relation %s for constraint %s", c.Rel, c)
+	}
+	xpos, err := t.Rel.Positions(c.X)
+	if err != nil {
+		return err
+	}
+	xy := c.XY()
+	xypos, err := t.Rel.Positions(xy)
+	if err != nil {
+		return err
+	}
+	idx := make(map[string][]Tuple)
+	seen := make(map[string]map[string]struct{})
+	for _, tu := range t.Tuples {
+		xk := tu.Project(xpos).Key()
+		proj := tu.Project(xypos)
+		pk := proj.Key()
+		s := seen[xk]
+		if s == nil {
+			s = make(map[string]struct{})
+			seen[xk] = s
+		}
+		if _, dup := s[pk]; dup {
+			continue
+		}
+		s[pk] = struct{}{}
+		idx[xk] = append(idx[xk], proj)
+	}
+	key := c.Key()
+	ix.indexes[key] = idx
+	ix.xyAttrs[key] = xy
+	return nil
+}
+
+// FetchAttrs returns the attribute names (ordered) of the tuples a Fetch
+// over constraint c yields: the sorted union X ∪ Y.
+func (ix *Indexed) FetchAttrs(c *access.Constraint) []string { return ix.xyAttrs[c.Key()] }
+
+// Fetch performs fetch(X = xval, R, Y) via the index of constraint c:
+// it returns the distinct XY-projections of tuples whose X-attributes equal
+// xval. xval must be ordered like c.X (sorted attribute order). Every
+// returned tuple is counted against the fetch budget.
+func (ix *Indexed) Fetch(c *access.Constraint, xval Tuple) ([]Tuple, error) {
+	idx, ok := ix.indexes[c.Key()]
+	if !ok {
+		return nil, fmt.Errorf("instance: no index for constraint %s", c)
+	}
+	if len(xval) != len(c.X) {
+		return nil, fmt.Errorf("instance: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
+	}
+	rows := idx[xval.Key()]
+	ix.fetchCalls++
+	ix.fetchedTuples += len(rows)
+	return rows, nil
+}
+
+// FetchedTuples returns the number of tuples fetched from D so far (the
+// size of the bag Dξ in the paper's terms).
+func (ix *Indexed) FetchedTuples() int { return ix.fetchedTuples }
+
+// FetchCalls returns the number of Fetch invocations so far.
+func (ix *Indexed) FetchCalls() int { return ix.fetchCalls }
+
+// ResetCounters zeroes the fetch accounting, to measure a single plan run.
+func (ix *Indexed) ResetCounters() { ix.fetchedTuples, ix.fetchCalls = 0, 0 }

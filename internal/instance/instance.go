@@ -1,0 +1,198 @@
+// Package instance implements in-memory relational instances, satisfaction
+// checking for access schemas, and the indices that realize the O(N) fetch
+// functions of access constraints (Section 2).
+//
+// Values are strings; a tuple is a []string aligned with the relation's
+// attribute order. Indexed wraps a Database with one hash index per access
+// constraint and accounts for every tuple fetched, which is how the
+// benchmark harness measures |Dξ|.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/schema"
+)
+
+// Tuple is a row of a relation instance, aligned with the relation schema's
+// attribute order.
+type Tuple []string
+
+// Key renders the tuple as a canonical string for hashing/deduplication.
+func (t Tuple) Key() string { return strings.Join(t, "\x1f") }
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Project returns the sub-tuple at the given positions.
+func (t Tuple) Project(pos []int) Tuple {
+	out := make(Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// Table is the instance of one relation schema.
+type Table struct {
+	Rel    *schema.Relation
+	Tuples []Tuple
+}
+
+// NewTable creates an empty table for the relation schema.
+func NewTable(rel *schema.Relation) *Table { return &Table{Rel: rel} }
+
+// Insert appends a tuple after checking its arity.
+func (t *Table) Insert(row ...string) error {
+	if len(row) != t.Rel.Arity() {
+		return fmt.Errorf("instance: %s expects %d values, got %d", t.Rel.Name, t.Rel.Arity(), len(row))
+	}
+	t.Tuples = append(t.Tuples, Tuple(row).Clone())
+	return nil
+}
+
+// MustInsert inserts and panics on arity mismatch; convenient in generators
+// and tests where the arity is static.
+func (t *Table) MustInsert(row ...string) {
+	if err := t.Insert(row...); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.Tuples) }
+
+// Database is an instance of a database schema.
+type Database struct {
+	Schema *schema.Schema
+	Tables map[string]*Table
+}
+
+// NewDatabase creates an empty instance of the schema with one (empty)
+// table per relation.
+func NewDatabase(s *schema.Schema) *Database {
+	db := &Database{Schema: s, Tables: make(map[string]*Table, len(s.Relations))}
+	for _, r := range s.Relations {
+		db.Tables[r.Name] = NewTable(r)
+	}
+	return db
+}
+
+// Table returns the table for the named relation, or nil if absent.
+func (db *Database) Table(rel string) *Table { return db.Tables[rel] }
+
+// Insert inserts a tuple into the named relation.
+func (db *Database) Insert(rel string, row ...string) error {
+	t := db.Table(rel)
+	if t == nil {
+		return fmt.Errorf("instance: no relation %s", rel)
+	}
+	return t.Insert(row...)
+}
+
+// MustInsert inserts and panics on error.
+func (db *Database) MustInsert(rel string, row ...string) {
+	if err := db.Insert(rel, row...); err != nil {
+		panic(err)
+	}
+}
+
+// Size returns |D|: the total number of tuples across all relations.
+func (db *Database) Size() int {
+	n := 0
+	for _, t := range db.Tables {
+		n += len(t.Tuples)
+	}
+	return n
+}
+
+// Satisfies reports whether the instance satisfies the access constraint's
+// cardinality part: for every X-value, at most N distinct Y-projections.
+func (db *Database) Satisfies(c *access.Constraint) (bool, error) {
+	t := db.Table(c.Rel)
+	if t == nil {
+		return false, fmt.Errorf("instance: no relation %s for constraint %s", c.Rel, c)
+	}
+	xpos, err := t.Rel.Positions(c.X)
+	if err != nil {
+		return false, err
+	}
+	ypos, err := t.Rel.Positions(c.Y)
+	if err != nil {
+		return false, err
+	}
+	// Group tuples by X-value; count distinct Y-projections per group.
+	groups := make(map[string]map[string]struct{})
+	for _, tu := range t.Tuples {
+		xk := tu.Project(xpos).Key()
+		yk := tu.Project(ypos).Key()
+		g := groups[xk]
+		if g == nil {
+			g = make(map[string]struct{})
+			groups[xk] = g
+		}
+		g[yk] = struct{}{}
+		if len(g) > c.N {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SatisfiesAll reports whether D |= A for the whole access schema.
+func (db *Database) SatisfiesAll(a *access.Schema) (bool, error) {
+	for _, c := range a.Constraints {
+		ok, err := db.Satisfies(c)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Violations returns, for diagnosis, the constraints the instance violates.
+func (db *Database) Violations(a *access.Schema) []*access.Constraint {
+	var out []*access.Constraint
+	for _, c := range a.Constraints {
+		ok, err := db.Satisfies(c)
+		if err != nil || !ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ActiveDomain returns the sorted set of all values occurring in the
+// instance; used by the FO evaluation engine and by property tests.
+func (db *Database) ActiveDomain() []string {
+	seen := make(map[string]struct{})
+	for _, t := range db.Tables {
+		for _, tu := range t.Tuples {
+			for _, v := range tu {
+				seen[v] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the instance.
+func (db *Database) Clone() *Database {
+	out := NewDatabase(db.Schema)
+	for name, t := range db.Tables {
+		nt := out.Tables[name]
+		nt.Tuples = make([]Tuple, len(t.Tuples))
+		for i, tu := range t.Tuples {
+			nt.Tuples[i] = tu.Clone()
+		}
+	}
+	return out
+}

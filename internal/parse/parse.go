@@ -1,0 +1,313 @@
+// Package parse implements a small text syntax for conjunctive queries,
+// views and access constraints, used by the command-line tools and tests:
+//
+//	query:       Q(mid) :- movie(mid, y, "Universal", "2014"), rating(mid, "5").
+//	union:       two query lines with the same name form a UCQ
+//	equality:    Q(x) :- R(x, y), y = "c".
+//	constraint:  movie(studio, release -> mid, 100)
+//	             rating(mid -> rank, 1)
+//	             vip(-> phone, 50)            (empty X)
+//	relation:    rel movie(mid, mname, studio, release)
+//
+// Identifiers are letters/digits/underscores; quoted strings are constants;
+// bare identifiers in atom arguments are variables.
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// Constraint parses an access constraint of the form
+// "rel(x1, x2 -> y1, y2, N)".
+func Constraint(s string) (*access.Constraint, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("parse: constraint %q: want rel(X -> Y, N)", s)
+	}
+	rel := strings.TrimSpace(s[:open])
+	if rel == "" {
+		return nil, fmt.Errorf("parse: constraint %q: missing relation name", s)
+	}
+	body := s[open+1 : len(s)-1]
+	arrow := strings.Index(body, "->")
+	if arrow < 0 {
+		return nil, fmt.Errorf("parse: constraint %q: missing ->", s)
+	}
+	xPart := strings.TrimSpace(body[:arrow])
+	rest := strings.TrimSpace(body[arrow+2:])
+	comma := strings.LastIndexByte(rest, ',')
+	if comma < 0 {
+		return nil, fmt.Errorf("parse: constraint %q: missing bound N", s)
+	}
+	yPart := strings.TrimSpace(rest[:comma])
+	nPart := strings.TrimSpace(rest[comma+1:])
+	n, err := strconv.Atoi(nPart)
+	if err != nil {
+		return nil, fmt.Errorf("parse: constraint %q: bad bound %q", s, nPart)
+	}
+	return access.NewConstraint(rel, splitIdents(xPart), splitIdents(yPart), n), nil
+}
+
+func splitIdents(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Query parses one CQ rule "Name(h1, h2) :- atom1, atom2, x = \"c\"." (the
+// trailing period is optional).
+func Query(s string) (*cq.CQ, error) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "."))
+	sep := strings.Index(s, ":-")
+	if sep < 0 {
+		return nil, fmt.Errorf("parse: query %q: missing :-", s)
+	}
+	headStr := strings.TrimSpace(s[:sep])
+	bodyStr := strings.TrimSpace(s[sep+2:])
+
+	name, headTerms, err := parseAtomShape(headStr)
+	if err != nil {
+		return nil, fmt.Errorf("parse: query head: %w", err)
+	}
+	q := &cq.CQ{Name: name, Head: headTerms}
+
+	lits, err := splitTopLevel(bodyStr)
+	if err != nil {
+		return nil, err
+	}
+	for _, lit := range lits {
+		lit = strings.TrimSpace(lit)
+		if lit == "" {
+			continue
+		}
+		if eq := findEquals(lit); eq >= 0 {
+			l, err := parseTerm(strings.TrimSpace(lit[:eq]))
+			if err != nil {
+				return nil, err
+			}
+			r, err := parseTerm(strings.TrimSpace(lit[eq+1:]))
+			if err != nil {
+				return nil, err
+			}
+			q.Eqs = append(q.Eqs, cq.Equality{L: l, R: r})
+			continue
+		}
+		rel, args, err := parseAtomShape(lit)
+		if err != nil {
+			return nil, err
+		}
+		q.Atoms = append(q.Atoms, cq.Atom{Rel: rel, Args: args})
+	}
+	return q, nil
+}
+
+// Program parses a multi-line program: query rules (grouped into UCQs by
+// name) and constraints (lines containing "->" but no ":-"). Comment lines
+// start with '#' or '%'.
+type Program struct {
+	Queries     map[string]*cq.UCQ
+	Constraints *access.Schema
+	Schema      *schema.Schema
+	Order       []string // query names in first-appearance order
+}
+
+// ParseProgram parses a whole program text.
+func ParseProgram(text string) (*Program, error) {
+	p := &Program{
+		Queries:     map[string]*cq.UCQ{},
+		Constraints: access.NewSchema(),
+		Schema:      schema.New(),
+	}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "rel "):
+			name, terms, err := parseAtomShape(strings.TrimSpace(line[4:]))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			attrs := make([]string, len(terms))
+			for i, t := range terms {
+				if t.Const {
+					return nil, fmt.Errorf("line %d: relation attributes must be identifiers", lineNo+1)
+				}
+				attrs[i] = t.Val
+			}
+			if p.Schema.Has(name) {
+				return nil, fmt.Errorf("line %d: relation %s declared twice", lineNo+1, name)
+			}
+			p.Schema.Add(schema.NewRelation(name, attrs...))
+		case strings.Contains(line, ":-"):
+			q, err := Query(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			u, ok := p.Queries[q.Name]
+			if !ok {
+				u = &cq.UCQ{Name: q.Name}
+				p.Queries[q.Name] = u
+				p.Order = append(p.Order, q.Name)
+			}
+			if len(u.Disjuncts) > 0 && len(u.Disjuncts[0].Head) != len(q.Head) {
+				return nil, fmt.Errorf("line %d: disjunct arity mismatch for %s", lineNo+1, q.Name)
+			}
+			u.Disjuncts = append(u.Disjuncts, q)
+		case strings.Contains(line, "->"):
+			c, err := Constraint(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			p.Constraints.Add(c)
+		default:
+			return nil, fmt.Errorf("line %d: unrecognized statement %q", lineNo+1, line)
+		}
+	}
+	return p, nil
+}
+
+// parseAtomShape parses "name(arg1, arg2, ...)" into the name and terms.
+func parseAtomShape(s string) (string, []cq.Term, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("bad atom %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return "", nil, fmt.Errorf("bad relation name %q", name)
+	}
+	inner := s[open+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return name, nil, nil
+	}
+	argStrs, err := splitArgs(inner)
+	if err != nil {
+		return "", nil, err
+	}
+	args := make([]cq.Term, len(argStrs))
+	for i, a := range argStrs {
+		t, err := parseTerm(strings.TrimSpace(a))
+		if err != nil {
+			return "", nil, err
+		}
+		args[i] = t
+	}
+	return name, args, nil
+}
+
+func parseTerm(s string) (cq.Term, error) {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return cq.Cst(s[1 : len(s)-1]), nil
+	}
+	if isIdent(s) {
+		return cq.Var(s), nil
+	}
+	return cq.Term{}, fmt.Errorf("bad term %q (variables are identifiers, constants are quoted)", s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// splitTopLevel splits a rule body on commas outside parentheses/quotes.
+func splitTopLevel(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("parse: unbalanced parentheses in %q", s)
+				}
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 || inStr {
+		return nil, fmt.Errorf("parse: unbalanced parentheses or quotes in %q", s)
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+// splitArgs splits atom arguments on commas outside quotes.
+func splitArgs(s string) ([]string, error) {
+	var out []string
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case ',':
+			if !inStr {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("parse: unbalanced quotes in %q", s)
+	}
+	out = append(out, s[start:])
+	return out, nil
+}
+
+// findEquals locates a top-level '=' outside quotes; -1 if none.
+func findEquals(s string) int {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '=':
+			if !inStr {
+				return i
+			}
+		}
+	}
+	return -1
+}

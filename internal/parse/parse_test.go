@@ -1,0 +1,117 @@
+package parse
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestParseConstraint(t *testing.T) {
+	c, err := Constraint("movie(studio, release -> mid, 100)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rel != "movie" || c.N != 100 {
+		t.Fatalf("got %v", c)
+	}
+	if len(c.X) != 2 || len(c.Y) != 1 {
+		t.Fatalf("got X=%v Y=%v", c.X, c.Y)
+	}
+	// Empty X.
+	c2, err := Constraint("vip(-> phone, 50)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.X) != 0 || c2.Y[0] != "phone" || c2.N != 50 {
+		t.Fatalf("got %v", c2)
+	}
+	for _, bad := range []string{"movie(a, b)", "movie(a -> b)", "(a -> b, 3)", "m(a -> b, x)"} {
+		if _, err := Constraint(bad); err == nil {
+			t.Fatalf("constraint %q should not parse", bad)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	q, err := Query(`Q0(mid) :- movie(mid, y, "Universal", "2014"), rating(mid, "5"), y = "x".`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "Q0" || len(q.Head) != 1 || len(q.Atoms) != 2 || len(q.Eqs) != 1 {
+		t.Fatalf("got %s", q)
+	}
+	if !q.Atoms[0].Args[2].Const || q.Atoms[0].Args[2].Val != "Universal" {
+		t.Fatalf("constant not parsed: %v", q.Atoms[0])
+	}
+	if q.Atoms[0].Args[0].Const {
+		t.Fatal("mid must be a variable")
+	}
+	// Boolean query.
+	b, err := Query("B() :- edge(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Head) != 0 || len(b.Atoms) != 1 {
+		t.Fatalf("got %s", b)
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{
+		"Q(x) movie(x)",           // missing :-
+		"Q(x) :- movie(x",         // unbalanced
+		`Q(x) :- movie(x, "y)`,    // unbalanced quote
+		"Q(x) :- mo vie(x)",       // bad name
+		"Q(x) :- movie(x, 1bad$)", // bad term
+	} {
+		if _, err := Query(bad); err == nil {
+			t.Fatalf("query %q should not parse", bad)
+		}
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	prog := `
+# the Example 1.1 workload
+movie(studio, release -> mid, 100)
+rating(mid -> rank, 1)
+
+Q0(mid) :- person(p, n, "NASA"), movie(mid, y, "Universal", "2014"), like(p, mid, "movie"), rating(mid, "5").
+V1(mid) :- person(p, n, "NASA"), movie(mid, y, s, r), like(p, mid, "movie").
+U(x) :- edge("a", x).
+U(x) :- edge("b", x).
+`
+	p, err := ParseProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Constraints.Constraints) != 2 {
+		t.Fatalf("constraints: %v", p.Constraints)
+	}
+	if len(p.Order) != 3 {
+		t.Fatalf("order: %v", p.Order)
+	}
+	if len(p.Queries["U"].Disjuncts) != 2 {
+		t.Fatal("U must be a 2-disjunct UCQ")
+	}
+	if len(p.Queries["Q0"].Disjuncts[0].Atoms) != 4 {
+		t.Fatalf("Q0 atoms: %v", p.Queries["Q0"])
+	}
+}
+
+func TestParseRoundTripSemantics(t *testing.T) {
+	// Parsed Q0 must be classically equivalent to the programmatic Q0.
+	q, err := Query(`Q0(mid) :- person(p, n, "NASA"), movie(mid, y, "Universal", "2014"), like(p, mid, "movie"), rating(mid, "5")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cq.NewCQ([]cq.Term{cq.Var("mid")}, []cq.Atom{
+		cq.NewAtom("person", cq.Var("xp"), cq.Var("xp2"), cq.Cst("NASA")),
+		cq.NewAtom("movie", cq.Var("mid"), cq.Var("ym"), cq.Cst("Universal"), cq.Cst("2014")),
+		cq.NewAtom("like", cq.Var("xp"), cq.Var("mid"), cq.Cst("movie")),
+		cq.NewAtom("rating", cq.Var("mid"), cq.Cst("5")),
+	})
+	if !cq.Equivalent(q, want) {
+		t.Fatal("parsed query must be equivalent to the programmatic one")
+	}
+}

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/boundedness"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// ConformanceReport explains a conformance decision.
+type ConformanceReport struct {
+	Conforms bool
+	Reason   string
+	// FetchBound is a derived upper bound on the number of tuples any run
+	// fetches from D over instances satisfying A (0 when not conforming or
+	// when the plan has no fetches).
+	FetchBound int64
+}
+
+// Conforms decides whether the plan conforms to the access schema
+// (Section 2): (a) every fetch is covered by a constraint of A, and
+// (b) there is a constant N_ξ bounding |Dξ| over all D |= A — equivalently,
+// the input relation of every fetch has bounded output.
+//
+// Bounded output of a fetch input is decided exactly via BOP when the
+// input subplan unfolds to ∃FO+ (Theorem 3.4); subplans containing set
+// difference are soundly over-approximated by dropping the subtrahend
+// (their output only shrinks), mirroring the paper's use of effective
+// syntax where the exact FO analysis is undecidable.
+func Conforms(n Node, s *schema.Schema, a *access.Schema, views map[string]*cq.UCQ) ConformanceReport {
+	u := NewUnfolder(s, views)
+	total := int64(0)
+	var walk func(n Node) *ConformanceReport
+	walk = func(n Node) *ConformanceReport {
+		if f, ok := n.(*Fetch); ok {
+			// (a) the constraint must belong to A and cover the fetch.
+			if a.Covering(f.C.Rel, f.C.X, f.C.Y) == nil {
+				return &ConformanceReport{Conforms: false,
+					Reason: fmt.Sprintf("fetch constraint %s not in access schema", f.C)}
+			}
+			perCall := int64(f.C.N)
+			if f.Child == nil {
+				total = addCap(total, perCall)
+			} else {
+				// (b) the input subplan must have bounded output.
+				in, err := u.UCQApprox(f.Child)
+				if err != nil {
+					return &ConformanceReport{Conforms: false,
+						Reason: fmt.Sprintf("cannot analyze fetch input: %v", err)}
+				}
+				ok, bound := boundedness.BoundedOutputUCQ(in, s, a)
+				if !ok {
+					return &ConformanceReport{Conforms: false,
+						Reason: fmt.Sprintf("fetch input %s has unbounded output", f.C)}
+				}
+				total = addCap(total, mulCap(bound, perCall))
+			}
+		}
+		for _, c := range n.Children() {
+			if r := walk(c); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	if bad := walk(n); bad != nil {
+		return *bad
+	}
+	return ConformanceReport{Conforms: true, FetchBound: total}
+}
+
+func addCap(a, b int64) int64 {
+	if a > boundedness.MaxBound-b {
+		return boundedness.MaxBound
+	}
+	return a + b
+}
+
+func mulCap(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > boundedness.MaxBound/b {
+		return boundedness.MaxBound
+	}
+	return a * b
+}

@@ -1,0 +1,301 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/instance"
+)
+
+// Materialized maps view names to their cached extents V(D), with columns
+// ordered like the View node's Cols. Reading from cached views costs no
+// fetch budget (Section 2: "tuples retrieved from the cached views do not
+// incur any I/O").
+type Materialized map[string][][]string
+
+// Run executes the plan bottom-up over the indexed instance (Section 2's
+// operational semantics), returning the root relation with set semantics.
+// All access to the underlying database is via ix.Fetch, so ix's counters
+// measure |Dξ| afterwards.
+func Run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
+	rows, err := run(n, ix, views)
+	if err != nil {
+		return nil, err
+	}
+	return dedupe(rows), nil
+}
+
+func run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
+	switch x := n.(type) {
+	case *Const:
+		return [][]string{{x.Val}}, nil
+
+	case *View:
+		rows, ok := views[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("plan: view %s not materialized", x.Name)
+		}
+		for _, r := range rows {
+			if len(r) != len(x.Cols) {
+				return nil, fmt.Errorf("plan: view %s rows have %d columns, node expects %d", x.Name, len(r), len(x.Cols))
+			}
+		}
+		return rows, nil
+
+	case *Fetch:
+		var inputs [][]string
+		if x.Child == nil {
+			inputs = [][]string{{}}
+		} else {
+			childRows, err := run(x.Child, ix, views)
+			if err != nil {
+				return nil, err
+			}
+			// Project child rows onto the constraint's X order via the
+			// positional binding.
+			childAttrs := x.Child.Attrs()
+			bind := x.InBind()
+			pos := make([]int, len(bind))
+			for i, a := range bind {
+				pos[i] = indexOf(childAttrs, a)
+				if pos[i] < 0 {
+					return nil, fmt.Errorf("plan: fetch child lacks attribute %s", a)
+				}
+			}
+			seen := map[string]bool{}
+			for _, r := range childRows {
+				key := make(instance.Tuple, len(pos))
+				for i, p := range pos {
+					key[i] = r[p]
+				}
+				k := key.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				inputs = append(inputs, key)
+			}
+		}
+		var out [][]string
+		for _, in := range inputs {
+			rows, err := ix.Fetch(x.C, instance.Tuple(in))
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range rows {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+
+	case *Project:
+		childRows, err := run(x.Child, ix, views)
+		if err != nil {
+			return nil, err
+		}
+		childAttrs := x.Child.Attrs()
+		pos := make([]int, len(x.Cols))
+		for i, a := range x.Cols {
+			pos[i] = indexOf(childAttrs, a)
+		}
+		out := make([][]string, 0, len(childRows))
+		for _, r := range childRows {
+			row := make([]string, len(pos))
+			for i, p := range pos {
+				row[i] = r[p]
+			}
+			out = append(out, row)
+		}
+		return out, nil
+
+	case *Select:
+		// Equality selections directly over a product run as a hash join:
+		// same semantics, linear instead of quadratic time. This matters
+		// because cached views may be large even when fetches are bounded.
+		if prod, ok := x.Child.(*Product); ok {
+			if out, done, err := hashJoin(x, prod, ix, views); done {
+				return out, err
+			}
+		}
+		childRows, err := run(x.Child, ix, views)
+		if err != nil {
+			return nil, err
+		}
+		attrs := x.Child.Attrs()
+		var out [][]string
+	rows:
+		for _, r := range childRows {
+			for _, c := range x.Cond {
+				li := indexOf(attrs, c.L)
+				var rv string
+				if c.RConst {
+					rv = c.R
+				} else {
+					rv = r[indexOf(attrs, c.R)]
+				}
+				eq := r[li] == rv
+				if eq == c.Neq {
+					continue rows
+				}
+			}
+			out = append(out, r)
+		}
+		return out, nil
+
+	case *Product:
+		l, err := run(x.L, ix, views)
+		if err != nil {
+			return nil, err
+		}
+		r, err := run(x.R, ix, views)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]string, 0, len(l)*len(r))
+		for _, a := range l {
+			for _, b := range r {
+				row := make([]string, 0, len(a)+len(b))
+				row = append(row, a...)
+				row = append(row, b...)
+				out = append(out, row)
+			}
+		}
+		return out, nil
+
+	case *Union:
+		l, err := run(x.L, ix, views)
+		if err != nil {
+			return nil, err
+		}
+		r, err := run(x.R, ix, views)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+
+	case *Diff:
+		l, err := run(x.L, ix, views)
+		if err != nil {
+			return nil, err
+		}
+		r, err := run(x.R, ix, views)
+		if err != nil {
+			return nil, err
+		}
+		drop := map[string]bool{}
+		for _, b := range r {
+			drop[instance.Tuple(b).Key()] = true
+		}
+		var out [][]string
+		for _, a := range l {
+			if !drop[instance.Tuple(a).Key()] {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+
+	case *Rename:
+		return run(x.Child, ix, views)
+
+	default:
+		return nil, fmt.Errorf("plan: unknown node type %T", n)
+	}
+}
+
+// hashJoin evaluates σ_Cond(L × R) as a hash join when every cross-side
+// condition is an equality. Side-local conditions are applied as filters.
+// done is false when the condition shape does not permit the rewrite.
+func hashJoin(sel *Select, prod *Product, ix *instance.Indexed, views Materialized) ([][]string, bool, error) {
+	la, ra := prod.L.Attrs(), prod.R.Attrs()
+	var joinL, joinR []int    // cross-side equality positions
+	var localConds []CondItem // conditions evaluable on the combined row
+	for _, c := range sel.Cond {
+		if c.Neq {
+			return nil, false, nil
+		}
+		if c.RConst {
+			localConds = append(localConds, c)
+			continue
+		}
+		li, lInL := indexOf(la, c.L), indexOf(ra, c.L)
+		ri, rInL := indexOf(la, c.R), indexOf(ra, c.R)
+		switch {
+		case li >= 0 && rInL >= 0: // L-attr = R-attr
+			joinL, joinR = append(joinL, li), append(joinR, rInL)
+		case lInL >= 0 && ri >= 0: // R-attr = L-attr
+			joinL, joinR = append(joinL, ri), append(joinR, lInL)
+		default:
+			localConds = append(localConds, c)
+		}
+	}
+	if len(joinL) == 0 {
+		return nil, false, nil
+	}
+	lRows, err := run(prod.L, ix, views)
+	if err != nil {
+		return nil, true, err
+	}
+	rRows, err := run(prod.R, ix, views)
+	if err != nil {
+		return nil, true, err
+	}
+	// Build on the smaller side.
+	index := make(map[string][][]string, len(rRows))
+	for _, r := range rRows {
+		key := joinKeyOf(r, joinR)
+		index[key] = append(index[key], r)
+	}
+	attrs := append(append([]string{}, la...), ra...)
+	var out [][]string
+	for _, l := range lRows {
+		key := joinKeyOf(l, joinL)
+	match:
+		for _, r := range index[key] {
+			row := make([]string, 0, len(l)+len(r))
+			row = append(row, l...)
+			row = append(row, r...)
+			for _, c := range localConds {
+				li := indexOf(attrs, c.L)
+				rv := c.R
+				if !c.RConst {
+					rv = row[indexOf(attrs, c.R)]
+				}
+				if row[li] != rv {
+					continue match
+				}
+			}
+			out = append(out, row)
+		}
+	}
+	return out, true, nil
+}
+
+func joinKeyOf(row []string, pos []int) string {
+	out := ""
+	for _, p := range pos {
+		out += row[p] + "\x1f"
+	}
+	return out
+}
+
+func indexOf(xs []string, a string) int {
+	for i, x := range xs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+func dedupe(rows [][]string) [][]string {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := instance.Tuple(r).Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Package schema defines relational database schemas: named relations with
+// fixed attribute lists, per Section 2 of the paper.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a relation schema R(A1, ..., Ak) with a name and an ordered,
+// duplicate-free attribute list.
+type Relation struct {
+	Name  string
+	Attrs []string
+
+	pos map[string]int // attribute name -> position, built lazily by NewRelation
+}
+
+// NewRelation constructs a relation schema. It panics on an empty name,
+// an empty attribute list, or duplicate attributes, since schemas are
+// programmer-supplied constants in this library.
+func NewRelation(name string, attrs ...string) *Relation {
+	if name == "" {
+		panic("schema: relation name must be non-empty")
+	}
+	if len(attrs) == 0 {
+		panic(fmt.Sprintf("schema: relation %s must have at least one attribute", name))
+	}
+	pos := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			panic(fmt.Sprintf("schema: relation %s has an empty attribute name", name))
+		}
+		if _, dup := pos[a]; dup {
+			panic(fmt.Sprintf("schema: relation %s has duplicate attribute %s", name, a))
+		}
+		pos[a] = i
+	}
+	return &Relation{Name: name, Attrs: append([]string(nil), attrs...), pos: pos}
+}
+
+// Arity returns the number of attributes of the relation.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// AttrPos returns the position of attribute a, or -1 if a is not an
+// attribute of the relation.
+func (r *Relation) AttrPos(a string) int {
+	if r.pos != nil {
+		if i, ok := r.pos[a]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, x := range r.Attrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttrs reports whether every attribute in attrs belongs to the relation.
+func (r *Relation) HasAttrs(attrs []string) bool {
+	for _, a := range attrs {
+		if r.AttrPos(a) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Positions maps a list of attribute names to their positions. It returns an
+// error if any attribute is unknown.
+func (r *Relation) Positions(attrs []string) ([]int, error) {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.AttrPos(a)
+		if p < 0 {
+			return nil, fmt.Errorf("schema: relation %s has no attribute %s", r.Name, a)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// String renders the schema as R(A1,...,Ak).
+func (r *Relation) String() string {
+	return r.Name + "(" + strings.Join(r.Attrs, ",") + ")"
+}
+
+// Schema is a database schema: a collection of relation schemas with
+// distinct names.
+type Schema struct {
+	Relations []*Relation
+	byName    map[string]*Relation
+}
+
+// New constructs a database schema from relation schemas. It panics on
+// duplicate relation names.
+func New(rels ...*Relation) *Schema {
+	s := &Schema{byName: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add appends a relation schema; it panics if the name is already taken.
+func (s *Schema) Add(r *Relation) {
+	if s.byName == nil {
+		s.byName = make(map[string]*Relation)
+	}
+	if _, dup := s.byName[r.Name]; dup {
+		panic(fmt.Sprintf("schema: duplicate relation %s", r.Name))
+	}
+	s.Relations = append(s.Relations, r)
+	s.byName[r.Name] = r
+}
+
+// Relation returns the relation schema named name, or nil if absent.
+func (s *Schema) Relation(name string) *Relation {
+	if s == nil {
+		return nil
+	}
+	return s.byName[name]
+}
+
+// Has reports whether the schema contains a relation named name.
+func (s *Schema) Has(name string) bool { return s.Relation(name) != nil }
+
+// Names returns the sorted relation names.
+func (s *Schema) Names() []string {
+	out := make([]string, 0, len(s.Relations))
+	for _, r := range s.Relations {
+		out = append(out, r.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders all relation schemas, sorted by name, one per line.
+func (s *Schema) String() string {
+	names := s.Names()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = s.Relation(n).String()
+	}
+	return strings.Join(parts, "\n")
+}

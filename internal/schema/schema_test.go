@@ -1,0 +1,56 @@
+package schema
+
+import "testing"
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("R", "a", "b", "c")
+	if r.Arity() != 3 {
+		t.Fatalf("arity %d", r.Arity())
+	}
+	if r.AttrPos("b") != 1 || r.AttrPos("zz") != -1 {
+		t.Fatal("AttrPos")
+	}
+	if !r.HasAttrs([]string{"a", "c"}) || r.HasAttrs([]string{"a", "zz"}) {
+		t.Fatal("HasAttrs")
+	}
+	pos, err := r.Positions([]string{"c", "a"})
+	if err != nil || pos[0] != 2 || pos[1] != 0 {
+		t.Fatalf("Positions: %v %v", pos, err)
+	}
+	if _, err := r.Positions([]string{"zz"}); err == nil {
+		t.Fatal("unknown attribute must error")
+	}
+}
+
+func TestRelationPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty name":   func() { NewRelation("", "a") },
+		"no attrs":     func() { NewRelation("R") },
+		"dup attrs":    func() { NewRelation("R", "a", "a") },
+		"empty attr":   func() { NewRelation("R", "") },
+		"dup relation": func() { New(NewRelation("R", "a"), NewRelation("R", "b")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := New(NewRelation("B", "x"), NewRelation("A", "y"))
+	if s.Relation("A") == nil || s.Relation("C") != nil {
+		t.Fatal("Relation lookup")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("Names must be sorted: %v", names)
+	}
+	if !s.Has("B") || s.Has("Z") {
+		t.Fatal("Has")
+	}
+}

@@ -1,0 +1,306 @@
+package topped
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/fo"
+	"repro/internal/plan"
+)
+
+// pushRename renames output attributes without spending an operation when
+// the node carries its own naming (views, fetches, constants); otherwise it
+// wraps a ρ node. This is pure bookkeeping: the paper's plans are
+// positional, so attribute names are free.
+func pushRename(n plan.Node, pairs []plan.RenamePair) plan.Node {
+	ren := func(a string) string {
+		for _, p := range pairs {
+			if p.From == a {
+				return p.To
+			}
+		}
+		return a
+	}
+	switch x := n.(type) {
+	case *plan.View:
+		cols := make([]string, len(x.Cols))
+		for i, a := range x.Cols {
+			cols[i] = ren(a)
+		}
+		return &plan.View{Name: x.Name, Cols: cols}
+	case *plan.Const:
+		return &plan.Const{Attr: ren(x.Attr), Val: x.Val}
+	case *plan.Fetch:
+		out := x.OutNames()
+		as := make([]string, len(out))
+		for i, a := range out {
+			as[i] = ren(a)
+		}
+		return &plan.Fetch{Child: x.Child, C: x.C, Bind: x.Bind, As: as}
+	case *plan.Rename:
+		np := append([]plan.RenamePair(nil), x.Pairs...)
+		// Compose: existing targets that are renamed again.
+		for i, p := range np {
+			np[i] = plan.RenamePair{From: p.From, To: ren(p.To)}
+		}
+		// Attributes untouched by the existing ρ may still need renaming.
+		childAttrs := x.Child.Attrs()
+		for _, a := range childAttrs {
+			touched := false
+			for _, p := range x.Pairs {
+				if p.From == a {
+					touched = true
+					break
+				}
+			}
+			if !touched && ren(a) != a {
+				np = append(np, plan.RenamePair{From: a, To: ren(a)})
+			}
+		}
+		return &plan.Rename{Child: x.Child, Pairs: np}
+	default:
+		return &plan.Rename{Child: n, Pairs: pairs}
+	}
+}
+
+// genAtomFetch realizes cases (4a), (7a) and (7b): a base-relation atom
+// (with optional projected-out variables projVars) answered by a fetch over
+// some access constraint, with X-positions fed by constants and/or by the
+// context's output. It returns the plan for Qs ∧ (∃ projVars. atom).
+func (c *Checker) genAtomFetch(qs *ctx, at *fo.Atom, projVars []string, needed map[string]bool) (plan.Node, error) {
+	rel := c.S.Relation(at.Rel)
+	if rel == nil {
+		return nil, fmt.Errorf("topped: unknown relation %s", at.Rel)
+	}
+	if len(at.Args) != rel.Arity() {
+		return nil, fmt.Errorf("topped: atom %s has wrong arity for %s", at, rel)
+	}
+	proj := toSet(projVars)
+	var firstErr error
+	// Prefer constraints whose X needs no context (all constants), then
+	// those usable from the context.
+	for _, cn := range c.A.OnRelation(at.Rel) {
+		p, err := c.tryConstraint(qs, at, rel.Attrs, cn, proj, needed)
+		if err == nil {
+			return p, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("topped: no access constraint on %s covers atom %s", at.Rel, at)
+	}
+	return nil, firstErr
+}
+
+func (c *Checker) tryConstraint(qs *ctx, at *fo.Atom, relAttrs []string, cn *access.Constraint, proj map[string]bool, needed map[string]bool) (plan.Node, error) {
+	xset := toSet(cn.X)
+	xyList := cn.XY()
+	xyset := toSet(xyList)
+	qsAttrs := qs.attrs()
+
+	// Classify atom positions against the constraint.
+	var xIn []xInput
+	termAt := map[string]cq.Term{} // relation attr -> term (XY positions)
+	for i, attrN := range relAttrs {
+		t := at.Args[i]
+		switch {
+		case xset[attrN]:
+			if !t.Const {
+				if !inAttrs(qsAttrs, t.Val) {
+					return nil, fmt.Errorf("topped: X attribute %s of %s needs variable %s not bound by the context", attrN, cn, t.Val)
+				}
+				// Repeated variable across X positions is unsupported.
+				for _, prev := range xIn {
+					if !prev.t.Const && prev.t.Val == t.Val {
+						return nil, fmt.Errorf("topped: variable %s repeated across X positions of %s", t.Val, cn)
+					}
+				}
+			}
+			xIn = append(xIn, xInput{attrN, t})
+			termAt[attrN] = t
+		case xyset[attrN]:
+			termAt[attrN] = t
+		default:
+			// Outside X ∪ Y: the position must be purely local — a variable
+			// that is projected out or otherwise unneeded, not repeated.
+			if t.Const {
+				return nil, fmt.Errorf("topped: constant at attribute %s outside X∪Y of %s", attrN, cn)
+			}
+			if needed[t.Val] || inAttrs(qsAttrs, t.Val) {
+				return nil, fmt.Errorf("topped: variable %s at attribute %s is needed but outside X∪Y of %s", t.Val, attrN, cn)
+			}
+			occurrences := 0
+			for _, u := range at.Args {
+				if !u.Const && u.Val == t.Val {
+					occurrences++
+				}
+			}
+			if occurrences > 1 {
+				return nil, fmt.Errorf("topped: repeated variable %s reaches outside X∪Y of %s", t.Val, cn)
+			}
+			_ = proj // the variable need not be explicitly quantified; it is simply dropped
+		}
+	}
+
+	// Collect the variable inputs.
+	var xVars []string
+	for _, xi := range xIn {
+		if !xi.t.Const {
+			xVars = append(xVars, xi.t.Val)
+		}
+	}
+
+	// The fetch input is π_{xVars}(Qs); it must have bounded output (the
+	// paper's "Qs ∧ Q1 has bounded output" condition, applied to the
+	// projection actually fed to the fetch).
+	if len(xVars) > 0 {
+		if ok, _ := c.boundedOutput(qs.exprs, xVars); !ok {
+			return nil, fmt.Errorf("topped: fetch input over %v from context is not output-bounded", xVars)
+		}
+	}
+	child, constAttr, err := c.buildFetchChild(qs, xVars, xIn)
+	if err != nil {
+		return nil, err
+	}
+	if child == nil && len(cn.X) > 0 {
+		return nil, fmt.Errorf("topped: fetch over %s needs inputs", cn)
+	}
+	// Binding per X attribute, in cn.X order (xIn follows relation
+	// attribute order; map via attribute name).
+	termOfX := map[string]cq.Term{}
+	for _, xi := range xIn {
+		termOfX[xi.attr] = xi.t
+	}
+	bind := make([]string, 0, len(cn.X))
+	for _, xa := range cn.X {
+		t := termOfX[xa]
+		if t.Const {
+			bind = append(bind, constAttr[xa])
+		} else {
+			bind = append(bind, t.Val)
+		}
+	}
+
+	// Output naming and post-selection conditions.
+	as := make([]string, len(xyList))
+	var conds []plan.CondItem
+	ctxOverlap := false            // a fetched Y value must agree with a context binding
+	seenVar := map[string]string{} // variable -> output attr already carrying it
+	for _, xv := range xVars {
+		seenVar[xv] = xv
+	}
+	for i, attrN := range xyList {
+		t := termAt[attrN]
+		switch {
+		case xset[attrN] && !t.Const:
+			as[i] = t.Val // carries the input value through
+		case xset[attrN] && t.Const:
+			as[i] = c.freshAttr() // constant input; value is known
+		case t.Const:
+			as[i] = c.freshAttr()
+			conds = append(conds, plan.CondItem{L: as[i], RConst: true, R: t.Val})
+		default:
+			if prev, dup := seenVar[t.Val]; dup {
+				as[i] = c.freshAttr()
+				conds = append(conds, plan.CondItem{L: as[i], R: prev})
+			} else {
+				as[i] = t.Val
+				seenVar[t.Val] = t.Val
+				if inAttrs(qsAttrs, t.Val) {
+					// The variable is bound by the context but did not feed
+					// the fetch: the fetched values must be filtered against
+					// the context via a join-back.
+					ctxOverlap = true
+				}
+			}
+		}
+	}
+	var p plan.Node = &plan.Fetch{Child: child, C: cn, Bind: bindOrNil(bind, cn.X), As: as}
+	if len(conds) > 0 {
+		p = &plan.Select{Child: p, Cond: conds}
+	}
+
+	// Join the context back in when it was not embedded through the fetch
+	// input (it may act as a Boolean guard), when it carries needed
+	// attributes that did not flow through the fetch, or when a fetched Y
+	// value coincides with a context-bound variable (the fetch alone would
+	// not enforce the equality).
+	if qs.p != nil {
+		lost := ctxOverlap || len(xVars) == 0
+		pa := p.Attrs()
+		for _, a := range qsAttrs {
+			if needed[a] && !inAttrs(pa, a) {
+				lost = true
+				break
+			}
+		}
+		if lost {
+			return c.join(qs.p, p)
+		}
+	}
+	return p, nil
+}
+
+// xInput records that an X attribute of the driving constraint is fed by
+// the given term (a constant or a context-bound variable).
+type xInput struct {
+	attr string
+	t    cq.Term
+}
+
+// buildFetchChild constructs the fetch child: the projection of the
+// context onto the variable inputs, crossed with one constant node per
+// constant input. It returns the child and the synthetic attribute name
+// chosen for each constant X attribute.
+func (c *Checker) buildFetchChild(qs *ctx, xVars []string, xIn []xInput) (plan.Node, map[string]string, error) {
+	var child plan.Node
+	if len(xVars) > 0 {
+		pr, err := c.projectTo(qs.p, sortedStrings(xVars))
+		if err != nil {
+			return nil, nil, err
+		}
+		child = pr
+	}
+	constAttr := map[string]string{}
+	for _, xi := range xIn {
+		if !xi.t.Const {
+			continue
+		}
+		name := c.freshAttr()
+		constAttr[xi.attr] = name
+		cst := &plan.Const{Attr: name, Val: xi.t.Val}
+		if child == nil {
+			child = cst
+		} else {
+			child = &plan.Product{L: child, R: cst}
+		}
+	}
+	return child, constAttr, nil
+}
+
+// bindOrNil avoids storing an explicit binding when it coincides with the
+// constraint's own attribute names.
+func bindOrNil(bind, x []string) []string {
+	if len(bind) != len(x) {
+		return bind
+	}
+	for i := range bind {
+		if bind[i] != x[i] {
+			return bind
+		}
+	}
+	return nil
+}
+
+func sortedStrings(xs []string) []string {
+	out := append([]string(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

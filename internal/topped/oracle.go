@@ -1,0 +1,44 @@
+package topped
+
+import (
+	"repro/internal/boundedness"
+	"repro/internal/fo"
+)
+
+// boundedOutput is the bounded-output oracle of Theorem 5.1(c): it decides
+// (soundly) whether the conjunction of the context formulas, projected to
+// head, has output size bounded by a constant over all instances
+// satisfying A.
+//
+// Views are expanded to their definitions; negations are over-approximated
+// positively (dropping a negation can only grow the output, so "bounded"
+// verdicts remain sound); the resulting ∃FO+ formula is converted to UCQ
+// and decided exactly by BOP (Theorem 3.4). Formulas that fall outside the
+// convertible fragment yield "unbounded" (conservative).
+func (c *Checker) boundedOutput(exprs []fo.Expr, head []string) (bool, int64) {
+	if len(exprs) == 0 {
+		// The empty context Qε is Boolean: bounded iff nothing is asked.
+		return len(head) == 0, 1
+	}
+	conj := fo.Conj(exprs...)
+	expanded := fo.ExpandViews(conj, c.Views)
+	pos := fo.PositiveApprox(expanded)
+	u, err := fo.ToUCQ(head, pos)
+	if err != nil {
+		return false, 0
+	}
+	return boundedness.BoundedOutputUCQ(u, c.S, c.A)
+}
+
+// BoundedOutputFO is the exported oracle: it decides bounded output for an
+// FO query over R under A, exactly for ∃FO+ (after view expansion) and
+// soundly (via positive approximation, or the size-bounded syntax of
+// Section 5.3) otherwise. The boolean result is trustworthy when true;
+// false means "bounded output could not be established".
+func (c *Checker) BoundedOutputFO(q *fo.Query) (bool, int64) {
+	// The size-bounded syntax decides immediately.
+	if k, _, ok := IsSizeBounded(q); ok {
+		return true, k
+	}
+	return c.boundedOutput([]fo.Expr{q.Body}, q.Head)
+}

@@ -1,0 +1,276 @@
+package topped
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cq"
+	"repro/internal/fo"
+)
+
+// Size-bounded queries (Section 5.3) are FO queries of the form
+//
+//	Q(x̄) = Q'(x̄) ∧ ∀x̄1,...,x̄K+1 ( Q'(x̄1) ∧ ... ∧ Q'(x̄K+1)
+//	                                 → ∨_{i≠j} x̄i = x̄j )
+//
+// for some K ≥ 0 and FO query Q'. Every such query has output bounded by
+// K on all instances (Theorem 5.2(b)): if Q' exceeds K answers the guard
+// fails and Q is empty; otherwise Q = Q'. Conversely every FO query with
+// output bounded by K over A-instances is A-equivalent to its size-bounded
+// form (Theorem 5.2(a)) — see MakeSizeBounded.
+
+// MakeSizeBounded wraps an FO query in the size-bounded form with bound K.
+// The copies x̄i use fresh variables "<x>§<i>".
+func MakeSizeBounded(q *fo.Query, k int64) *fo.Query {
+	n := len(q.Head)
+	copyVars := func(i int64) []string {
+		out := make([]string, n)
+		for j, h := range q.Head {
+			out[j] = h + "§" + strconv.FormatInt(i, 10)
+		}
+		return out
+	}
+	var allVars []string
+	var copies []fo.Expr
+	for i := int64(1); i <= k+1; i++ {
+		vars := copyVars(i)
+		allVars = append(allVars, vars...)
+		sub := map[string]cq.Term{}
+		for j, h := range q.Head {
+			sub[h] = cq.Var(vars[j])
+		}
+		copies = append(copies, fo.Substitute(fo.Rectify(fo.Clone(q.Body)), sub))
+	}
+	var pairs []fo.Expr
+	for i := int64(1); i <= k+1; i++ {
+		for j := i + 1; j <= k+1; j++ {
+			vi, vj := copyVars(i), copyVars(j)
+			var eqs []fo.Expr
+			for t := 0; t < n; t++ {
+				eqs = append(eqs, fo.Eq(cq.Var(vi[t]), cq.Var(vj[t])))
+			}
+			pairs = append(pairs, fo.Conj(eqs...))
+		}
+	}
+	guard := &fo.Forall{
+		Vars: allVars,
+		E:    &fo.Implies{A: fo.Conj(copies...), B: fo.Disj(pairs...)},
+	}
+	return &fo.Query{
+		Name: q.Name,
+		Head: append([]string(nil), q.Head...),
+		Body: &fo.And{L: fo.Clone(q.Body), R: guard},
+	}
+}
+
+// IsSizeBounded recognizes the size-bounded form syntactically, returning
+// the bound K and the inner query Q' on success. The check is PTIME in |Q|
+// (Theorem 5.2(c)): it verifies the shape And(Q', Forall(vars,
+// Implies(K+1 α-copies of Q', pairwise-equality disjunction))).
+func IsSizeBounded(q *fo.Query) (int64, *fo.Query, bool) {
+	and, ok := q.Body.(*fo.And)
+	if !ok {
+		return 0, nil, false
+	}
+	inner := and.L
+	guard, ok := and.R.(*fo.Forall)
+	if !ok {
+		return 0, nil, false
+	}
+	imp, ok := guard.E.(*fo.Implies)
+	if !ok {
+		return 0, nil, false
+	}
+	n := len(q.Head)
+	if n == 0 {
+		return 0, nil, false
+	}
+	copies := conjuncts(imp.A)
+	if len(copies)*n != len(guard.Vars) || len(copies) < 2 {
+		return 0, nil, false
+	}
+	k := int64(len(copies) - 1)
+	// Each copy must be an α-renaming of inner mapping head j to the j-th
+	// variable of that copy's block.
+	for i, cp := range copies {
+		block := guard.Vars[i*n : (i+1)*n]
+		ren := map[string]string{}
+		for j, h := range q.Head {
+			ren[h] = block[j]
+		}
+		if !alphaEqual(inner, cp, ren, map[string]string{}) {
+			return 0, nil, false
+		}
+	}
+	// The conclusion must be the disjunction of pairwise block equalities
+	// (any order); verify each disjunct is a full equality conjunction of
+	// two distinct blocks, and that enough distinct pairs appear to force
+	// a collision among K+1 copies (all pairs is the canonical form).
+	blocks := make([][]string, len(copies))
+	for i := range copies {
+		blocks[i] = guard.Vars[i*n : (i+1)*n]
+	}
+	wantPairs := map[string]bool{}
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			wantPairs[fmt.Sprint(i, ",", j)] = false
+		}
+	}
+	for _, d := range disjuncts(imp.B) {
+		i, j, ok := matchPairEquality(d, blocks)
+		if !ok {
+			return 0, nil, false
+		}
+		wantPairs[fmt.Sprint(i, ",", j)] = true
+	}
+	for _, seen := range wantPairs {
+		if !seen {
+			return 0, nil, false
+		}
+	}
+	return k, &fo.Query{Name: q.Name, Head: q.Head, Body: inner}, true
+}
+
+// matchPairEquality checks that d is the conjunction of positionwise
+// equalities between two blocks, returning their indices.
+func matchPairEquality(d fo.Expr, blocks [][]string) (int, int, bool) {
+	eqs := conjuncts(d)
+	if len(blocks) == 0 || len(eqs) != len(blocks[0]) {
+		return 0, 0, false
+	}
+	blockOf := map[string][2]int{} // var -> (block, position)
+	for b, vars := range blocks {
+		for p, v := range vars {
+			blockOf[v] = [2]int{b, p}
+		}
+	}
+	bi, bj := -1, -1
+	seen := map[int]bool{}
+	for _, e := range eqs {
+		c, ok := e.(*fo.Cmp)
+		if !ok || c.Neq || c.L.Const || c.R.Const {
+			return 0, 0, false
+		}
+		l, okL := blockOf[c.L.Val]
+		r, okR := blockOf[c.R.Val]
+		if !okL || !okR || l[1] != r[1] || l[0] == r[0] {
+			return 0, 0, false
+		}
+		i, j := l[0], r[0]
+		if i > j {
+			i, j = j, i
+		}
+		if bi == -1 {
+			bi, bj = i, j
+		} else if bi != i || bj != j {
+			return 0, 0, false
+		}
+		if seen[l[1]] {
+			return 0, 0, false
+		}
+		seen[l[1]] = true
+	}
+	if len(seen) != len(blocks[0]) {
+		return 0, 0, false
+	}
+	return bi, bj, true
+}
+
+// alphaEqual tests structural equality of two formulas modulo the variable
+// renaming ren (free variables) and bnd (bound variables encountered).
+func alphaEqual(a, b fo.Expr, ren map[string]string, bnd map[string]string) bool {
+	mapped := func(v string) (string, bool) {
+		if w, ok := bnd[v]; ok {
+			return w, true
+		}
+		if w, ok := ren[v]; ok {
+			return w, true
+		}
+		return v, false
+	}
+	termEq := func(s, t cq.Term) bool {
+		if s.Const != t.Const {
+			return false
+		}
+		if s.Const {
+			return s.Val == t.Val
+		}
+		w, _ := mapped(s.Val)
+		return w == t.Val
+	}
+	switch x := a.(type) {
+	case *fo.Atom:
+		y, ok := b.(*fo.Atom)
+		if !ok || y.Rel != x.Rel || len(y.Args) != len(x.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !termEq(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *fo.Cmp:
+		y, ok := b.(*fo.Cmp)
+		if !ok || y.Neq != x.Neq {
+			return false
+		}
+		return termEq(x.L, y.L) && termEq(x.R, y.R)
+	case *fo.And:
+		y, ok := b.(*fo.And)
+		return ok && alphaEqual(x.L, y.L, ren, bnd) && alphaEqual(x.R, y.R, ren, bnd)
+	case *fo.Or:
+		y, ok := b.(*fo.Or)
+		return ok && alphaEqual(x.L, y.L, ren, bnd) && alphaEqual(x.R, y.R, ren, bnd)
+	case *fo.Not:
+		y, ok := b.(*fo.Not)
+		return ok && alphaEqual(x.E, y.E, ren, bnd)
+	case *fo.Implies:
+		y, ok := b.(*fo.Implies)
+		return ok && alphaEqual(x.A, y.A, ren, bnd) && alphaEqual(x.B, y.B, ren, bnd)
+	case *fo.Exists:
+		y, ok := b.(*fo.Exists)
+		if !ok || len(y.Vars) != len(x.Vars) {
+			return false
+		}
+		nb := cloneStrMap(bnd)
+		for i := range x.Vars {
+			nb[x.Vars[i]] = y.Vars[i]
+		}
+		return alphaEqual(x.E, y.E, ren, nb)
+	case *fo.Forall:
+		y, ok := b.(*fo.Forall)
+		if !ok || len(y.Vars) != len(x.Vars) {
+			return false
+		}
+		nb := cloneStrMap(bnd)
+		for i := range x.Vars {
+			nb[x.Vars[i]] = y.Vars[i]
+		}
+		return alphaEqual(x.E, y.E, ren, nb)
+	default:
+		return false
+	}
+}
+
+func cloneStrMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func conjuncts(e fo.Expr) []fo.Expr {
+	if a, ok := e.(*fo.And); ok {
+		return append(conjuncts(a.L), conjuncts(a.R)...)
+	}
+	return []fo.Expr{e}
+}
+
+func disjuncts(e fo.Expr) []fo.Expr {
+	if a, ok := e.(*fo.Or); ok {
+		return append(disjuncts(a.L), disjuncts(a.R)...)
+	}
+	return []fo.Expr{e}
+}

@@ -1,0 +1,199 @@
+package vbrp
+
+import (
+	"fmt"
+
+	"repro/internal/boundedness"
+	"repro/internal/chase"
+	"repro/internal/cq"
+	"repro/internal/plan"
+)
+
+// Decision is the result of a VBRP decision.
+type Decision struct {
+	Has     bool      // an M-bounded rewriting exists
+	Plan    plan.Node // a witnessing plan (nil when Has is false)
+	Checked int       // candidate plans examined
+	Exact   bool      // false when the search was truncated (a "no" is unreliable)
+}
+
+// Decide solves VBRP(L) / VBRP+(L1, L2) for a UCQ query (CQ is a singleton
+// union; ∃FO+ queries are converted by fo.ToUCQ first): it enumerates
+// candidate plans of size ≤ M in the problem's language, discards those
+// not conforming to A, and tests A-equivalence of the expressed query Q_ξ
+// with Q via element queries. This is the Σp3 procedure of Theorem 3.1.
+//
+// The problem's language must be CQ, UCQ or ∃FO+ (A-equivalence of FO
+// plans is undecidable, Theorem 3.1(2); see DecideFOApprox).
+func Decide(q *cq.UCQ, p *Problem) (Decision, error) {
+	if p.Lang == plan.LangFO {
+		return Decision{}, fmt.Errorf("vbrp: exact decision for FO plans is undecidable; use DecideFOApprox")
+	}
+	p.normalize()
+	// Fast path: Q ≡_A ∅ is answered by the (2-node) empty plan; the
+	// enumeration prunes redundant empty plans, so handle it here.
+	if boundedness.AEmptyUCQ(q, p.S, p.A) {
+		if p.M >= 2 {
+			return Decision{Has: true, Exact: true, Plan: emptyPlan()}, nil
+		}
+		return Decision{Exact: true}, nil
+	}
+	shapes, err := p.Enumerate()
+	exact := err == nil
+	if err != nil && err != ErrSearchTruncated {
+		return Decision{}, err
+	}
+	dec := Decision{Exact: exact}
+	fdOnly := p.A.AllFDs()
+	for _, s := range shapes {
+		n, err := p.Materialize(s)
+		if err != nil {
+			continue
+		}
+		if !plan.InLanguage(n, p.Lang) {
+			continue
+		}
+		dec.Checked++
+		rep := plan.Conforms(n, p.S, p.A, p.Views)
+		if !rep.Conforms {
+			continue
+		}
+		u := plan.NewUnfolder(p.S, p.Views)
+		qxi, err := u.UCQ(n)
+		if err != nil {
+			continue
+		}
+		equiv := false
+		if fdOnly && len(qxi.Disjuncts) == 1 && len(q.Disjuncts) == 1 {
+			// Corollary 4.4 / Proposition 4.5 fast path: chase-based
+			// A-equivalence under FD-shaped constraints.
+			equiv = chase.AEquivalentFD(q.Disjuncts[0], qxi.Disjuncts[0], p.S, p.A)
+		} else {
+			equiv = boundedness.AEquivalentUCQ(q, qxi, p.S, p.A)
+		}
+		if equiv {
+			dec.Has = true
+			dec.Plan = n
+			return dec, nil
+		}
+	}
+	return dec, nil
+}
+
+// DecideBoolean decides VBRP for a Boolean query expressed as a UCQ with
+// empty heads. The empty plan (Q ≡_A ∅) is treated as available at every
+// M ≥ 0, matching the paper's use of "the trivial plan that always
+// returns ∅" in the Theorem 3.11 and 4.1 arguments.
+func DecideBoolean(q *cq.UCQ, p *Problem) (Decision, error) {
+	if boundedness.AEmptyUCQ(q, p.S, p.A) {
+		return Decision{Has: true, Exact: true, Plan: emptyPlan()}, nil
+	}
+	return Decide(q, p)
+}
+
+// emptyPlan is a canonical always-empty plan: σ contradictory over a
+// constant.
+func emptyPlan() plan.Node {
+	return &plan.Select{
+		Child: &plan.Const{Attr: "e", Val: "0"},
+		Cond:  []plan.CondItem{{L: "e", RConst: true, R: "1"}},
+	}
+}
+
+// MaximumPlan implements AlgMP of Theorem 4.2: among the conforming
+// candidate plans that are A-contained in Q, find the unique maximum one
+// up to A-equivalence. It returns (nil, false) when no candidate survives
+// or the maximum is not unique.
+func MaximumPlan(q *cq.UCQ, p *Problem) (plan.Node, bool, error) {
+	p.normalize()
+	shapes, err := p.Enumerate()
+	if err != nil && err != ErrSearchTruncated {
+		return nil, false, err
+	}
+	type cand struct {
+		n   plan.Node
+		qxi *cq.UCQ
+	}
+	var cands []cand
+	for _, s := range shapes {
+		n, err := p.Materialize(s)
+		if err != nil {
+			continue
+		}
+		if !plan.InLanguage(n, p.Lang) {
+			continue
+		}
+		rep := plan.Conforms(n, p.S, p.A, p.Views)
+		if !rep.Conforms {
+			continue
+		}
+		u := plan.NewUnfolder(p.S, p.Views)
+		qxi, err := u.UCQ(n)
+		if err != nil {
+			continue
+		}
+		// Step (3): keep plans with ξ ⊑_A Q.
+		if !boundedness.AContainedUCQ(qxi, q, p.S, p.A) {
+			continue
+		}
+		cands = append(cands, cand{n, qxi})
+	}
+	if len(cands) == 0 {
+		return nil, false, nil
+	}
+	// Step (4): discard plans strictly below another candidate.
+	var maxima []cand
+	for i, a := range cands {
+		dominated := false
+		for j, b := range cands {
+			if i == j {
+				continue
+			}
+			ab := boundedness.AContainedUCQ(a.qxi, b.qxi, p.S, p.A)
+			ba := boundedness.AContainedUCQ(b.qxi, a.qxi, p.S, p.A)
+			if ab && !ba {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maxima = append(maxima, a)
+		}
+	}
+	// Step (5): all maxima must be A-equivalent.
+	for i := 1; i < len(maxima); i++ {
+		if !boundedness.AEquivalentUCQ(maxima[0].qxi, maxima[i].qxi, p.S, p.A) {
+			return nil, false, nil
+		}
+	}
+	return maxima[0].n, true, nil
+}
+
+// DecideACQ implements AlgACQ (Theorem 4.2): compute the unique maximum
+// plan; Q has an M-bounded rewriting iff the maximum plan exists and is
+// A-equivalent to Q (by Lemma 3.12).
+func DecideACQ(q *cq.CQ, p *Problem) (Decision, error) {
+	if !cq.IsAcyclic(q) {
+		return Decision{}, fmt.Errorf("vbrp: DecideACQ requires an acyclic query")
+	}
+	uq := cq.NewUCQ(q)
+	if boundedness.AEmptyUCQ(uq, p.S, p.A) {
+		return Decision{Has: true, Exact: true, Plan: emptyPlan()}, nil
+	}
+	mp, ok, err := MaximumPlan(uq, p)
+	if err != nil {
+		return Decision{}, err
+	}
+	if !ok {
+		return Decision{Exact: true}, nil
+	}
+	u := plan.NewUnfolder(p.S, p.Views)
+	qxi, err := u.UCQ(mp)
+	if err != nil {
+		return Decision{}, err
+	}
+	if boundedness.AContainedUCQ(uq, qxi, p.S, p.A) {
+		return Decision{Has: true, Exact: true, Plan: mp}, nil
+	}
+	return Decision{Exact: true}, nil
+}

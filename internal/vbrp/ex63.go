@@ -1,0 +1,127 @@
+package vbrp
+
+import (
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/plan"
+	"repro/internal/schema"
+)
+
+// Ex63 is the counterexample of Example 6.3: a Boolean CQ Q with three
+// Boolean CQ views V1, V2, V3 such that, with M = 5, Q has a 5-bounded
+// rewriting in FO — the plan (V3 \ V1) ∪ V2 — but no 5-bounded rewriting
+// in UCQ. It separates CQ-to-FO from CQ-to-UCQ bounded rewriting, showing
+// UCQ is not "complete" for CQ-to-FO rewriting (Section 6).
+type Ex63 struct {
+	S     *schema.Schema
+	A     *access.Schema
+	Q     *cq.CQ
+	Views map[string]*cq.UCQ
+	M     int
+}
+
+// NewEx63 constructs the fixture verbatim from the paper.
+func NewEx63() *Ex63 {
+	s := schema.New(
+		schema.NewRelation("R", "X", "Y", "Z"),
+		schema.NewRelation("T", "X", "Y"),
+		schema.NewRelation("K1", "X", "Y"),
+		schema.NewRelation("K2", "X", "Y"),
+		schema.NewRelation("K3", "X", "Y"),
+		schema.NewRelation("K4", "X", "Y"),
+	)
+	a := access.NewSchema(
+		access.NewConstraint("T", []string{"X"}, []string{"Y"}, 3),
+		access.NewConstraint("K1", []string{"X"}, []string{"Y"}, 1),
+		access.NewConstraint("K2", []string{"X"}, []string{"Y"}, 1),
+		access.NewConstraint("K3", []string{"X"}, []string{"Y"}, 1),
+		access.NewConstraint("K4", []string{"X"}, []string{"Y"}, 1),
+	)
+	v := cq.Var
+	k := cq.Cst
+
+	// Q'(x1,x2,x3,x4) = ∃y' ( T(y',x1) ∧ T(y',x2) ∧ T(y',x3) ∧ T(y',x4)
+	//   ∧ K1(x1,1) ∧ K1(x2,2) ∧ K2(x3,1) ∧ K2(x4,2)
+	//   ∧ K3(x1,1) ∧ K3(x4,2) ∧ K4(x2,1) ∧ K4(x3,2) ).
+	qprime := func(suffix string, x1, x2, x3, x4 cq.Term) []cq.Atom {
+		yp := v("yp" + suffix)
+		return []cq.Atom{
+			cq.NewAtom("T", yp, x1),
+			cq.NewAtom("T", yp, x2),
+			cq.NewAtom("T", yp, x3),
+			cq.NewAtom("T", yp, x4),
+			cq.NewAtom("K1", x1, k("1")),
+			cq.NewAtom("K1", x2, k("2")),
+			cq.NewAtom("K2", x3, k("1")),
+			cq.NewAtom("K2", x4, k("2")),
+			cq.NewAtom("K3", x1, k("1")),
+			cq.NewAtom("K3", x4, k("2")),
+			cq.NewAtom("K4", x2, k("1")),
+			cq.NewAtom("K4", x3, k("2")),
+		}
+	}
+
+	// Q() = ∃x,y,z1,z2 ( R(x,y,z1) ∧ R(x,y,z2) ∧ Q'(y,z1,y,z2) ).
+	qAtoms := []cq.Atom{
+		cq.NewAtom("R", v("x"), v("y"), v("z1")),
+		cq.NewAtom("R", v("x"), v("y"), v("z2")),
+	}
+	qAtoms = append(qAtoms, qprime("q", v("y"), v("z1"), v("y"), v("z2"))...)
+	q := cq.NewCQ(nil, qAtoms)
+	q.Name = "Q63"
+
+	// V1() = ∃x,y,z1,z2 ( R(x,z1,y) ∧ R(x,z2,y) ∧ Q'(z1,y,z2,y) ).
+	v1Atoms := []cq.Atom{
+		cq.NewAtom("R", v("x"), v("z1"), v("y")),
+		cq.NewAtom("R", v("x"), v("z2"), v("y")),
+	}
+	v1Atoms = append(v1Atoms, qprime("v1", v("z1"), v("y"), v("z2"), v("y"))...)
+	v1 := cq.NewCQ(nil, v1Atoms)
+	v1.Name = "V1"
+
+	// V2() = V-pattern of Q conjoined with the V1 pattern (V2 ≡_A V1 ∧ Q).
+	var v2Atoms []cq.Atom
+	v2Atoms = append(v2Atoms,
+		cq.NewAtom("R", v("x"), v("y1"), v("za")),
+		cq.NewAtom("R", v("x"), v("y1"), v("zb")),
+	)
+	v2Atoms = append(v2Atoms, qprime("v2a", v("y1"), v("za"), v("y1"), v("zb"))...)
+	v2Atoms = append(v2Atoms,
+		cq.NewAtom("R", v("x1"), v("zc"), v("y2")),
+		cq.NewAtom("R", v("x1"), v("zd"), v("y2")),
+	)
+	v2Atoms = append(v2Atoms, qprime("v2b", v("zc"), v("y2"), v("zd"), v("y2"))...)
+	v2 := cq.NewCQ(nil, v2Atoms)
+	v2.Name = "V2"
+
+	// V3() = ∃x,y1,y2,z1,z2 ( R(x,y1,z1) ∧ R(x,y2,z2) ∧ Q'(y1,z1,y2,z2) )
+	// (V3 ≡_A V1 ∪ Q).
+	v3Atoms := []cq.Atom{
+		cq.NewAtom("R", v("x"), v("y1"), v("z1")),
+		cq.NewAtom("R", v("x"), v("y2"), v("z2")),
+	}
+	v3Atoms = append(v3Atoms, qprime("v3", v("y1"), v("z1"), v("y2"), v("z2"))...)
+	v3 := cq.NewCQ(nil, v3Atoms)
+	v3.Name = "V3"
+
+	return &Ex63{
+		S: s, A: a, Q: q,
+		Views: map[string]*cq.UCQ{
+			"V1": cq.NewUCQ(v1),
+			"V2": cq.NewUCQ(v2),
+			"V3": cq.NewUCQ(v3),
+		},
+		M: 5,
+	}
+}
+
+// FOPlan returns the paper's 5-bounded FO plan (V3 \ V1) ∪ V2.
+func (e *Ex63) FOPlan() plan.Node {
+	return &plan.Union{
+		L: &plan.Diff{
+			L: &plan.View{Name: "V3", Cols: nil},
+			R: &plan.View{Name: "V1", Cols: nil},
+		},
+		R: &plan.View{Name: "V2", Cols: nil},
+	}
+}

@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/fo"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+// CDR models the paper's industrial evaluation domain: call detail records
+// from a telco. The schema, constraints and query shapes follow the
+// description in Sections 1 and 5.1 (the real data is proprietary; this
+// synthetic generator preserves the access-constraint structure — see
+// DESIGN.md "Substitutions").
+//
+//	customer(phone, name, plan)                 — phone is a key
+//	calls(caller, callee, day, dur)             — a caller makes ≤ FanOut calls/day
+//	cell(phone, day, tower)                     — a phone visits ≤ Towers towers/day
+//	vip(phone)                                  — small marketing list (global bound)
+type CDR struct {
+	Schema *schema.Schema
+	Access *access.Schema
+
+	FanOut int // calls per caller per day
+	Towers int // towers per phone per day
+	VIPCap int // global size bound on vip
+
+	CustKey, CallFan, CellFan, VIPBound *access.Constraint
+}
+
+// NewCDR builds the CDR fixture.
+func NewCDR(fanOut, towers, vipCap int) *CDR {
+	s := schema.New(
+		schema.NewRelation("customer", "phone", "name", "plan"),
+		schema.NewRelation("calls", "caller", "callee", "day", "dur"),
+		schema.NewRelation("cell", "phone", "day", "tower"),
+		schema.NewRelation("vip", "phone"),
+	)
+	custKey := access.NewConstraint("customer", []string{"phone"}, []string{"name", "plan"}, 1)
+	callFan := access.NewConstraint("calls", []string{"caller", "day"}, []string{"callee", "dur"}, fanOut)
+	cellFan := access.NewConstraint("cell", []string{"phone", "day"}, []string{"tower"}, towers)
+	vipBound := access.NewConstraint("vip", nil, []string{"phone"}, vipCap)
+	a := access.NewSchema(custKey, callFan, cellFan, vipBound)
+	return &CDR{
+		Schema: s, Access: a,
+		FanOut: fanOut, Towers: towers, VIPCap: vipCap,
+		CustKey: custKey, CallFan: callFan, CellFan: cellFan, VIPBound: vipBound,
+	}
+}
+
+// CDRParams sizes a generated CDR instance.
+type CDRParams struct {
+	Customers int
+	Days      int
+	Seed      int64
+}
+
+// Generate builds an instance satisfying the access schema: every customer
+// makes up to FanOut calls on each of a few active days and visits up to
+// Towers towers.
+func (c *CDR) Generate(p CDRParams) *instance.Database {
+	rng := rand.New(rand.NewSource(p.Seed))
+	db := instance.NewDatabase(c.Schema)
+	if p.Days < 1 {
+		p.Days = 30
+	}
+	phone := func(i int) string { return fmt.Sprintf("p%07d", i) }
+	day := func(i int) string { return fmt.Sprintf("d%02d", i) }
+	plans := []string{"basic", "silver", "gold"}
+	for i := 0; i < p.Customers; i++ {
+		db.MustInsert("customer", phone(i), fmt.Sprintf("Customer %d", i), plans[rng.Intn(len(plans))])
+		activeDays := 1 + rng.Intn(3)
+		usedDays := map[string]bool{}
+		for d := 0; d < activeDays; d++ {
+			dy := day(rng.Intn(p.Days))
+			if d == 0 && i%3 == 0 && p.Days > 7 {
+				// A third of customers are deterministically active on day
+				// d07, so parameterized workload queries have answers.
+				dy = day(7)
+			}
+			if usedDays[dy] {
+				continue // one batch per (customer, day) keeps the fan-outs exact
+			}
+			usedDays[dy] = true
+			nCalls := 1 + rng.Intn(c.FanOut)
+			seenCallee := map[string]bool{}
+			for k := 0; k < nCalls; k++ {
+				callee := phone(rng.Intn(p.Customers))
+				if seenCallee[callee] {
+					continue
+				}
+				seenCallee[callee] = true
+				db.MustInsert("calls", phone(i), callee, dy, fmt.Sprintf("%d", 10+rng.Intn(600)))
+			}
+			nTowers := 1 + rng.Intn(c.Towers)
+			seenTower := map[string]bool{}
+			for k := 0; k < nTowers; k++ {
+				tw := fmt.Sprintf("t%04d", rng.Intn(2000))
+				if seenTower[tw] {
+					continue
+				}
+				seenTower[tw] = true
+				db.MustInsert("cell", phone(i), dy, tw)
+			}
+		}
+	}
+	for i := 0; i < c.VIPCap && i < p.Customers; i++ {
+		db.MustInsert("vip", phone(i*7%max(1, p.Customers)))
+	}
+	return db
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CDRQuery is one workload query with its FO form (for the topped checker)
+// and CQ form when it is a CQ (for the baseline evaluator).
+type CDRQuery struct {
+	Name    string
+	Descr   string
+	FO      *fo.Query
+	CQ      *cq.CQ // nil for non-CQ queries
+	IsBound bool   // expected: has a bounded rewriting (topped)
+}
+
+// Queries returns the 10-query CDR workload. Queries take a parameter
+// phone p0 and day d0, mirroring the parameterized Graph-Search queries of
+// the paper; 9 of 10 are expected to be topped (the paper reports > 90%
+// improved).
+func (c *CDR) Queries(p0, d0 string) []CDRQuery {
+	v := cq.Var
+	k := cq.Cst
+	mk := func(name, descr string, q *cq.CQ, bound bool) CDRQuery {
+		fq := fo.FromCQ(q)
+		fq.Name = name
+		return CDRQuery{Name: name, Descr: descr, FO: fq, CQ: q, IsBound: bound}
+	}
+	var out []CDRQuery
+
+	// Q1: who did p0 call on d0?
+	out = append(out, mk("Q1", "callees of p0 on d0",
+		cq.NewCQ([]cq.Term{v("callee")}, []cq.Atom{
+			cq.NewAtom("calls", k(p0), v("callee"), k(d0), v("dur")),
+		}), true))
+
+	// Q2: names of people p0 called on d0.
+	out = append(out, mk("Q2", "names of callees of p0 on d0",
+		cq.NewCQ([]cq.Term{v("name")}, []cq.Atom{
+			cq.NewAtom("calls", k(p0), v("callee"), k(d0), v("dur")),
+			cq.NewAtom("customer", v("callee"), v("name"), v("plan")),
+		}), true))
+
+	// Q3: two-hop calls from p0 on d0 (callees of callees).
+	out = append(out, mk("Q3", "2-hop callees of p0 on d0",
+		cq.NewCQ([]cq.Term{v("c2")}, []cq.Atom{
+			cq.NewAtom("calls", k(p0), v("c1"), k(d0), v("dur1")),
+			cq.NewAtom("calls", v("c1"), v("c2"), k(d0), v("dur2")),
+		}), true))
+
+	// Q4: towers visited by people p0 called on d0.
+	out = append(out, mk("Q4", "towers of p0's callees on d0",
+		cq.NewCQ([]cq.Term{v("tower")}, []cq.Atom{
+			cq.NewAtom("calls", k(p0), v("c1"), k(d0), v("dur")),
+			cq.NewAtom("cell", v("c1"), k(d0), v("tower")),
+		}), true))
+
+	// Q5: gold-plan callees of p0 on d0.
+	out = append(out, mk("Q5", "gold-plan callees of p0 on d0",
+		cq.NewCQ([]cq.Term{v("callee")}, []cq.Atom{
+			cq.NewAtom("calls", k(p0), v("callee"), k(d0), v("dur")),
+			cq.NewAtom("customer", v("callee"), v("name"), k("gold")),
+		}), true))
+
+	// Q6: VIPs called by p0 on d0 (validation against a cached view-like
+	// small relation).
+	out = append(out, mk("Q6", "VIP callees of p0 on d0",
+		cq.NewCQ([]cq.Term{v("callee")}, []cq.Atom{
+			cq.NewAtom("calls", k(p0), v("callee"), k(d0), v("dur")),
+			cq.NewAtom("vip", v("callee")),
+		}), true))
+
+	// Q7: 3-hop reachability from p0 on d0.
+	out = append(out, mk("Q7", "3-hop callees of p0 on d0",
+		cq.NewCQ([]cq.Term{v("c3")}, []cq.Atom{
+			cq.NewAtom("calls", k(p0), v("c1"), k(d0), v("d1")),
+			cq.NewAtom("calls", v("c1"), v("c2"), k(d0), v("d2")),
+			cq.NewAtom("calls", v("c2"), v("c3"), k(d0), v("d3")),
+		}), true))
+
+	// Q8: callees of p0 on d0 that p0 did NOT call on another fixed day
+	// (FO with negation).
+	q8body := &fo.And{
+		L: &fo.Exists{Vars: []string{"du1"}, E: fo.NewAtom("calls", k(p0), v("callee"), k(d0), v("du1"))},
+		R: &fo.Not{E: &fo.Exists{Vars: []string{"du2"}, E: fo.NewAtom("calls", k(p0), v("callee"), k("d01"), v("du2"))}},
+	}
+	out = append(out, CDRQuery{
+		Name: "Q8", Descr: "callees on d0 not called on d01",
+		FO:      &fo.Query{Name: "Q8", Head: []string{"callee"}, Body: q8body},
+		IsBound: true,
+	})
+
+	// Q9: co-located callees — callees of p0 on d0 seen at the same tower
+	// as p0 that day.
+	out = append(out, mk("Q9", "callees co-located with p0 on d0",
+		cq.NewCQ([]cq.Term{v("callee")}, []cq.Atom{
+			cq.NewAtom("calls", k(p0), v("callee"), k(d0), v("dur")),
+			cq.NewAtom("cell", k(p0), k(d0), v("tw")),
+			cq.NewAtom("cell", v("callee"), k(d0), v("tw")),
+		}), true))
+
+	// Q10: all pairs of customers who called each other on d0 — genuinely
+	// unbounded: no constraint keys calls by day alone.
+	out = append(out, mk("Q10", "all call pairs on d0 (unbounded)",
+		cq.NewCQ([]cq.Term{v("a"), v("b")}, []cq.Atom{
+			cq.NewAtom("calls", v("a"), v("b"), k(d0), v("dur")),
+		}), false))
+
+	return out
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"repro/internal/plan"
+)
+
+// Fig1Plan constructs the 11-node query plan ξ0 of Figure 1 for Q0 using
+// view V1 under A0 (Examples 2.1-2.3):
+//
+//	S1 = {"Universal"}             (constant, attribute studio)
+//	S2 = {"2014"}                  (constant, attribute release)
+//	S3 = S1 × S2
+//	S4 = fetch((studio,release) ∈ S3, movie, mid)
+//	S5 = V1                        (cached view, column mid2)
+//	S6 = S4 × S5
+//	S7 = σ[mid=mid2](S6)           (filter fetched movies by V1)
+//	S8 = π[mid](S7)
+//	S9 = fetch(mid ∈ S8, rating, rank)
+//	S10 = σ[rank="5"](S9)
+//	S11 = π[mid](S10)
+//
+// The plan conforms to A0 and fetches at most 2·N0 tuples from D: |S4| ≤ N0
+// by ϕ1 and |S9| ≤ N0 by S8 ⊆ S4 and ϕ2 (Example 2.2).
+func (m *Movies) Fig1Plan() plan.Node {
+	s1 := &plan.Const{Attr: "studio", Val: "Universal"}
+	s2 := &plan.Const{Attr: "release", Val: "2014"}
+	s3 := &plan.Product{L: s1, R: s2}
+	s4 := &plan.Fetch{Child: s3, C: m.Phi1}
+	s5 := &plan.View{Name: "V1", Cols: []string{"mid2"}}
+	s6 := &plan.Product{L: s4, R: s5}
+	s7 := &plan.Select{Child: s6, Cond: []plan.CondItem{{L: "mid", R: "mid2"}}}
+	s8 := &plan.Project{Child: s7, Cols: []string{"mid"}}
+	s9 := &plan.Fetch{Child: s8, C: m.Phi2}
+	s10 := &plan.Select{Child: s9, Cond: []plan.CondItem{{L: "rank", RConst: true, R: "5"}}}
+	return &plan.Project{Child: s10, Cols: []string{"mid"}}
+}

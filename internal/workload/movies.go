@@ -1,0 +1,167 @@
+// Package workload provides the paper's three motivating domains as
+// generators — the movie/Graph-Search schema of Example 1.1, a CDR
+// (call-detail-record) telco schema standing in for the paper's industrial
+// evaluation, and a Facebook-style social schema from the introduction —
+// plus seeded random query/constraint generators for the coverage
+// experiment.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+// Movies bundles the fixture of Example 1.1: schema R0, access schema A0,
+// query Q0, and view V1.
+type Movies struct {
+	Schema *schema.Schema
+	Access *access.Schema
+	N0     int // the constant in ϕ1 (movies per studio per year)
+
+	Q0 *cq.CQ
+	V1 *cq.CQ
+
+	Phi1, Phi2 *access.Constraint
+}
+
+// NewMovies builds the Example 1.1 fixture with the given N0 (the paper
+// observes N0 ≤ 100 in practice).
+func NewMovies(n0 int) *Movies {
+	s := schema.New(
+		schema.NewRelation("person", "pid", "name", "affiliation"),
+		schema.NewRelation("movie", "mid", "mname", "studio", "release"),
+		schema.NewRelation("rating", "mid", "rank"),
+		schema.NewRelation("like", "pid", "id", "type"),
+	)
+	phi1 := access.NewConstraint("movie", []string{"studio", "release"}, []string{"mid"}, n0)
+	phi2 := access.NewConstraint("rating", []string{"mid"}, []string{"rank"}, 1)
+	a := access.NewSchema(phi1, phi2)
+
+	// Q0(mid) = ∃xp,xp2,ym ( person(xp,xp2,"NASA") ∧ movie(mid,ym,"Universal","2014")
+	//                        ∧ like(xp,mid,"movie") ∧ rating(mid,"5") )
+	q0 := cq.NewCQ([]cq.Term{cq.Var("mid")}, []cq.Atom{
+		cq.NewAtom("person", cq.Var("xp"), cq.Var("xp2"), cq.Cst("NASA")),
+		cq.NewAtom("movie", cq.Var("mid"), cq.Var("ym"), cq.Cst("Universal"), cq.Cst("2014")),
+		cq.NewAtom("like", cq.Var("xp"), cq.Var("mid"), cq.Cst("movie")),
+		cq.NewAtom("rating", cq.Var("mid"), cq.Cst("5")),
+	})
+	q0.Name = "Q0"
+
+	// V1(mid) = ∃xp,xp2,ym2,z1,z2 ( person(xp,xp2,"NASA") ∧ movie(mid,ym2,z1,z2)
+	//                               ∧ like(xp,mid,"movie") )
+	v1 := cq.NewCQ([]cq.Term{cq.Var("mid")}, []cq.Atom{
+		cq.NewAtom("person", cq.Var("xp"), cq.Var("xp2"), cq.Cst("NASA")),
+		cq.NewAtom("movie", cq.Var("mid"), cq.Var("ym2"), cq.Var("z1"), cq.Var("z2")),
+		cq.NewAtom("like", cq.Var("xp"), cq.Var("mid"), cq.Cst("movie")),
+	})
+	v1.Name = "V1"
+
+	return &Movies{Schema: s, Access: a, N0: n0, Q0: q0, V1: v1, Phi1: phi1, Phi2: phi2}
+}
+
+// Views returns the view definitions map used by unfolding and rewriting.
+func (m *Movies) Views() map[string]*cq.UCQ {
+	return map[string]*cq.UCQ{"V1": cq.NewUCQ(m.V1)}
+}
+
+// MoviesParams sizes a generated movie instance.
+type MoviesParams struct {
+	Persons        int
+	Movies         int
+	LikesPerPerson int
+	Studios        int
+	Years          int
+	NASAShare      int // one in NASAShare persons is at NASA
+	Seed           int64
+}
+
+// Generate builds an instance of R0 satisfying A0: movie mids are assigned
+// round-robin over (studio, year) groups capped at N0, and each movie gets
+// exactly one rating. A slice of "Universal"/"2014" movies is always
+// present so Q0 has answers.
+func (m *Movies) Generate(p MoviesParams) *instance.Database {
+	rng := rand.New(rand.NewSource(p.Seed))
+	db := instance.NewDatabase(m.Schema)
+
+	if p.Studios < 1 {
+		p.Studios = 8
+	}
+	if p.Years < 1 {
+		p.Years = 12
+	}
+	groupCount := make(map[string]int)
+	overflow := 0
+	pick := func(si, yi int) (string, string, bool) {
+		studio, year := studioName(si), yearName(yi)
+		key := studio + "|" + year
+		if groupCount[key] < m.N0 {
+			groupCount[key]++
+			return studio, year, true
+		}
+		return "", "", false
+	}
+	for i := 0; i < p.Movies; i++ {
+		mid := fmt.Sprintf("m%d", i)
+		var studio, year string
+		ok := false
+		// Keep the (studio, release) -> mid fan-out within N0. Every 37th
+		// movie tries bucket 0 = ("Universal","2014") so Q0 has answers.
+		if i%37 == 0 {
+			studio, year, ok = pick(0, 0)
+		}
+		for tries := 0; !ok && tries < 20; tries++ {
+			studio, year, ok = pick(rng.Intn(p.Studios), rng.Intn(p.Years))
+		}
+		for si := 0; !ok && si < p.Studios; si++ {
+			for yi := 0; !ok && yi < p.Years; yi++ {
+				studio, year, ok = pick(si, yi)
+			}
+		}
+		if !ok {
+			// All buckets full: open a fresh overflow studio (new group).
+			overflow++
+			studio, year, _ = pick(p.Studios+overflow, 0)
+		}
+		db.MustInsert("movie", mid, fmt.Sprintf("Movie %d", i), studio, year)
+		rank := fmt.Sprintf("%d", 1+rng.Intn(5))
+		if i%3 == 0 {
+			rank = "5"
+		}
+		db.MustInsert("rating", mid, rank)
+	}
+	for i := 0; i < p.Persons; i++ {
+		pid := fmt.Sprintf("p%d", i)
+		aff := fmt.Sprintf("org%d", rng.Intn(500))
+		if p.NASAShare > 0 && i%p.NASAShare == 0 {
+			aff = "NASA"
+		}
+		db.MustInsert("person", pid, fmt.Sprintf("Person %d", i), aff)
+		for l := 0; l < p.LikesPerPerson; l++ {
+			if p.Movies == 0 {
+				break
+			}
+			mid := fmt.Sprintf("m%d", rng.Intn(p.Movies))
+			db.MustInsert("like", pid, mid, "movie")
+		}
+	}
+	return db
+}
+
+func studioName(i int) string {
+	if i == 0 {
+		return "Universal"
+	}
+	return fmt.Sprintf("Studio%d", i)
+}
+
+func yearName(i int) string {
+	if i == 0 {
+		return "2014"
+	}
+	return fmt.Sprintf("%d", 2000+i)
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+// RandomCQParams controls the random conjunctive-query generator used by
+// the coverage experiment (EXP-PCT): the paper's intro reports that under
+// a few hundred access constraints ~77% of randomly generated SPC queries
+// are boundedly evaluable; we regenerate the shape of that curve.
+type RandomCQParams struct {
+	Atoms        int     // number of relation atoms
+	ConstProb    float64 // probability an argument position is a constant
+	JoinProb     float64 // probability an argument reuses an earlier variable
+	HeadVars     int     // number of head variables (capped by available vars)
+	ParamAnchors int     // number of "parameter" constants seeding selective positions
+	Seed         int64
+}
+
+// RandomCQ draws a random conjunctive query over the schema. Constants are
+// drawn from a small pool ("c0".."c9") so selections are meaningful.
+func RandomCQ(s *schema.Schema, p RandomCQParams) *cq.CQ {
+	rng := rand.New(rand.NewSource(p.Seed))
+	rels := s.Relations
+	var atoms []cq.Atom
+	var vars []string
+	freshVar := func() cq.Term {
+		v := fmt.Sprintf("v%d", len(vars))
+		vars = append(vars, v)
+		return cq.Var(v)
+	}
+	for i := 0; i < p.Atoms; i++ {
+		rel := rels[rng.Intn(len(rels))]
+		args := make([]cq.Term, rel.Arity())
+		for j := range args {
+			switch {
+			case rng.Float64() < p.ConstProb:
+				args[j] = cq.Cst(fmt.Sprintf("c%d", rng.Intn(10)))
+			case len(vars) > 0 && rng.Float64() < p.JoinProb:
+				args[j] = cq.Var(vars[rng.Intn(len(vars))])
+			default:
+				args[j] = freshVar()
+			}
+		}
+		atoms = append(atoms, cq.Atom{Rel: rel.Name, Args: args})
+	}
+	nh := p.HeadVars
+	if nh > len(vars) {
+		nh = len(vars)
+	}
+	head := make([]cq.Term, 0, nh)
+	perm := rng.Perm(len(vars))
+	for i := 0; i < nh; i++ {
+		head = append(head, cq.Var(vars[perm[i]]))
+	}
+	return cq.NewCQ(head, atoms)
+}
+
+// RandomInstance generates an instance of the schema satisfying the access
+// schema, by inserting random tuples and rejecting those that would tip a
+// cardinality bound. Values are drawn from a pool of the given size.
+func RandomInstance(s *schema.Schema, a *access.Schema, tuplesPerRelation, pool int, seed int64) *instance.Database {
+	rng := rand.New(rand.NewSource(seed))
+	db := instance.NewDatabase(s)
+	val := func() string { return fmt.Sprintf("%d", rng.Intn(pool)) }
+	for _, rel := range s.Relations {
+		cons := a.OnRelation(rel.Name)
+		// Track distinct Y-projections per X-value per constraint.
+		counters := make([]map[string]map[string]struct{}, len(cons))
+		for i := range counters {
+			counters[i] = map[string]map[string]struct{}{}
+		}
+		for t := 0; t < tuplesPerRelation; t++ {
+			row := make(instance.Tuple, rel.Arity())
+			for j := range row {
+				row[j] = val()
+			}
+			ok := true
+			var keys []struct {
+				i        int
+				xk, yk   string
+				inserted bool
+			}
+			for i, c := range cons {
+				xpos, err1 := rel.Positions(c.X)
+				ypos, err2 := rel.Positions(c.Y)
+				if err1 != nil || err2 != nil {
+					continue
+				}
+				xk := row.Project(xpos).Key()
+				yk := row.Project(ypos).Key()
+				g := counters[i][xk]
+				if g == nil {
+					g = map[string]struct{}{}
+					counters[i][xk] = g
+				}
+				if _, dup := g[yk]; !dup && len(g) >= c.N {
+					ok = false
+					break
+				}
+				keys = append(keys, struct {
+					i        int
+					xk, yk   string
+					inserted bool
+				}{i, xk, yk, false})
+			}
+			if !ok {
+				continue
+			}
+			for _, k := range keys {
+				counters[k.i][k.xk][k.yk] = struct{}{}
+			}
+			db.Tables[rel.Name].Tuples = append(db.Tables[rel.Name].Tuples, row)
+		}
+	}
+	return db
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/fo"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+// Social models the introduction's Facebook Graph-Search example: find
+// restaurants in a city which person p0 has not been to, but in which
+// friends of p0 dined on a given date. The production constraints are the
+// 5000-friend cap and the one-dinner-per-person-per-day rule; the fixture
+// scales the caps down so experiments run on a laptop while exercising the
+// identical code paths.
+type Social struct {
+	Schema *schema.Schema
+	Access *access.Schema
+
+	FriendCap int // friends per person (Facebook: 5000)
+
+	FriendFan, DineKey, DineHist, RestCity *access.Constraint
+}
+
+// NewSocial builds the social fixture.
+func NewSocial(friendCap, restPerCity int) *Social {
+	s := schema.New(
+		schema.NewRelation("friend", "pid", "fid"),
+		schema.NewRelation("dine", "pid", "date", "rid"),
+		schema.NewRelation("restaurant", "rid", "city"),
+	)
+	friendFan := access.NewConstraint("friend", []string{"pid"}, []string{"fid"}, friendCap)
+	dineKey := access.NewConstraint("dine", []string{"pid", "date"}, []string{"rid"}, 1)
+	// One dinner per day over the (bounded) query window: at most 60
+	// dinners per person in total — the fourth constraint the
+	// introduction's example relies on.
+	dineHist := access.NewConstraint("dine", []string{"pid"}, []string{"date", "rid"}, 60)
+	restCity := access.NewConstraint("restaurant", []string{"rid"}, []string{"city"}, 1)
+	a := access.NewSchema(friendFan, dineKey, dineHist, restCity)
+	return &Social{
+		Schema: s, Access: a, FriendCap: friendCap,
+		FriendFan: friendFan, DineKey: dineKey, DineHist: dineHist, RestCity: restCity,
+	}
+}
+
+// SocialParams sizes a generated social instance.
+type SocialParams struct {
+	Persons     int
+	Restaurants int
+	Dates       int
+	Seed        int64
+}
+
+// Generate builds an instance satisfying the constraints.
+func (so *Social) Generate(p SocialParams) *instance.Database {
+	rng := rand.New(rand.NewSource(p.Seed))
+	db := instance.NewDatabase(so.Schema)
+	if p.Dates < 1 {
+		p.Dates = 30
+	}
+	pid := func(i int) string { return fmt.Sprintf("u%06d", i) }
+	rid := func(i int) string { return fmt.Sprintf("r%05d", i) }
+	date := func(i int) string { return fmt.Sprintf("2015-05-%02d", 1+i%28) }
+	for i := 0; i < p.Restaurants; i++ {
+		db.MustInsert("restaurant", rid(i), fmt.Sprintf("city%d", i%50))
+	}
+	for i := 0; i < p.Persons; i++ {
+		nf := rng.Intn(so.FriendCap)
+		seen := map[string]bool{}
+		for f := 0; f < nf; f++ {
+			fid := pid(rng.Intn(p.Persons))
+			if seen[fid] {
+				continue
+			}
+			seen[fid] = true
+			db.MustInsert("friend", pid(i), fid)
+		}
+		// One dinner on up to 3 distinct dates (respects the key).
+		dates := map[string]bool{}
+		for d := 0; d < 1+rng.Intn(3); d++ {
+			dt := date(rng.Intn(p.Dates))
+			if dates[dt] || p.Restaurants == 0 {
+				continue
+			}
+			dates[dt] = true
+			db.MustInsert("dine", pid(i), dt, rid(rng.Intn(p.Restaurants)))
+		}
+	}
+	return db
+}
+
+// GraphSearchQuery returns the introduction's query as FO (with the "not
+// been to" negation), parameterized by person p0, date d0 and city c0:
+//
+//	Q(rid) = ∃f ( friend(p0,f) ∧ dine(f,d0,rid) ) ∧ restaurant(rid,c0)
+//	         ∧ ¬ ∃d2 dine(p0,d2,rid)
+func (so *Social) GraphSearchQuery(p0, d0, c0 string) *fo.Query {
+	v := cq.Var
+	k := cq.Cst
+	positive := &fo.And{
+		L: &fo.Exists{Vars: []string{"f"}, E: &fo.And{
+			L: fo.NewAtom("friend", k(p0), v("f")),
+			R: fo.NewAtom("dine", v("f"), k(d0), v("rid")),
+		}},
+		R: fo.NewAtom("restaurant", v("rid"), k(c0)),
+	}
+	neg := &fo.Exists{Vars: []string{"d2"}, E: fo.NewAtom("dine", k(p0), v("d2"), v("rid"))}
+	return &fo.Query{
+		Name: "GraphSearch",
+		Head: []string{"rid"},
+		Body: &fo.And{L: positive, R: &fo.Not{E: neg}},
+	}
+}
