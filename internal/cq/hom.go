@@ -2,6 +2,8 @@ package cq
 
 import (
 	"sort"
+
+	"repro/internal/intern"
 )
 
 // FrozenPrefix marks frozen variables in canonical (tableau) instances.
@@ -80,22 +82,72 @@ func rowKey(r []string) string {
 }
 
 // homSearch finds homomorphisms from the atoms of a normalized CQ into a
-// target set of rows. Bindings map variable names to target values;
-// constants must match exactly. fixed pre-binds variables (used to require
-// a specific head image).
+// target set of rows. The target and every constant are interned into a
+// private dictionary, so backtracking compares uint32 IDs instead of
+// strings. Bindings map variable indices to target IDs (-1 = unbound);
+// constants must match exactly; fix pre-binds variables (used to require a
+// specific head image).
 type homSearch struct {
+	dict   *intern.Local
 	atoms  []Atom
-	target map[string][][]string
-	bind   map[string]string
+	target map[string][][]uint32
+	varIdx map[string]int
+	bind   []int64
+}
+
+const unbound = -1
+
+func newHomSearch(atoms []Atom, target map[string][][]string) *homSearch {
+	d := intern.NewLocal()
+	enc := make(map[string][][]uint32, len(target))
+	for rel, rows := range target {
+		ers := make([][]uint32, len(rows))
+		for i, r := range rows {
+			ers[i] = d.Encode(r)
+		}
+		enc[rel] = ers
+	}
+	varIdx := map[string]int{}
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if !t.Const {
+				if _, ok := varIdx[t.Val]; !ok {
+					varIdx[t.Val] = len(varIdx)
+				}
+			}
+		}
+	}
+	bind := make([]int64, len(varIdx))
+	for i := range bind {
+		bind[i] = unbound
+	}
+	return &homSearch{dict: d, atoms: atoms, target: enc, varIdx: varIdx, bind: bind}
+}
+
+// fix pre-binds variable v to value val, reporting false on conflict. A
+// variable not used by any atom imposes no constraint.
+func (h *homSearch) fix(v, val string) bool {
+	i, ok := h.varIdx[v]
+	if !ok {
+		return true
+	}
+	id := int64(h.dict.ID(val))
+	if h.bind[i] != unbound && h.bind[i] != id {
+		return false
+	}
+	h.bind[i] = id
+	return true
 }
 
 // orderAtoms orders atoms to bind variables early: greedily pick the atom
 // with the most already-bound terms, tie-broken by fewer candidate rows.
 func (h *homSearch) orderAtoms() []Atom {
 	remaining := append([]Atom(nil), h.atoms...)
-	bound := make(map[string]bool, len(h.bind))
-	for v := range h.bind {
-		bound[v] = true
+	bound := make([]bool, len(h.bind))
+	for i, b := range h.bind {
+		if b != unbound {
+			bound[i] = true
+		}
 	}
 	var out []Atom
 	for len(remaining) > 0 {
@@ -103,7 +155,7 @@ func (h *homSearch) orderAtoms() []Atom {
 		for i, a := range remaining {
 			score := 0
 			for _, t := range a.Args {
-				if t.Const || bound[t.Val] {
+				if t.Const || bound[h.varIdx[t.Val]] {
 					score += 1000
 				}
 			}
@@ -116,7 +168,7 @@ func (h *homSearch) orderAtoms() []Atom {
 		remaining = append(remaining[:best], remaining[best+1:]...)
 		for _, t := range a.Args {
 			if !t.Const {
-				bound[t.Val] = true
+				bound[h.varIdx[t.Val]] = true
 			}
 		}
 		out = append(out, a)
@@ -124,10 +176,30 @@ func (h *homSearch) orderAtoms() []Atom {
 	return out
 }
 
+// homArg is an atom argument with its constant interned or its variable
+// resolved to a binding index.
+type homArg struct {
+	isConst bool
+	id      uint32
+	v       int
+}
+
 // run reports whether a homomorphism exists, invoking found for each
 // complete binding; found returning false stops the search.
-func (h *homSearch) run(found func(map[string]string) bool) bool {
+func (h *homSearch) run(found func(bind []int64) bool) bool {
 	ordered := h.orderAtoms()
+	args := make([][]homArg, len(ordered))
+	for i, a := range ordered {
+		as := make([]homArg, len(a.Args))
+		for j, t := range a.Args {
+			if t.Const {
+				as[j] = homArg{isConst: true, id: h.dict.ID(t.Val)}
+			} else {
+				as[j] = homArg{v: h.varIdx[t.Val]}
+			}
+		}
+		args[i] = as
+	}
 	var rec func(i int) bool
 	stopped := false
 	rec = func(i int) bool {
@@ -140,40 +212,40 @@ func (h *homSearch) run(found func(map[string]string) bool) bool {
 			}
 			return true
 		}
-		a := ordered[i]
-		rows := h.target[a.Rel]
+		rows := h.target[ordered[i].Rel]
+		as := args[i]
 	nextRow:
 		for _, row := range rows {
-			if len(row) != len(a.Args) {
+			if len(row) != len(as) {
 				continue
 			}
-			var newly []string
-			for j, t := range a.Args {
-				want := row[j]
-				if t.Const {
-					if t.Val != want {
+			var newly []int
+			for j, a := range as {
+				want := int64(row[j])
+				if a.isConst {
+					if int64(a.id) != want {
 						for _, v := range newly {
-							delete(h.bind, v)
+							h.bind[v] = unbound
 						}
 						continue nextRow
 					}
 					continue
 				}
-				if cur, ok := h.bind[t.Val]; ok {
+				if cur := h.bind[a.v]; cur != unbound {
 					if cur != want {
 						for _, v := range newly {
-							delete(h.bind, v)
+							h.bind[v] = unbound
 						}
 						continue nextRow
 					}
 					continue
 				}
-				h.bind[t.Val] = want
-				newly = append(newly, t.Val)
+				h.bind[a.v] = want
+				newly = append(newly, a.v)
 			}
 			matched := rec(i + 1)
 			for _, v := range newly {
-				delete(h.bind, v)
+				h.bind[v] = unbound
 			}
 			if matched && stopped {
 				return true
@@ -188,12 +260,13 @@ func (h *homSearch) run(found func(map[string]string) bool) bool {
 // HasHomomorphism reports whether there is a homomorphism from the
 // normalized query q into target with the given pre-bindings.
 func HasHomomorphism(q *CQ, target map[string][][]string, fixed map[string]string) bool {
-	bind := make(map[string]string, len(fixed))
+	h := newHomSearch(q.Atoms, target)
 	for k, v := range fixed {
-		bind[k] = v
+		if !h.fix(k, v) {
+			return false
+		}
 	}
-	h := &homSearch{atoms: q.Atoms, target: target, bind: bind}
-	return h.run(func(map[string]string) bool { return false })
+	return h.run(func([]int64) bool { return false })
 }
 
 // EvalOnRows evaluates a CQ over a small row set (e.g. a tableau),
@@ -205,32 +278,45 @@ func EvalOnRows(q *CQ, target map[string][][]string) ([][]string, bool) {
 	if err != nil {
 		return nil, true // unsatisfiable query: empty result
 	}
-	seen := make(map[string]struct{})
-	var out [][]string
-	h := &homSearch{atoms: n.Atoms, target: target, bind: map[string]string{}}
+	h := newHomSearch(n.Atoms, target)
+	// Resolve head terms: constants interned, variables mapped to binding
+	// indices (-1 when no atom binds them — the unsafe case).
+	headVar := make([]int, len(n.Head))
+	headConst := make([]uint32, len(n.Head))
+	for i, t := range n.Head {
+		if t.Const {
+			headVar[i] = -1
+			headConst[i] = h.dict.ID(t.Val)
+		} else if vi, ok := h.varIdx[t.Val]; ok {
+			headVar[i] = vi
+		} else {
+			headVar[i] = -2
+		}
+	}
+	seen := intern.NewSet(0)
+	var out [][]uint32
 	complete := true
-	h.run(func(bind map[string]string) bool {
-		row := make([]string, len(n.Head))
-		for i, t := range n.Head {
-			if t.Const {
-				row[i] = t.Val
-			} else if v, ok := bind[t.Val]; ok {
-				row[i] = v
-			} else {
+	h.run(func(bind []int64) bool {
+		row := make([]uint32, len(n.Head))
+		for i, vi := range headVar {
+			switch {
+			case vi == -1:
+				row[i] = headConst[i]
+			case vi >= 0 && bind[vi] != unbound:
+				row[i] = uint32(bind[vi])
+			default:
 				// Head variable not bound by any atom: the query is unsafe
 				// over this formalism; report incompleteness.
 				complete = false
 				return false
 			}
 		}
-		k := rowKey(row)
-		if _, dup := seen[k]; !dup {
-			seen[k] = struct{}{}
+		if seen.Add(row) {
 			out = append(out, row)
 		}
 		return true
 	})
-	return out, complete
+	return h.dict.DecodeAll(out), complete
 }
 
 // AnswerOnRows reports whether row tuple ans is in q's answer over target.

@@ -4,7 +4,11 @@
 // plans are compared against in the experiments, and (2) the reference
 // semantics for correctness tests of plans and rewritings.
 //
-// CQ/UCQ evaluation uses constant pushdown and left-deep hash joins. FO
+// CQ/UCQ evaluation uses constant pushdown and left-deep hash joins over
+// interned rows: every value is a dense uint32 ID from the database
+// dictionary, join keys are 64-bit hashes of packed ID rows, and strings
+// reappear only at the API boundary. UCQ disjuncts and view
+// materialization run on the bounded worker pool of internal/par. FO
 // evaluation is structural over safe-range formulas (RANF-style): positive
 // conjuncts are joined first, comparisons filter or extend, negated
 // conjuncts anti-join, disjuncts union, quantifiers project.
@@ -13,20 +17,29 @@ package eval
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/fo"
 	"repro/internal/instance"
+	"repro/internal/intern"
+	"repro/internal/par"
 )
 
-// Source resolves relation (or view) names to row sets.
+// Source resolves relation (or view) names to row sets. It carries the
+// interning state of one evaluation context; the zero value with DB and/or
+// Views set is ready to use, and one Source may be shared by concurrent
+// evaluations.
 type Source struct {
 	DB    *instance.Database
 	Views map[string][][]string
+
+	mu      sync.Mutex
+	dict    *intern.Dict
+	viewIDs *intern.RowCache
 }
 
-// Rows returns the rows of a relation or materialized view.
+// Rows returns the rows of a relation or materialized view as strings.
 func (s *Source) Rows(rel string) ([][]string, bool) {
 	if s.DB != nil {
 		if t := s.DB.Table(rel); t != nil {
@@ -45,81 +58,151 @@ func (s *Source) Rows(rel string) ([][]string, bool) {
 	return nil, false
 }
 
+// Dict returns the interning dictionary of this evaluation context: the
+// database's when present, a private one otherwise.
+func (s *Source) Dict() *intern.Dict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dictLocked()
+}
+
+func (s *Source) dictLocked() *intern.Dict {
+	if s.dict == nil {
+		if s.DB != nil && s.DB.Dict != nil {
+			s.dict = s.DB.Dict
+		} else {
+			s.dict = intern.NewDict()
+		}
+	}
+	return s.dict
+}
+
+// IDRows returns the ID-encoded rows of a relation or view. View extents
+// are interned once per Source and cached. The result must not be mutated.
+func (s *Source) IDRows(rel string) ([][]uint32, bool) {
+	if s.DB != nil {
+		if t := s.DB.Table(rel); t != nil {
+			return t.IDRows(), true
+		}
+	}
+	if s.Views != nil {
+		if rows, ok := s.Views[rel]; ok {
+			s.mu.Lock()
+			if s.viewIDs == nil {
+				s.viewIDs = intern.NewRowCache(s.dictLocked())
+			}
+			cache := s.viewIDs
+			s.mu.Unlock()
+			return cache.Encode(rel, rows), true
+		}
+	}
+	return nil, false
+}
+
+// relSize returns the row count of a relation or view without
+// materializing anything, for the atom-ordering heuristic.
+func (s *Source) relSize(rel string) (int, bool) {
+	if s.DB != nil {
+		if t := s.DB.Table(rel); t != nil {
+			return t.Len(), true
+		}
+	}
+	if rows, ok := s.Views[rel]; ok {
+		return len(rows), true
+	}
+	return 0, false
+}
+
 // CQOnDB evaluates a conjunctive query over the source with set semantics.
 func CQOnDB(q *cq.CQ, src *Source) ([][]string, error) {
+	rows, err := cqIDRows(q, src)
+	if err != nil {
+		return nil, err
+	}
+	return src.Dict().DecodeAll(rows), nil
+}
+
+// cqIDRows is the interned CQ pipeline: it returns the distinct ID-encoded
+// head rows of q over src.
+func cqIDRows(q *cq.CQ, src *Source) ([][]uint32, error) {
 	n, err := q.Normalize()
 	if err != nil {
 		return nil, nil // unsatisfiable
 	}
+	d := src.Dict()
 	if len(n.Atoms) == 0 {
 		// Pure constant query: the head must be all-constant.
-		row := make([]string, len(n.Head))
+		row := make([]uint32, len(n.Head))
 		for i, t := range n.Head {
 			if !t.Const {
 				return nil, fmt.Errorf("eval: unsafe query, unbound head variable %s", t.Val)
 			}
-			row[i] = t.Val
+			row[i] = d.ID(t.Val)
 		}
-		return [][]string{row}, nil
+		return [][]uint32{row}, nil
 	}
 	atoms := orderAtoms(n.Atoms, src)
 
-	// Bindings are rows over varOrder.
+	// Bindings are ID rows over varOrder.
 	var varOrder []string
 	varPos := map[string]int{}
-	bindings := [][]string{{}}
+	bindings := [][]uint32{{}}
 
 	for _, at := range atoms {
-		rows, ok := src.Rows(at.Rel)
+		rows, ok := src.IDRows(at.Rel)
 		if !ok {
 			return nil, fmt.Errorf("eval: unknown relation %s", at.Rel)
 		}
 		// Classify argument positions.
-		var joinUses []varUse // variables already bound
-		var newUses []varUse  // first occurrence of a variable in this atom
+		consts := make([]uint32, len(at.Args)) // interned constant per position
+		var joinAtom []int                     // atom positions of already-bound variables
+		var joinBind []int                     // matching binding positions
+		var selfAtom, selfFirst []int          // intra-atom repeated new variables
+		var newUses []varUse                   // first occurrence of a variable in this atom
 		newSeen := map[string]int{}
 		for i, t := range at.Args {
 			if t.Const {
+				consts[i] = d.ID(t.Val)
 				continue
 			}
-			if _, bound := varPos[t.Val]; bound {
-				joinUses = append(joinUses, varUse{i, t.Val})
+			if p, bound := varPos[t.Val]; bound {
+				joinAtom = append(joinAtom, i)
+				joinBind = append(joinBind, p)
 			} else if p, dup := newSeen[t.Val]; dup {
 				// Repeated new variable within the atom: equality filter.
-				joinUses = append(joinUses, varUse{i, "\x00self:" + fmt.Sprint(p)})
+				selfAtom = append(selfAtom, i)
+				selfFirst = append(selfFirst, p)
 			} else {
 				newSeen[t.Val] = i
 				newUses = append(newUses, varUse{i, t.Val})
 			}
 		}
-		// Filter rows by constants and intra-atom repeats, index by join key.
-		index := map[string][][]string{}
+		// Filter rows by constants and intra-atom repeats, index by join
+		// key. No size hint: constants typically filter most rows away,
+		// and presizing to the unfiltered count would dominate the cost.
+		index := intern.NewIndex(0)
 	rowLoop:
 		for _, r := range rows {
 			if len(r) != len(at.Args) {
 				continue
 			}
 			for i, t := range at.Args {
-				if t.Const && r[i] != t.Val {
+				if t.Const && r[i] != consts[i] {
 					continue rowLoop
 				}
 			}
-			for v, first := range newSeen {
-				for i, t := range at.Args {
-					if !t.Const && t.Val == v && r[i] != r[first] {
-						continue rowLoop
-					}
+			for k, i := range selfAtom {
+				if r[i] != r[selfFirst[k]] {
+					continue rowLoop
 				}
 			}
-			key := joinKeyRow(r, joinUses)
-			index[key] = append(index[key], r)
+			index.AddAt(r, joinAtom)
 		}
 		// Extend bindings.
-		next := make([][]string, 0, len(bindings))
+		next := make([][]uint32, 0, len(bindings))
 		for _, b := range bindings {
-			key := joinKeyBinding(b, varPos, joinUses)
-			for _, r := range index[key] {
-				nb := make([]string, len(b), len(b)+len(newUses))
+			for _, r := range index.GetAt(b, joinBind) {
+				nb := make([]uint32, len(b), len(b)+len(newUses))
 				copy(nb, b)
 				for _, nu := range newUses {
 					nb = append(nb, r[nu.pos])
@@ -138,24 +221,32 @@ func CQOnDB(q *cq.CQ, src *Source) ([][]string, error) {
 	}
 
 	// Project the head.
-	seen := map[string]bool{}
-	var out [][]string
-	for _, b := range bindings {
-		row := make([]string, len(n.Head))
-		for i, t := range n.Head {
-			if t.Const {
-				row[i] = t.Val
-				continue
-			}
-			p, ok := varPos[t.Val]
-			if !ok {
-				return nil, fmt.Errorf("eval: unsafe query, unbound head variable %s", t.Val)
-			}
-			row[i] = b[p]
+	headPos := make([]int, len(n.Head))
+	headConst := make([]uint32, len(n.Head))
+	for i, t := range n.Head {
+		if t.Const {
+			headPos[i] = -1
+			headConst[i] = d.ID(t.Val)
+			continue
 		}
-		k := instance.Tuple(row).Key()
-		if !seen[k] {
-			seen[k] = true
+		p, ok := varPos[t.Val]
+		if !ok {
+			return nil, fmt.Errorf("eval: unsafe query, unbound head variable %s", t.Val)
+		}
+		headPos[i] = p
+	}
+	seen := intern.NewSet(len(bindings))
+	var out [][]uint32
+	for _, b := range bindings {
+		row := make([]uint32, len(n.Head))
+		for i, p := range headPos {
+			if p < 0 {
+				row[i] = headConst[i]
+			} else {
+				row[i] = b[p]
+			}
+		}
+		if seen.Add(row) {
 			out = append(out, row)
 		}
 	}
@@ -166,33 +257,6 @@ func CQOnDB(q *cq.CQ, src *Source) ([][]string, error) {
 type varUse struct {
 	pos  int
 	name string
-}
-
-// joinKeyRow keys a candidate row by its join positions. Self-join markers
-// ("\x00self:p") compare against position p of the same row, so they do not
-// participate in the cross-binding key; they were filtered already.
-func joinKeyRow(r []string, uses []varUse) string {
-	var b strings.Builder
-	for _, u := range uses {
-		if strings.HasPrefix(u.name, "\x00self:") {
-			continue
-		}
-		b.WriteString(r[u.pos])
-		b.WriteByte(0x1f)
-	}
-	return b.String()
-}
-
-func joinKeyBinding(bnd []string, varPos map[string]int, uses []varUse) string {
-	var b strings.Builder
-	for _, u := range uses {
-		if strings.HasPrefix(u.name, "\x00self:") {
-			continue
-		}
-		b.WriteString(bnd[varPos[u.name]])
-		b.WriteByte(0x1f)
-	}
-	return b.String()
 }
 
 // orderAtoms greedily orders atoms to maximize already-bound variables and
@@ -210,8 +274,8 @@ func orderAtoms(atoms []cq.Atom, src *Source) []cq.Atom {
 					score += 1 << 20
 				}
 			}
-			if rows, ok := src.Rows(a.Rel); ok {
-				score -= len(rows)
+			if n, ok := src.relSize(a.Rel); ok {
+				score -= n
 			}
 			if score > bestScore {
 				best, bestScore = i, score
@@ -229,24 +293,33 @@ func orderAtoms(atoms []cq.Atom, src *Source) []cq.Atom {
 	return out
 }
 
-// UCQOnDB evaluates a union of conjunctive queries with set semantics.
+// UCQOnDB evaluates a union of conjunctive queries with set semantics. The
+// disjuncts are evaluated concurrently on the worker pool; the result is
+// merged in disjunct order, so output order is deterministic.
 func UCQOnDB(u *cq.UCQ, src *Source) ([][]string, error) {
-	seen := map[string]bool{}
-	var out [][]string
-	for _, d := range u.Disjuncts {
-		rows, err := CQOnDB(d, src)
-		if err != nil {
-			return nil, err
-		}
+	results := make([][][]uint32, len(u.Disjuncts))
+	err := par.ForEach(len(u.Disjuncts), func(i int) error {
+		rows, err := cqIDRows(u.Disjuncts[i], src)
+		results[i] = rows
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, rows := range results {
+		total += len(rows)
+	}
+	seen := intern.NewSet(total)
+	var out [][]uint32
+	for _, rows := range results {
 		for _, r := range rows {
-			k := instance.Tuple(r).Key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.Add(r) {
 				out = append(out, r)
 			}
 		}
 	}
-	return out, nil
+	return src.Dict().DecodeAll(out), nil
 }
 
 // SortRows sorts rows lexicographically, for deterministic output.
@@ -263,16 +336,30 @@ func SortRows(rows [][]string) {
 }
 
 // Materialize computes the extents of a set of views (UCQ definitions) over
-// the database, for caching as plan inputs.
+// the database, for caching as plan inputs. The views are evaluated
+// concurrently on the worker pool.
 func Materialize(views map[string]*cq.UCQ, db *instance.Database) (map[string][][]string, error) {
+	names := make([]string, 0, len(views))
+	for name := range views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	src := &Source{DB: db}
-	out := make(map[string][][]string, len(views))
-	for name, def := range views {
-		rows, err := UCQOnDB(def, src)
+	extents := make([][][]string, len(names))
+	err := par.ForEach(len(names), func(i int) error {
+		rows, err := UCQOnDB(views[names[i]], src)
 		if err != nil {
-			return nil, fmt.Errorf("eval: view %s: %w", name, err)
+			return fmt.Errorf("eval: view %s: %w", names[i], err)
 		}
-		out[name] = rows
+		extents[i] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][][]string, len(names))
+	for i, name := range names {
+		out[name] = extents[i]
 	}
 	return out, nil
 }

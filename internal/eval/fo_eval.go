@@ -7,17 +7,15 @@ import (
 
 	"repro/internal/cq"
 	"repro/internal/fo"
-	"repro/internal/instance"
+	"repro/internal/intern"
 )
 
-// relation is an intermediate FO-evaluation result: a set of rows over
-// named columns (sorted column order).
+// relation is an intermediate FO-evaluation result: a set of ID-encoded
+// rows over named columns (sorted column order).
 type relation struct {
 	cols []string
-	rows [][]string
+	rows [][]uint32
 }
-
-func (r *relation) key(row []string) string { return instance.Tuple(row).Key() }
 
 // FOOnDB evaluates a safe-range FO query over the source with set
 // semantics. Universal quantifiers and implications are desugared first.
@@ -39,20 +37,15 @@ func FOOnDB(q *fo.Query, src *Source) ([][]string, error) {
 		}
 		pos[i] = p
 	}
-	seen := map[string]bool{}
-	var out [][]string
+	seen := intern.NewSet(len(rel.rows))
+	var out [][]uint32
 	for _, r := range rel.rows {
-		row := make([]string, len(pos))
-		for i, p := range pos {
-			row[i] = r[p]
-		}
-		k := instance.Tuple(row).Key()
-		if !seen[k] {
-			seen[k] = true
+		row := intern.Project(r, pos)
+		if seen.Add(row) {
 			out = append(out, row)
 		}
 	}
-	return out, nil
+	return src.Dict().DecodeAll(out), nil
 }
 
 func evalExpr(e fo.Expr, src *Source) (*relation, error) {
@@ -83,7 +76,7 @@ func evalExpr(e fo.Expr, src *Source) (*relation, error) {
 			ok := (x.L.Val == x.R.Val) != x.Neq
 			rel := &relation{}
 			if ok {
-				rel.rows = [][]string{{}}
+				rel.rows = [][]uint32{{}}
 			}
 			return rel, nil
 		}
@@ -97,7 +90,7 @@ func evalExpr(e fo.Expr, src *Source) (*relation, error) {
 			}
 			rel := &relation{}
 			if len(inner.rows) == 0 {
-				rel.rows = [][]string{{}}
+				rel.rows = [][]uint32{{}}
 			}
 			return rel, nil
 		}
@@ -128,7 +121,7 @@ func evalAnd(conj []fo.Expr, src *Source) (*relation, error) {
 			positives = append(positives, c)
 		}
 	}
-	cur := &relation{rows: [][]string{{}}}
+	cur := &relation{rows: [][]uint32{{}}}
 	var err error
 	for _, p := range positives {
 		var rel *relation
@@ -144,7 +137,7 @@ func evalAnd(conj []fo.Expr, src *Source) (*relation, error) {
 		progressed := false
 		var rest []*fo.Cmp
 		for _, c := range pending {
-			applied, err2 := applyCmp(cur, c)
+			applied, err2 := applyCmp(cur, c, src)
 			if err2 != nil {
 				return nil, err2
 			}
@@ -175,18 +168,19 @@ func evalAnd(conj []fo.Expr, src *Source) (*relation, error) {
 // filter when both sides are bound (or constants); extend when an equality
 // has exactly one bound/constant side. Returns false when neither side is
 // available yet.
-func applyCmp(cur *relation, c *fo.Cmp) (bool, error) {
+func applyCmp(cur *relation, c *fo.Cmp, src *Source) (bool, error) {
+	d := src.Dict()
 	lBound := c.L.Const || indexOfStr(cur.cols, c.L.Val) >= 0
 	rBound := c.R.Const || indexOfStr(cur.cols, c.R.Val) >= 0
-	val := func(row []string, t cq.Term) string {
+	val := func(row []uint32, t cq.Term) uint32 {
 		if t.Const {
-			return t.Val
+			return d.ID(t.Val)
 		}
 		return row[indexOfStr(cur.cols, t.Val)]
 	}
 	switch {
 	case lBound && rBound:
-		var kept [][]string
+		var kept [][]uint32
 		for _, r := range cur.rows {
 			if (val(r, c.L) == val(r, c.R)) != c.Neq {
 				kept = append(kept, r)
@@ -238,23 +232,13 @@ func antiJoin(cur *relation, neg fo.Expr, src *Source) (*relation, error) {
 		}
 		npos[i] = p
 	}
-	bad := map[string]bool{}
+	bad := intern.NewSet(len(rel.rows))
 	for _, r := range rel.rows {
-		var b strings.Builder
-		for _, p := range npos {
-			b.WriteString(r[p])
-			b.WriteByte(0x1f)
-		}
-		bad[b.String()] = true
+		bad.AddProj(r, npos)
 	}
-	var kept [][]string
+	var kept [][]uint32
 	for _, r := range cur.rows {
-		var b strings.Builder
-		for _, p := range pos {
-			b.WriteString(r[p])
-			b.WriteByte(0x1f)
-		}
-		if !bad[b.String()] {
+		if !bad.HasAt(r, pos) {
 			kept = append(kept, r)
 		}
 	}
@@ -281,8 +265,8 @@ func complementRel(e fo.Expr, src *Source) (*relation, error) {
 	}
 	mc := newModelChecker(src, dom)
 	out := &relation{cols: fv}
-	bind := map[string]string{}
-	row := make([]string, len(fv))
+	bind := map[string]uint32{}
+	row := make([]uint32, len(fv))
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == len(fv) {
@@ -291,7 +275,7 @@ func complementRel(e fo.Expr, src *Source) (*relation, error) {
 				return err
 			}
 			if !ok {
-				out.rows = append(out.rows, append([]string(nil), row...))
+				out.rows = append(out.rows, append([]uint32(nil), row...))
 			}
 			return nil
 		}
@@ -312,42 +296,42 @@ func complementRel(e fo.Expr, src *Source) (*relation, error) {
 }
 
 // modelChecker decides FO formulas under complete variable bindings over
-// the active domain.
+// the active domain. Values are interned IDs throughout.
 type modelChecker struct {
 	src  *Source
-	dom  []string
-	rels map[string]map[string]bool // relation -> row-key set
+	dom  []uint32
+	rels map[string]*intern.Set // relation -> ID-row set
 }
 
-func newModelChecker(src *Source, dom []string) *modelChecker {
-	return &modelChecker{src: src, dom: dom, rels: map[string]map[string]bool{}}
+func newModelChecker(src *Source, dom []uint32) *modelChecker {
+	return &modelChecker{src: src, dom: dom, rels: map[string]*intern.Set{}}
 }
 
-func (m *modelChecker) rowSet(rel string) (map[string]bool, error) {
+func (m *modelChecker) rowSet(rel string) (*intern.Set, error) {
 	if s, ok := m.rels[rel]; ok {
 		return s, nil
 	}
-	rows, ok := m.src.Rows(rel)
+	rows, ok := m.src.IDRows(rel)
 	if !ok {
 		return nil, fmt.Errorf("eval: unknown relation %s", rel)
 	}
-	s := make(map[string]bool, len(rows))
+	s := intern.NewSet(len(rows))
 	for _, r := range rows {
-		s[instance.Tuple(r).Key()] = true
+		s.Add(r)
 	}
 	m.rels[rel] = s
 	return s, nil
 }
 
 // holds decides e under bind; every free variable of e must be bound.
-func (m *modelChecker) holds(e fo.Expr, bind map[string]string) (bool, error) {
-	resolve := func(t cq.Term) (string, error) {
+func (m *modelChecker) holds(e fo.Expr, bind map[string]uint32) (bool, error) {
+	resolve := func(t cq.Term) (uint32, error) {
 		if t.Const {
-			return t.Val, nil
+			return m.src.Dict().ID(t.Val), nil
 		}
 		v, ok := bind[t.Val]
 		if !ok {
-			return "", fmt.Errorf("eval: unbound variable %s in model check", t.Val)
+			return 0, fmt.Errorf("eval: unbound variable %s in model check", t.Val)
 		}
 		return v, nil
 	}
@@ -357,7 +341,7 @@ func (m *modelChecker) holds(e fo.Expr, bind map[string]string) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		row := make([]string, len(x.Args))
+		row := make([]uint32, len(x.Args))
 		for i, t := range x.Args {
 			v, err := resolve(t)
 			if err != nil {
@@ -365,7 +349,7 @@ func (m *modelChecker) holds(e fo.Expr, bind map[string]string) (bool, error) {
 			}
 			row[i] = v
 		}
-		return set[instance.Tuple(row).Key()], nil
+		return set.Has(row), nil
 	case *fo.Cmp:
 		l, err := resolve(x.L)
 		if err != nil {
@@ -411,7 +395,7 @@ func (m *modelChecker) holds(e fo.Expr, bind map[string]string) (bool, error) {
 
 // quant enumerates assignments for the quantified variables; forall=false
 // searches for a witness, forall=true for a counterexample.
-func (m *modelChecker) quant(vars []string, e fo.Expr, bind map[string]string, forall bool) (bool, error) {
+func (m *modelChecker) quant(vars []string, e fo.Expr, bind map[string]uint32, forall bool) (bool, error) {
 	var rec func(i int) (bool, error)
 	rec = func(i int) (bool, error) {
 		if i == len(vars) {
@@ -451,11 +435,13 @@ func (m *modelChecker) quant(vars []string, e fo.Expr, bind map[string]string, f
 	return found != forall, nil // ∃: found witness; ∀: no counterexample
 }
 
-// activeDomain collects every value in the source (database and views).
-func activeDomain(src *Source) []string {
-	seen := map[string]bool{}
-	var out []string
-	add := func(rows [][]string) {
+// activeDomain collects every value in the source (database and views) as
+// interned IDs, sorted by string value for deterministic enumeration.
+func activeDomain(src *Source) []uint32 {
+	d := src.Dict()
+	seen := map[uint32]bool{}
+	var out []uint32
+	add := func(rows [][]uint32) {
 		for _, r := range rows {
 			for _, v := range r {
 				if !seen[v] {
@@ -467,37 +453,59 @@ func activeDomain(src *Source) []string {
 	}
 	if src.DB != nil {
 		for _, t := range src.DB.Tables {
-			rows := make([][]string, len(t.Tuples))
-			for i, tu := range t.Tuples {
-				rows[i] = tu
-			}
+			add(t.IDRows())
+		}
+	}
+	for name := range src.Views {
+		if rows, ok := src.IDRows(name); ok {
 			add(rows)
 		}
 	}
-	for _, rows := range src.Views {
-		add(rows)
-	}
-	sort.Strings(out)
+	// Decode once (a single lock acquisition) and sort by the cached
+	// strings instead of hitting the shared dictionary per comparison.
+	names := d.Decode(out)
+	sort.Sort(&domainSorter{ids: out, names: names})
 	return out
 }
 
+// domainSorter sorts interned domain IDs by their string values, keeping
+// the two slices aligned.
+type domainSorter struct {
+	ids   []uint32
+	names []string
+}
+
+func (s *domainSorter) Len() int           { return len(s.ids) }
+func (s *domainSorter) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *domainSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+}
+
 func evalAtom(a *fo.Atom, src *Source) (*relation, error) {
-	rows, ok := src.Rows(a.Rel)
+	rows, ok := src.IDRows(a.Rel)
 	if !ok {
 		return nil, fmt.Errorf("eval: unknown relation %s", a.Rel)
 	}
+	d := src.Dict()
 	// Distinct variables in order of first occurrence.
 	var cols []string
+	var colPos []int
 	first := map[string]int{}
+	consts := make([]uint32, len(a.Args))
 	for i, t := range a.Args {
-		if !t.Const {
-			if _, dup := first[t.Val]; !dup {
-				first[t.Val] = i
-				cols = append(cols, t.Val)
-			}
+		if t.Const {
+			consts[i] = d.ID(t.Val)
+			continue
+		}
+		if _, dup := first[t.Val]; !dup {
+			first[t.Val] = i
+			cols = append(cols, t.Val)
+			colPos = append(colPos, i)
 		}
 	}
 	out := &relation{cols: cols}
+	seen := intern.NewSet(0) // constants typically filter most rows away
 rowLoop:
 	for _, r := range rows {
 		if len(r) != len(a.Args) {
@@ -505,36 +513,29 @@ rowLoop:
 		}
 		for i, t := range a.Args {
 			if t.Const {
-				if r[i] != t.Val {
+				if r[i] != consts[i] {
 					continue rowLoop
 				}
 			} else if r[i] != r[first[t.Val]] {
 				continue rowLoop
 			}
 		}
-		row := make([]string, len(cols))
-		for j, c := range cols {
-			row[j] = r[first[c]]
+		row := intern.Project(r, colPos)
+		if seen.Add(row) {
+			out.rows = append(out.rows, row)
 		}
-		out.rows = append(out.rows, row)
 	}
-	out.rows = dedupeRows(out.rows)
 	return out, nil
 }
 
 func joinRel(l, r *relation) *relation {
 	// Natural join on shared columns.
-	var shared []string
-	for _, c := range r.cols {
-		if indexOfStr(l.cols, c) >= 0 {
-			shared = append(shared, c)
+	var lpos, rpos []int
+	for i, c := range r.cols {
+		if p := indexOfStr(l.cols, c); p >= 0 {
+			lpos = append(lpos, p)
+			rpos = append(rpos, i)
 		}
-	}
-	lpos := make([]int, len(shared))
-	rpos := make([]int, len(shared))
-	for i, c := range shared {
-		lpos[i] = indexOfStr(l.cols, c)
-		rpos[i] = indexOfStr(r.cols, c)
 	}
 	var extraCols []string
 	var extraPos []int
@@ -544,24 +545,14 @@ func joinRel(l, r *relation) *relation {
 			extraPos = append(extraPos, i)
 		}
 	}
-	index := map[string][][]string{}
+	index := intern.NewIndex(len(r.rows))
 	for _, row := range r.rows {
-		var b strings.Builder
-		for _, p := range rpos {
-			b.WriteString(row[p])
-			b.WriteByte(0x1f)
-		}
-		index[b.String()] = append(index[b.String()], row)
+		index.AddAt(row, rpos)
 	}
 	out := &relation{cols: append(append([]string{}, l.cols...), extraCols...)}
 	for _, lrow := range l.rows {
-		var b strings.Builder
-		for _, p := range lpos {
-			b.WriteString(lrow[p])
-			b.WriteByte(0x1f)
-		}
-		for _, rrow := range index[b.String()] {
-			row := make([]string, 0, len(lrow)+len(extraPos))
+		for _, rrow := range index.GetAt(lrow, lpos) {
+			row := make([]uint32, 0, len(lrow)+len(extraPos))
 			row = append(row, lrow...)
 			for _, p := range extraPos {
 				row = append(row, rrow[p])
@@ -584,15 +575,19 @@ func unionRel(l, r *relation) (*relation, error) {
 	for i, c := range l.cols {
 		pos[i] = indexOfStr(r.cols, c)
 	}
-	out := &relation{cols: l.cols, rows: append([][]string{}, l.rows...)}
-	for _, rr := range r.rows {
-		row := make([]string, len(pos))
-		for i, p := range pos {
-			row[i] = rr[p]
+	seen := intern.NewSet(len(l.rows) + len(r.rows))
+	out := &relation{cols: l.cols}
+	for _, row := range l.rows {
+		if seen.Add(row) {
+			out.rows = append(out.rows, row)
 		}
-		out.rows = append(out.rows, row)
 	}
-	out.rows = dedupeRows(out.rows)
+	for _, rr := range r.rows {
+		row := intern.Project(rr, pos)
+		if seen.Add(row) {
+			out.rows = append(out.rows, row)
+		}
+	}
 	return out, nil
 }
 
@@ -610,25 +605,11 @@ func projectOut(rel *relation, vars []string) *relation {
 		}
 	}
 	out := &relation{cols: cols}
+	seen := intern.NewSet(len(rel.rows))
 	for _, r := range rel.rows {
-		row := make([]string, len(pos))
-		for i, p := range pos {
-			row[i] = r[p]
-		}
-		out.rows = append(out.rows, row)
-	}
-	out.rows = dedupeRows(out.rows)
-	return out
-}
-
-func dedupeRows(rows [][]string) [][]string {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0:0]
-	for _, r := range rows {
-		k := instance.Tuple(r).Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
+		row := intern.Project(r, pos)
+		if seen.Add(row) {
+			out.rows = append(out.rows, row)
 		}
 	}
 	return out

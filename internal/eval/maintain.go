@@ -81,18 +81,9 @@ func (m *Maintainer) Delete(rel string, row ...string) error {
 	if tbl == nil {
 		return fmt.Errorf("eval: no relation %s", rel)
 	}
-	key := instance.Tuple(row).Key()
-	w := 0
-	for _, tu := range tbl.Tuples {
-		if tu.Key() != key {
-			tbl.Tuples[w] = tu
-			w++
-		}
-	}
-	if w == len(tbl.Tuples) {
+	if tbl.DeleteAll(row...) == 0 {
 		return nil // nothing deleted
 	}
-	tbl.Tuples = tbl.Tuples[:w]
 	for name, def := range m.defs {
 		if mentions(def, rel) {
 			if err := m.refreshOne(name); err != nil {

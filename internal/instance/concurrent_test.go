@@ -1,0 +1,92 @@
+package instance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/schema"
+)
+
+// TestIndexedConcurrentFetchAccounting exercises Fetch and FetchIDs from
+// many goroutines and checks that the atomic counters account for every
+// call and every returned tuple exactly — the invariant the parallel
+// evaluator relies on for |Dξ| measurement. Run with -race in CI.
+func TestIndexedConcurrentFetchAccounting(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "A", "B"))
+	db := NewDatabase(s)
+	const keys, perKey = 50, 4
+	for k := 0; k < keys; k++ {
+		for j := 0; j < perKey; j++ {
+			db.MustInsert("R", fmt.Sprintf("a%02d", k), fmt.Sprintf("b%d", j))
+		}
+	}
+	c := access.NewConstraint("R", []string{"A"}, []string{"B"}, perKey)
+	a := access.NewSchema(c)
+	if ok, err := db.SatisfiesAll(a); err != nil || !ok {
+		t.Fatalf("instance must satisfy the constraint: %v", err)
+	}
+	ix, err := BuildIndexes(db, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for k := 0; k < keys; k++ {
+					rows, err := ix.Fetch(c, Tuple{fmt.Sprintf("a%02d", k)})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if len(rows) != perKey {
+						t.Errorf("fetch(a%02d) returned %d rows, want %d", k, len(rows), perKey)
+						return
+					}
+				}
+				// Misses must count the call but no tuples.
+				if _, err := ix.Fetch(c, Tuple{fmt.Sprintf("miss%d", w)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	wantCalls := workers * rounds * (keys + 1)
+	wantTuples := workers * rounds * keys * perKey
+	if got := ix.FetchCalls(); got != wantCalls {
+		t.Fatalf("FetchCalls = %d, want %d", got, wantCalls)
+	}
+	if got := ix.FetchedTuples(); got != wantTuples {
+		t.Fatalf("FetchedTuples = %d, want %d", got, wantTuples)
+	}
+
+	ix.ResetCounters()
+	if ix.FetchCalls() != 0 || ix.FetchedTuples() != 0 {
+		t.Fatal("ResetCounters must zero both counters")
+	}
+
+	// FetchIDs shares the same accounting.
+	id, ok := db.Dict.Lookup("a00")
+	if !ok {
+		t.Fatal("a00 must be interned")
+	}
+	rows, err := ix.FetchIDs(c, []uint32{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != perKey {
+		t.Fatalf("FetchIDs returned %d rows, want %d", len(rows), perKey)
+	}
+	if ix.FetchCalls() != 1 || ix.FetchedTuples() != perKey {
+		t.Fatalf("FetchIDs accounting: calls=%d tuples=%d", ix.FetchCalls(), ix.FetchedTuples())
+	}
+}

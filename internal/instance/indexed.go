@@ -2,26 +2,38 @@ package instance
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/access"
+	"repro/internal/intern"
 )
 
 // Indexed wraps a Database with one hash index per access constraint,
 // realizing the "index function" an access constraint promises: given an
-// X-value a̅, return D_{R:XY}(X = a̅) in O(N) time. It also accounts for
-// every tuple fetched, which is how experiments measure |Dξ| — the amount
-// of data a bounded plan reads from the underlying database.
+// X-value a̅, return D_{R:XY}(X = a̅) in O(N) time. Indexes store
+// ID-encoded rows keyed by a 64-bit hash of the packed X-projection (with
+// collision verification), so fetch probes never touch strings. It also
+// accounts for every tuple fetched, which is how experiments measure |Dξ|
+// — the amount of data a bounded plan reads from the underlying database.
+// The counters are atomic, so concurrent workers of the parallel evaluator
+// merge their accounting exactly.
 type Indexed struct {
 	DB     *Database
 	Access *access.Schema
 
-	// indexes[constraintKey][xValueKey] = distinct XY-projections.
-	indexes map[string]map[string][]Tuple
+	// indexes[constraintKey] holds the hash buckets of distinct
+	// XY-projections grouped by X-value.
+	indexes map[string]map[uint64][]ixEntry
 	// xyAttrs[constraintKey] = attribute names (ordered) of the stored projections.
 	xyAttrs map[string][]string
 
-	fetchedTuples int // running count of tuples returned by Fetch
-	fetchCalls    int // running count of Fetch invocations
+	fetchedTuples atomic.Int64 // running count of tuples returned by Fetch
+	fetchCalls    atomic.Int64 // running count of Fetch invocations
+}
+
+type ixEntry struct {
+	x    []uint32
+	rows [][]uint32
 }
 
 // BuildIndexes constructs the index structures for every constraint in the
@@ -32,7 +44,7 @@ func BuildIndexes(db *Database, a *access.Schema) (*Indexed, error) {
 	ix := &Indexed{
 		DB:      db,
 		Access:  a,
-		indexes: make(map[string]map[string][]Tuple, len(a.Constraints)),
+		indexes: make(map[string]map[uint64][]ixEntry, len(a.Constraints)),
 		xyAttrs: make(map[string][]string, len(a.Constraints)),
 	}
 	for _, c := range a.Constraints {
@@ -57,23 +69,22 @@ func (ix *Indexed) buildOne(c *access.Constraint) error {
 	if err != nil {
 		return err
 	}
-	idx := make(map[string][]Tuple)
-	seen := make(map[string]map[string]struct{})
-	for _, tu := range t.Tuples {
-		xk := tu.Project(xpos).Key()
-		proj := tu.Project(xypos)
-		pk := proj.Key()
-		s := seen[xk]
-		if s == nil {
-			s = make(map[string]struct{})
-			seen[xk] = s
-		}
-		if _, dup := s[pk]; dup {
-			continue
-		}
-		s[pk] = struct{}{}
-		idx[xk] = append(idx[xk], proj)
+	type building struct {
+		seen intern.Set
+		rows [][]uint32
 	}
+	bld := intern.NewGrouper[building](xpos)
+	for _, r := range t.IDRows() {
+		b := bld.At(r)
+		if proj, fresh := b.seen.AddProj(r, xypos); fresh {
+			b.rows = append(b.rows, proj)
+		}
+	}
+	idx := make(map[uint64][]ixEntry)
+	bld.Each(func(x []uint32, b *building) {
+		h := intern.Hash(x)
+		idx[h] = append(idx[h], ixEntry{x: x, rows: b.rows})
+	})
 	key := c.Key()
 	ix.indexes[key] = idx
 	ix.xyAttrs[key] = xy
@@ -89,6 +100,37 @@ func (ix *Indexed) FetchAttrs(c *access.Constraint) []string { return ix.xyAttrs
 // xval. xval must be ordered like c.X (sorted attribute order). Every
 // returned tuple is counted against the fetch budget.
 func (ix *Indexed) Fetch(c *access.Constraint, xval Tuple) ([]Tuple, error) {
+	if len(xval) != len(c.X) {
+		return nil, fmt.Errorf("instance: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
+	}
+	if _, ok := ix.indexes[c.Key()]; !ok {
+		return nil, fmt.Errorf("instance: no index for constraint %s", c)
+	}
+	key := make([]uint32, len(xval))
+	for i, v := range xval {
+		id, ok := ix.DB.Dict.Lookup(v)
+		if !ok {
+			// The value never occurs in D, so no row can match; the probe
+			// still counts as a fetch call.
+			ix.fetchCalls.Add(1)
+			return nil, nil
+		}
+		key[i] = id
+	}
+	idRows, err := ix.FetchIDs(c, key)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Tuple, len(idRows))
+	for i, r := range idRows {
+		rows[i] = Tuple(ix.DB.Dict.Decode(r))
+	}
+	return rows, nil
+}
+
+// FetchIDs is Fetch over ID-encoded values: the interned hot path used by
+// plan execution. The returned rows must not be mutated.
+func (ix *Indexed) FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error) {
 	idx, ok := ix.indexes[c.Key()]
 	if !ok {
 		return nil, fmt.Errorf("instance: no index for constraint %s", c)
@@ -96,18 +138,25 @@ func (ix *Indexed) Fetch(c *access.Constraint, xval Tuple) ([]Tuple, error) {
 	if len(xval) != len(c.X) {
 		return nil, fmt.Errorf("instance: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
 	}
-	rows := idx[xval.Key()]
-	ix.fetchCalls++
-	ix.fetchedTuples += len(rows)
-	return rows, nil
+	ix.fetchCalls.Add(1)
+	for _, e := range idx[intern.Hash(xval)] {
+		if intern.RowsEq(e.x, xval) {
+			ix.fetchedTuples.Add(int64(len(e.rows)))
+			return e.rows, nil
+		}
+	}
+	return nil, nil
 }
 
 // FetchedTuples returns the number of tuples fetched from D so far (the
 // size of the bag Dξ in the paper's terms).
-func (ix *Indexed) FetchedTuples() int { return ix.fetchedTuples }
+func (ix *Indexed) FetchedTuples() int { return int(ix.fetchedTuples.Load()) }
 
 // FetchCalls returns the number of Fetch invocations so far.
-func (ix *Indexed) FetchCalls() int { return ix.fetchCalls }
+func (ix *Indexed) FetchCalls() int { return int(ix.fetchCalls.Load()) }
 
 // ResetCounters zeroes the fetch accounting, to measure a single plan run.
-func (ix *Indexed) ResetCounters() { ix.fetchedTuples, ix.fetchCalls = 0, 0 }
+func (ix *Indexed) ResetCounters() {
+	ix.fetchedTuples.Store(0)
+	ix.fetchCalls.Store(0)
+}

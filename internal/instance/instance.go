@@ -2,18 +2,23 @@
 // checking for access schemas, and the indices that realize the O(N) fetch
 // functions of access constraints (Section 2).
 //
-// Values are strings; a tuple is a []string aligned with the relation's
-// attribute order. Indexed wraps a Database with one hash index per access
-// constraint and accounts for every tuple fetched, which is how the
-// benchmark harness measures |Dξ|.
+// Values are strings at the API boundary; a tuple is a []string aligned
+// with the relation's attribute order. Internally every database carries an
+// intern.Dict mapping values to dense uint32 IDs, and each table keeps an
+// ID-encoded shadow of its rows (built lazily, extended incrementally on
+// append) that the evaluation engines operate on. Indexed wraps a Database
+// with one hash index per access constraint and accounts for every tuple
+// fetched, which is how the benchmark harness measures |Dξ|.
 package instance
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/access"
+	"repro/internal/intern"
 	"repro/internal/schema"
 )
 
@@ -36,14 +41,25 @@ func (t Tuple) Project(pos []int) Tuple {
 	return out
 }
 
-// Table is the instance of one relation schema.
+// Table is the instance of one relation schema. Tuples is the
+// string-valued storage; treat it as append-only from the outside (mutate
+// through Insert/DeleteAll so the ID-encoded shadow stays consistent —
+// plain appends are also picked up lazily by IDRows).
 type Table struct {
 	Rel    *schema.Relation
 	Tuples []Tuple
+
+	mu     sync.Mutex
+	dict   *intern.Dict
+	idRows [][]uint32
 }
 
-// NewTable creates an empty table for the relation schema.
-func NewTable(rel *schema.Relation) *Table { return &Table{Rel: rel} }
+// NewTable creates an empty table for the relation schema with its own
+// private dictionary; tables created through NewDatabase share the
+// database's dictionary instead.
+func NewTable(rel *schema.Relation) *Table {
+	return &Table{Rel: rel, dict: intern.NewDict()}
+}
 
 // Insert appends a tuple after checking its arity.
 func (t *Table) Insert(row ...string) error {
@@ -62,21 +78,67 @@ func (t *Table) MustInsert(row ...string) {
 	}
 }
 
+// DeleteAll removes every copy of the given tuple, returning how many rows
+// were removed. It keeps the ID-encoded shadow consistent; use it instead
+// of compacting Tuples in place.
+func (t *Table) DeleteAll(row ...string) int {
+	key := Tuple(row).Key()
+	w := 0
+	for _, tu := range t.Tuples {
+		if tu.Key() != key {
+			t.Tuples[w] = tu
+			w++
+		}
+	}
+	removed := len(t.Tuples) - w
+	if removed > 0 {
+		t.Tuples = t.Tuples[:w]
+		t.mu.Lock()
+		t.idRows = nil
+		t.mu.Unlock()
+	}
+	return removed
+}
+
 // Len returns the number of tuples.
 func (t *Table) Len() int { return len(t.Tuples) }
 
-// Database is an instance of a database schema.
+// IDRows returns the ID-encoded rows of the table, aligned with Tuples.
+// The encoding is built lazily and extended incrementally when rows were
+// appended since the last call. The returned slice and its rows must not
+// be mutated. Safe for concurrent use as long as no concurrent writes to
+// the table are in flight.
+func (t *Table) IDRows() [][]uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dict == nil {
+		t.dict = intern.NewDict()
+	}
+	if len(t.idRows) > len(t.Tuples) {
+		t.idRows = nil // shrunk behind our back: re-encode from scratch
+	}
+	for i := len(t.idRows); i < len(t.Tuples); i++ {
+		t.idRows = append(t.idRows, t.dict.Encode(t.Tuples[i]))
+	}
+	return t.idRows
+}
+
+// Database is an instance of a database schema. Dict is the value
+// dictionary shared by all its tables.
 type Database struct {
 	Schema *schema.Schema
 	Tables map[string]*Table
+	Dict   *intern.Dict
 }
 
 // NewDatabase creates an empty instance of the schema with one (empty)
-// table per relation.
+// table per relation, all sharing one dictionary.
 func NewDatabase(s *schema.Schema) *Database {
-	db := &Database{Schema: s, Tables: make(map[string]*Table, len(s.Relations))}
+	db := &Database{Schema: s, Tables: make(map[string]*Table, len(s.Relations)), Dict: intern.NewDict()}
 	for _, r := range s.Relations {
-		db.Tables[r.Name] = NewTable(r)
+		t := NewTable(r)
+		t.dict = db.Dict
+		db.Tables[r.Name] = t
 	}
 	return db
 }
@@ -124,18 +186,11 @@ func (db *Database) Satisfies(c *access.Constraint) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	// Group tuples by X-value; count distinct Y-projections per group.
-	groups := make(map[string]map[string]struct{})
-	for _, tu := range t.Tuples {
-		xk := tu.Project(xpos).Key()
-		yk := tu.Project(ypos).Key()
-		g := groups[xk]
-		if g == nil {
-			g = make(map[string]struct{})
-			groups[xk] = g
-		}
-		g[yk] = struct{}{}
-		if len(g) > c.N {
+	// Group ID rows by X-value; count distinct Y-projections per group.
+	groups := intern.NewGrouper[intern.Set](xpos)
+	for _, r := range t.IDRows() {
+		ys := groups.At(r)
+		if _, fresh := ys.AddProj(r, ypos); fresh && ys.Len() > c.N {
 			return false, nil
 		}
 	}
@@ -184,7 +239,7 @@ func (db *Database) ActiveDomain() []string {
 	return out
 }
 
-// Clone deep-copies the instance.
+// Clone deep-copies the instance (with a fresh dictionary).
 func (db *Database) Clone() *Database {
 	out := NewDatabase(db.Schema)
 	for name, t := range db.Tables {

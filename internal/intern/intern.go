@@ -1,0 +1,461 @@
+// Package intern implements the interned-value execution core: a
+// dictionary mapping domain strings to dense uint32 IDs, plus hash
+// containers (Set, Index) keyed by packed []uint32 rows through a cheap
+// FNV-style 64-bit key with collision verification.
+//
+// The evaluation engines (internal/eval, internal/plan, internal/cq)
+// operate on ID-encoded rows end-to-end and decode back to strings only at
+// the API boundary, so hash joins, deduplication and homomorphism checks
+// compare machine words instead of joining strings. The dictionary is safe
+// for concurrent use; Set and Index are not (each worker builds its own).
+package intern
+
+import "sync"
+
+// Dict is a bidirectional string <-> uint32 dictionary. IDs are dense,
+// starting at 0, assigned in first-intern order. The zero value is not
+// usable; call NewDict.
+type Dict struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewDict creates an empty dictionary.
+func NewDict() *Dict { return &Dict{ids: make(map[string]uint32)} }
+
+// ID interns s and returns its ID, assigning the next dense ID when s is
+// new. Safe for concurrent use.
+func (d *Dict) ID(s string) uint32 {
+	d.mu.RLock()
+	id, ok := d.ids[s]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id = uint32(len(d.strs))
+	d.ids[s] = id
+	d.strs = append(d.strs, s)
+	return id
+}
+
+// Lookup returns the ID of s without interning it.
+func (d *Dict) Lookup(s string) (uint32, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[s]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// Str returns the string for an interned ID.
+func (d *Dict) Str(id uint32) string {
+	d.mu.RLock()
+	s := d.strs[id]
+	d.mu.RUnlock()
+	return s
+}
+
+// Len returns the number of interned strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	n := len(d.strs)
+	d.mu.RUnlock()
+	return n
+}
+
+// Encode interns every value of row and returns the ID-encoded row.
+func (d *Dict) Encode(row []string) []uint32 {
+	out := make([]uint32, len(row))
+	for i, v := range row {
+		out[i] = d.ID(v)
+	}
+	return out
+}
+
+// Decode maps an ID-encoded row back to strings.
+func (d *Dict) Decode(ids []uint32) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = d.strs[id]
+	}
+	return out
+}
+
+// DecodeAll decodes a row set under a single lock acquisition.
+func (d *Dict) DecodeAll(rows [][]uint32) [][]string {
+	if rows == nil {
+		return nil
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		row := make([]string, len(r))
+		for j, id := range r {
+			row[j] = d.strs[id]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Local is an unlocked string <-> uint32 dictionary for single-goroutine
+// interning contexts (e.g. one homomorphism search). Same contract as
+// Dict, without the synchronization cost.
+type Local struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+// NewLocal creates an empty unlocked dictionary.
+func NewLocal() *Local { return &Local{ids: make(map[string]uint32)} }
+
+// ID interns s and returns its ID.
+func (d *Local) ID(s string) uint32 {
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(d.strs))
+	d.ids[s] = id
+	d.strs = append(d.strs, s)
+	return id
+}
+
+// Str returns the string for an interned ID.
+func (d *Local) Str(id uint32) string { return d.strs[id] }
+
+// Encode interns every value of row and returns the ID-encoded row.
+func (d *Local) Encode(row []string) []uint32 {
+	out := make([]uint32, len(row))
+	for i, v := range row {
+		out[i] = d.ID(v)
+	}
+	return out
+}
+
+// DecodeAll decodes a row set.
+func (d *Local) DecodeAll(rows [][]uint32) [][]string {
+	if rows == nil {
+		return nil
+	}
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		row := make([]string, len(r))
+		for j, id := range r {
+			row[j] = d.strs[id]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// FNV-1a parameters; Hash consumes 32 bits per step, which keeps the
+// distribution property we need (distinct short ID rows almost never
+// collide) at a quarter of the multiply count of byte-wise FNV.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash returns the 64-bit key of an ID row.
+func Hash(row []uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range row {
+		h ^= uint64(v)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// HashAt hashes the projection of row at positions pos without allocating
+// the projection.
+func HashAt(row []uint32, pos []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, p := range pos {
+		h ^= uint64(row[p])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// RowsEq reports element-wise equality of two ID rows.
+func RowsEq(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the sub-row of row at positions pos.
+func Project(row []uint32, pos []int) []uint32 {
+	out := make([]uint32, len(pos))
+	for i, p := range pos {
+		out[i] = row[p]
+	}
+	return out
+}
+
+// Set is a set of ID rows keyed by Hash with collision verification.
+// Added rows are retained by reference and must not be mutated afterwards.
+// The zero value is an empty set ready to use. Not safe for concurrent
+// use.
+type Set struct {
+	buckets map[uint64][][]uint32
+	n       int
+}
+
+// NewSet creates a set with a size hint.
+func NewSet(hint int) *Set {
+	return &Set{buckets: make(map[uint64][][]uint32, hint)}
+}
+
+// Add inserts row, reporting whether it was newly added.
+func (s *Set) Add(row []uint32) bool {
+	if s.buckets == nil {
+		s.buckets = make(map[uint64][][]uint32)
+	}
+	h := Hash(row)
+	b := s.buckets[h]
+	for _, r := range b {
+		if RowsEq(r, row) {
+			return false
+		}
+	}
+	s.buckets[h] = append(b, row)
+	s.n++
+	return true
+}
+
+// Has reports membership of row.
+func (s *Set) Has(row []uint32) bool {
+	for _, r := range s.buckets[Hash(row)] {
+		if RowsEq(r, row) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAt reports membership of the projection of row at positions pos,
+// without allocating the projection.
+func (s *Set) HasAt(row []uint32, pos []int) bool {
+	for _, r := range s.buckets[HashAt(row, pos)] {
+		if len(r) != len(pos) {
+			continue
+		}
+		eq := true
+		for i, p := range pos {
+			if r[i] != row[p] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return true
+		}
+	}
+	return false
+}
+
+// AddProj adds the projection of row at positions pos, allocating the
+// projection only when it is new. It returns the stored projection and
+// whether it was newly added.
+func (s *Set) AddProj(row []uint32, pos []int) ([]uint32, bool) {
+	if s.buckets == nil {
+		s.buckets = make(map[uint64][][]uint32)
+	}
+	h := HashAt(row, pos)
+	b := s.buckets[h]
+outer:
+	for _, r := range b {
+		if len(r) != len(pos) {
+			continue
+		}
+		for i, p := range pos {
+			if r[i] != row[p] {
+				continue outer
+			}
+		}
+		return r, false
+	}
+	proj := Project(row, pos)
+	s.buckets[h] = append(b, proj)
+	s.n++
+	return proj, true
+}
+
+// Len returns the number of distinct rows added.
+func (s *Set) Len() int { return s.n }
+
+// Index is a multimap from ID-row keys to ID rows, keyed by Hash with
+// collision verification — the interned replacement for
+// map[string][][]string join indexes. Keys and rows are retained by
+// reference. Not safe for concurrent use.
+type Index struct {
+	buckets map[uint64][]indexEntry
+}
+
+type indexEntry struct {
+	key  []uint32
+	rows [][]uint32
+}
+
+// NewIndex creates an index with a size hint.
+func NewIndex(hint int) *Index {
+	return &Index{buckets: make(map[uint64][]indexEntry, hint)}
+}
+
+// Add appends row under key.
+func (ix *Index) Add(key, row []uint32) {
+	h := Hash(key)
+	es := ix.buckets[h]
+	for i := range es {
+		if RowsEq(es[i].key, key) {
+			es[i].rows = append(es[i].rows, row)
+			return
+		}
+	}
+	ix.buckets[h] = append(es, indexEntry{key: key, rows: [][]uint32{row}})
+}
+
+// AddAt appends row under the projection of row at positions pos,
+// allocating the key only for the first row of each group.
+func (ix *Index) AddAt(row []uint32, pos []int) {
+	h := HashAt(row, pos)
+	es := ix.buckets[h]
+outer:
+	for i := range es {
+		if len(es[i].key) != len(pos) {
+			continue
+		}
+		for j, p := range pos {
+			if es[i].key[j] != row[p] {
+				continue outer
+			}
+		}
+		es[i].rows = append(es[i].rows, row)
+		return
+	}
+	ix.buckets[h] = append(es, indexEntry{key: Project(row, pos), rows: [][]uint32{row}})
+}
+
+// Get returns the rows stored under key (nil when absent). The returned
+// slice must not be mutated.
+func (ix *Index) Get(key []uint32) [][]uint32 {
+	for _, e := range ix.buckets[Hash(key)] {
+		if RowsEq(e.key, key) {
+			return e.rows
+		}
+	}
+	return nil
+}
+
+// GetAt returns the rows stored under the projection of row at positions
+// pos, without allocating the projection.
+func (ix *Index) GetAt(row []uint32, pos []int) [][]uint32 {
+	for _, e := range ix.buckets[HashAt(row, pos)] {
+		if len(e.key) != len(pos) {
+			continue
+		}
+		eq := true
+		for i, p := range pos {
+			if e.key[i] != row[p] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			return e.rows
+		}
+	}
+	return nil
+}
+
+// Grouper groups ID rows by their projection at fixed positions, with
+// collision verification: each distinct projection owns one value of type
+// T (zero-initialized on first sight). Not safe for concurrent use.
+type Grouper[T any] struct {
+	pos     []int
+	buckets map[uint64][]groupEntry[T]
+}
+
+type groupEntry[T any] struct {
+	key []uint32
+	val *T
+}
+
+// NewGrouper creates a grouper keyed by the projection at pos.
+func NewGrouper[T any](pos []int) *Grouper[T] {
+	return &Grouper[T]{pos: pos, buckets: make(map[uint64][]groupEntry[T])}
+}
+
+// At returns the group value for row's projection, allocating a zero T
+// for a projection seen for the first time.
+func (g *Grouper[T]) At(row []uint32) *T {
+	h := HashAt(row, g.pos)
+	es := g.buckets[h]
+outer:
+	for i := range es {
+		for j, p := range g.pos {
+			if es[i].key[j] != row[p] {
+				continue outer
+			}
+		}
+		return es[i].val
+	}
+	e := groupEntry[T]{key: Project(row, g.pos), val: new(T)}
+	g.buckets[h] = append(g.buckets[h], e)
+	return e.val
+}
+
+// Each calls f for every group, in unspecified order.
+func (g *Grouper[T]) Each(f func(key []uint32, val *T)) {
+	for _, es := range g.buckets {
+		for _, e := range es {
+			f(e.key, e.val)
+		}
+	}
+}
+
+// RowCache is a concurrency-safe, name-keyed cache of ID-encoded row sets
+// over one dictionary — the shared machinery behind lazy view interning
+// in the evaluators.
+type RowCache struct {
+	d  *Dict
+	mu sync.Mutex
+	m  map[string][][]uint32
+}
+
+// NewRowCache creates a cache encoding through d.
+func NewRowCache(d *Dict) *RowCache {
+	return &RowCache{d: d, m: make(map[string][][]uint32)}
+}
+
+// Encode returns the ID-encoded form of rows under the given name,
+// encoding on first use and serving the cache afterwards. The rows for a
+// name must not change between calls.
+func (c *RowCache) Encode(name string, rows [][]string) [][]uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if enc, ok := c.m[name]; ok {
+		return enc
+	}
+	enc := make([][]uint32, len(rows))
+	for i, r := range rows {
+		enc[i] = c.d.Encode(r)
+	}
+	c.m[name] = enc
+	return enc
+}

@@ -1,0 +1,139 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	words := []string{"a", "b", "", "a", "\x1f", "b", "long value with spaces"}
+	ids := make([]uint32, len(words))
+	for i, w := range words {
+		ids[i] = d.ID(w)
+	}
+	if ids[0] != ids[3] || ids[1] != ids[5] {
+		t.Fatal("re-interning must return the same ID")
+	}
+	if d.Len() != 5 {
+		t.Fatalf("want 5 distinct values, got %d", d.Len())
+	}
+	for i, w := range words {
+		if got := d.Str(ids[i]); got != w {
+			t.Fatalf("Str(ID(%q)) = %q", w, got)
+		}
+	}
+	if _, ok := d.Lookup("absent"); ok {
+		t.Fatal("Lookup must not intern")
+	}
+	row := []string{"x", "y", "x"}
+	enc := d.Encode(row)
+	if enc[0] != enc[2] || enc[0] == enc[1] {
+		t.Fatal("Encode must preserve equality structure")
+	}
+	dec := d.Decode(enc)
+	for i := range row {
+		if dec[i] != row[i] {
+			t.Fatalf("Decode mismatch at %d: %q != %q", i, dec[i], row[i])
+		}
+	}
+	all := d.DecodeAll([][]uint32{enc, enc})
+	if len(all) != 2 || all[1][1] != "y" {
+		t.Fatal("DecodeAll mismatch")
+	}
+	if d.DecodeAll(nil) != nil {
+		t.Fatal("DecodeAll(nil) must be nil")
+	}
+}
+
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict()
+	const workers, values = 8, 500
+	var wg sync.WaitGroup
+	got := make([][]uint32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]uint32, values)
+			for i := 0; i < values; i++ {
+				ids[i] = d.ID(fmt.Sprintf("v%03d", i))
+			}
+			got[w] = ids
+		}(w)
+	}
+	wg.Wait()
+	if d.Len() != values {
+		t.Fatalf("want %d distinct values, got %d", values, d.Len())
+	}
+	for w := 1; w < workers; w++ {
+		for i := range got[w] {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d disagrees on ID of v%03d", w, i)
+			}
+		}
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(0)
+	if !s.Add([]uint32{1, 2}) || s.Add([]uint32{1, 2}) {
+		t.Fatal("Add must report first insertion only")
+	}
+	if !s.Add([]uint32{2, 1}) {
+		t.Fatal("order matters")
+	}
+	if !s.Add([]uint32{1, 2, 3}) {
+		t.Fatal("length matters")
+	}
+	if s.Len() != 3 || !s.Has([]uint32{1, 2}) || s.Has([]uint32{9}) {
+		t.Fatal("membership wrong")
+	}
+	if !s.HasAt([]uint32{9, 2, 1, 9}, []int{2, 1}) {
+		t.Fatal("HasAt must test the projection")
+	}
+	if s.HasAt([]uint32{9, 2, 1, 9}, []int{0, 1}) {
+		t.Fatal("HasAt must miss projections that were never added")
+	}
+	if proj, fresh := s.AddProj([]uint32{9, 2, 1, 9}, []int{2, 1}); fresh || proj[0] != 1 || proj[1] != 2 {
+		t.Fatal("AddProj must find the existing projection")
+	}
+	if _, fresh := s.AddProj([]uint32{9, 2, 1, 9}, []int{0, 1}); !fresh {
+		t.Fatal("AddProj must add new projections")
+	}
+}
+
+func TestIndex(t *testing.T) {
+	ix := NewIndex(0)
+	ix.Add([]uint32{1}, []uint32{1, 10})
+	ix.Add([]uint32{1}, []uint32{1, 11})
+	ix.Add([]uint32{2}, []uint32{2, 20})
+	if got := ix.Get([]uint32{1}); len(got) != 2 {
+		t.Fatalf("want 2 rows under key 1, got %d", len(got))
+	}
+	if got := ix.Get([]uint32{3}); got != nil {
+		t.Fatal("missing key must yield nil")
+	}
+	if got := ix.GetAt([]uint32{5, 2, 9}, []int{1}); len(got) != 1 || got[0][1] != 20 {
+		t.Fatal("GetAt must probe the projection")
+	}
+	// Empty keys (cross products) are a single group.
+	ix2 := NewIndex(0)
+	ix2.Add(nil, []uint32{1})
+	ix2.Add([]uint32{}, []uint32{2})
+	if got := ix2.Get(nil); len(got) != 2 {
+		t.Fatalf("empty key group: want 2 rows, got %d", len(got))
+	}
+}
+
+func TestHashAtMatchesHash(t *testing.T) {
+	row := []uint32{7, 8, 9, 10}
+	pos := []int{2, 0}
+	if HashAt(row, pos) != Hash(Project(row, pos)) {
+		t.Fatal("HashAt must agree with Hash of the projection")
+	}
+	if Hash(nil) != Hash([]uint32{}) {
+		t.Fatal("nil and empty rows must hash alike")
+	}
+}

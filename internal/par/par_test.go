@@ -1,0 +1,51 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsAll(t *testing.T) {
+	var n atomic.Int64
+	fns := make([]func() error, 50)
+	for i := range fns {
+		fns[i] = func() error { n.Add(1); return nil }
+	}
+	if err := Do(fns...); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 50 {
+		t.Fatalf("want 50 executions, got %d", n.Load())
+	}
+	if err := Do(); err != nil {
+		t.Fatal("empty Do must succeed")
+	}
+}
+
+func TestDoFirstErrorByOrder(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	err := Do(
+		func() error { return nil },
+		func() error { return e1 },
+		func() error { return e2 },
+	)
+	if err != e1 {
+		t.Fatalf("want the first error by argument order, got %v", err)
+	}
+}
+
+func TestForEachNested(t *testing.T) {
+	// Nesting must not deadlock: inner calls fall back to inline execution
+	// when the token pool is exhausted.
+	var n atomic.Int64
+	err := ForEach(8, func(int) error {
+		return ForEach(8, func(int) error { n.Add(1); return nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 64 {
+		t.Fatalf("want 64 executions, got %d", n.Load())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/instance"
+	"repro/internal/intern"
+	"repro/internal/par"
 )
 
 // Materialized maps view names to their cached extents V(D), with columns
@@ -15,22 +17,107 @@ type Materialized map[string][][]string
 // Run executes the plan bottom-up over the indexed instance (Section 2's
 // operational semantics), returning the root relation with set semantics.
 // All access to the underlying database is via ix.Fetch, so ix's counters
-// measure |Dξ| afterwards.
+// measure |Dξ| afterwards. Execution is interned end-to-end: rows are
+// ID-encoded against the database dictionary and decoded only here at the
+// boundary. Independent subtrees (products, unions, differences, the two
+// sides of a hash join) run concurrently on the bounded worker pool;
+// Indexed's atomic counters keep the |Dξ| accounting exact.
 func Run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
-	rows, err := run(n, ix, views)
+	d := ix.DB.Dict
+	return exec(n, &execCtx{ix: ix, d: d, views: views, cache: intern.NewRowCache(d)})
+}
+
+// PreparedViews is the ID-encoded form of a Materialized view set, bound
+// to the dictionary of one database. Preparing once and executing many
+// plans against it (RunPrepared) avoids re-interning large view extents on
+// every Run — the right shape for benchmark loops and serving paths that
+// reuse a cache.
+type PreparedViews struct {
+	d    *intern.Dict
+	rows map[string][][]uint32
+}
+
+// PrepareViews interns the view extents against ix's database dictionary.
+func PrepareViews(ix *instance.Indexed, views Materialized) *PreparedViews {
+	d := ix.DB.Dict
+	cache := intern.NewRowCache(d)
+	rows := make(map[string][][]uint32, len(views))
+	for name, ext := range views {
+		rows[name] = cache.Encode(name, ext)
+	}
+	return &PreparedViews{d: d, rows: rows}
+}
+
+// RunPrepared is Run over views prepared with PrepareViews against the
+// same database.
+func RunPrepared(n Node, ix *instance.Indexed, pv *PreparedViews) ([][]string, error) {
+	if pv != nil && pv.d != ix.DB.Dict {
+		return nil, fmt.Errorf("plan: prepared views belong to a different database")
+	}
+	ctx := &execCtx{ix: ix, d: ix.DB.Dict}
+	if pv != nil {
+		ctx.prepared = pv.rows
+	} else {
+		ctx.prepared = map[string][][]uint32{}
+	}
+	return exec(n, ctx)
+}
+
+func exec(n Node, ctx *execCtx) ([][]string, error) {
+	rows, err := ctx.run(n)
 	if err != nil {
 		return nil, err
 	}
-	return dedupe(rows), nil
+	seen := intern.NewSet(len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		if seen.Add(r) {
+			out = append(out, r)
+		}
+	}
+	return ctx.d.DecodeAll(out), nil
 }
 
-func run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
+// execCtx carries one execution's interning state. View extents are
+// interned lazily, once per view, under a lock so parallel subtrees can
+// share the cache.
+type execCtx struct {
+	ix       *instance.Indexed
+	d        *intern.Dict
+	views    Materialized
+	cache    *intern.RowCache      // lazy interning of views (Run path)
+	prepared map[string][][]uint32 // non-nil when running over PreparedViews
+}
+
+func (ctx *execCtx) viewRows(name string) ([][]uint32, bool) {
+	if ctx.prepared != nil {
+		rows, ok := ctx.prepared[name]
+		return rows, ok
+	}
+	rows, ok := ctx.views[name]
+	if !ok {
+		return nil, false
+	}
+	return ctx.cache.Encode(name, rows), true
+}
+
+// both evaluates two subtrees, concurrently when workers are free.
+func (ctx *execCtx) both(ln, rn Node) (l, r [][]uint32, err error) {
+	var lerr, rerr error
+	perr := par.Do(
+		func() error { l, lerr = ctx.run(ln); return lerr },
+		func() error { r, rerr = ctx.run(rn); return rerr },
+	)
+	return l, r, perr
+}
+
+func (ctx *execCtx) run(n Node) ([][]uint32, error) {
 	switch x := n.(type) {
 	case *Const:
-		return [][]string{{x.Val}}, nil
+		return [][]uint32{{ctx.d.ID(x.Val)}}, nil
 
 	case *View:
-		rows, ok := views[x.Name]
+		rows, ok := ctx.viewRows(x.Name)
 		if !ok {
 			return nil, fmt.Errorf("plan: view %s not materialized", x.Name)
 		}
@@ -42,11 +129,11 @@ func run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
 		return rows, nil
 
 	case *Fetch:
-		var inputs [][]string
+		var inputs [][]uint32
 		if x.Child == nil {
-			inputs = [][]string{{}}
+			inputs = [][]uint32{{}}
 		} else {
-			childRows, err := run(x.Child, ix, views)
+			childRows, err := ctx.run(x.Child)
 			if err != nil {
 				return nil, err
 			}
@@ -61,34 +148,25 @@ func run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
 					return nil, fmt.Errorf("plan: fetch child lacks attribute %s", a)
 				}
 			}
-			seen := map[string]bool{}
+			seen := intern.NewSet(len(childRows))
 			for _, r := range childRows {
-				key := make(instance.Tuple, len(pos))
-				for i, p := range pos {
-					key[i] = r[p]
+				if key, fresh := seen.AddProj(r, pos); fresh {
+					inputs = append(inputs, key)
 				}
-				k := key.Key()
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-				inputs = append(inputs, key)
 			}
 		}
-		var out [][]string
+		var out [][]uint32
 		for _, in := range inputs {
-			rows, err := ix.Fetch(x.C, instance.Tuple(in))
+			rows, err := ctx.ix.FetchIDs(x.C, in)
 			if err != nil {
 				return nil, err
 			}
-			for _, r := range rows {
-				out = append(out, r)
-			}
+			out = append(out, rows...)
 		}
 		return out, nil
 
 	case *Project:
-		childRows, err := run(x.Child, ix, views)
+		childRows, err := ctx.run(x.Child)
 		if err != nil {
 			return nil, err
 		}
@@ -97,13 +175,9 @@ func run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
 		for i, a := range x.Cols {
 			pos[i] = indexOf(childAttrs, a)
 		}
-		out := make([][]string, 0, len(childRows))
+		out := make([][]uint32, 0, len(childRows))
 		for _, r := range childRows {
-			row := make([]string, len(pos))
-			for i, p := range pos {
-				row[i] = r[p]
-			}
-			out = append(out, row)
+			out = append(out, intern.Project(r, pos))
 		}
 		return out, nil
 
@@ -112,28 +186,25 @@ func run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
 		// same semantics, linear instead of quadratic time. This matters
 		// because cached views may be large even when fetches are bounded.
 		if prod, ok := x.Child.(*Product); ok {
-			if out, done, err := hashJoin(x, prod, ix, views); done {
+			if out, done, err := ctx.hashJoin(x, prod); done {
 				return out, err
 			}
 		}
-		childRows, err := run(x.Child, ix, views)
+		childRows, err := ctx.run(x.Child)
 		if err != nil {
 			return nil, err
 		}
 		attrs := x.Child.Attrs()
-		var out [][]string
+		conds := ctx.resolveConds(x.Cond, attrs)
+		var out [][]uint32
 	rows:
 		for _, r := range childRows {
-			for _, c := range x.Cond {
-				li := indexOf(attrs, c.L)
-				var rv string
-				if c.RConst {
-					rv = c.R
-				} else {
-					rv = r[indexOf(attrs, c.R)]
+			for _, c := range conds {
+				rv := c.rconst
+				if c.rpos >= 0 {
+					rv = r[c.rpos]
 				}
-				eq := r[li] == rv
-				if eq == c.Neq {
+				if (r[c.lpos] == rv) == c.neq {
 					continue rows
 				}
 			}
@@ -142,18 +213,14 @@ func run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
 		return out, nil
 
 	case *Product:
-		l, err := run(x.L, ix, views)
+		l, r, err := ctx.both(x.L, x.R)
 		if err != nil {
 			return nil, err
 		}
-		r, err := run(x.R, ix, views)
-		if err != nil {
-			return nil, err
-		}
-		out := make([][]string, 0, len(l)*len(r))
+		out := make([][]uint32, 0, len(l)*len(r))
 		for _, a := range l {
 			for _, b := range r {
-				row := make([]string, 0, len(a)+len(b))
+				row := make([]uint32, 0, len(a)+len(b))
 				row = append(row, a...)
 				row = append(row, b...)
 				out = append(out, row)
@@ -162,49 +229,64 @@ func run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
 		return out, nil
 
 	case *Union:
-		l, err := run(x.L, ix, views)
-		if err != nil {
-			return nil, err
-		}
-		r, err := run(x.R, ix, views)
+		l, r, err := ctx.both(x.L, x.R)
 		if err != nil {
 			return nil, err
 		}
 		return append(l, r...), nil
 
 	case *Diff:
-		l, err := run(x.L, ix, views)
+		l, r, err := ctx.both(x.L, x.R)
 		if err != nil {
 			return nil, err
 		}
-		r, err := run(x.R, ix, views)
-		if err != nil {
-			return nil, err
-		}
-		drop := map[string]bool{}
+		drop := intern.NewSet(len(r))
 		for _, b := range r {
-			drop[instance.Tuple(b).Key()] = true
+			drop.Add(b)
 		}
-		var out [][]string
+		var out [][]uint32
 		for _, a := range l {
-			if !drop[instance.Tuple(a).Key()] {
+			if !drop.Has(a) {
 				out = append(out, a)
 			}
 		}
 		return out, nil
 
 	case *Rename:
-		return run(x.Child, ix, views)
+		return ctx.run(x.Child)
 
 	default:
 		return nil, fmt.Errorf("plan: unknown node type %T", n)
 	}
 }
 
+// cond is a CondItem with attribute names resolved to row positions and
+// constants interned: lpos op (rpos | rconst), flipped by neq.
+type cond struct {
+	lpos   int
+	rpos   int // -1 when the right side is a constant
+	rconst uint32
+	neq    bool
+}
+
+func (ctx *execCtx) resolveConds(items []CondItem, attrs []string) []cond {
+	out := make([]cond, len(items))
+	for i, c := range items {
+		rc := cond{lpos: indexOf(attrs, c.L), rpos: -1, neq: c.Neq}
+		if c.RConst {
+			rc.rconst = ctx.d.ID(c.R)
+		} else {
+			rc.rpos = indexOf(attrs, c.R)
+		}
+		out[i] = rc
+	}
+	return out
+}
+
 // hashJoin evaluates σ_Cond(L × R) as a hash join when every cross-side
 // condition is an equality. Side-local conditions are applied as filters.
 // done is false when the condition shape does not permit the rewrite.
-func hashJoin(sel *Select, prod *Product, ix *instance.Indexed, views Materialized) ([][]string, bool, error) {
+func (ctx *execCtx) hashJoin(sel *Select, prod *Product) ([][]uint32, bool, error) {
 	la, ra := prod.L.Attrs(), prod.R.Attrs()
 	var joinL, joinR []int    // cross-side equality positions
 	var localConds []CondItem // conditions evaluable on the combined row
@@ -230,36 +312,44 @@ func hashJoin(sel *Select, prod *Product, ix *instance.Indexed, views Materializ
 	if len(joinL) == 0 {
 		return nil, false, nil
 	}
-	lRows, err := run(prod.L, ix, views)
+	lRows, rRows, err := ctx.both(prod.L, prod.R)
 	if err != nil {
 		return nil, true, err
 	}
-	rRows, err := run(prod.R, ix, views)
-	if err != nil {
-		return nil, true, err
+	// Build on the smaller side; a bounded plan's fetch side is often tiny
+	// while the view side grows with |D|, and probing is cheaper than
+	// building.
+	build, probe := rRows, lRows
+	buildPos, probePos := joinR, joinL
+	swapped := false
+	if len(lRows) < len(rRows) {
+		build, probe = lRows, rRows
+		buildPos, probePos = joinL, joinR
+		swapped = true
 	}
-	// Build on the smaller side.
-	index := make(map[string][][]string, len(rRows))
-	for _, r := range rRows {
-		key := joinKeyOf(r, joinR)
-		index[key] = append(index[key], r)
+	index := intern.NewIndex(len(build))
+	for _, r := range build {
+		index.AddAt(r, buildPos)
 	}
 	attrs := append(append([]string{}, la...), ra...)
-	var out [][]string
-	for _, l := range lRows {
-		key := joinKeyOf(l, joinL)
+	conds := ctx.resolveConds(localConds, attrs)
+	var out [][]uint32
+	for _, p := range probe {
 	match:
-		for _, r := range index[key] {
-			row := make([]string, 0, len(l)+len(r))
-			row = append(row, l...)
-			row = append(row, r...)
-			for _, c := range localConds {
-				li := indexOf(attrs, c.L)
-				rv := c.R
-				if !c.RConst {
-					rv = row[indexOf(attrs, c.R)]
+		for _, m := range index.GetAt(p, probePos) {
+			lrow, rrow := p, m
+			if swapped {
+				lrow, rrow = m, p
+			}
+			row := make([]uint32, 0, len(lrow)+len(rrow))
+			row = append(row, lrow...)
+			row = append(row, rrow...)
+			for _, c := range conds {
+				rv := c.rconst
+				if c.rpos >= 0 {
+					rv = row[c.rpos]
 				}
-				if row[li] != rv {
+				if row[c.lpos] != rv {
 					continue match
 				}
 			}
@@ -269,14 +359,6 @@ func hashJoin(sel *Select, prod *Product, ix *instance.Indexed, views Materializ
 	return out, true, nil
 }
 
-func joinKeyOf(row []string, pos []int) string {
-	out := ""
-	for _, p := range pos {
-		out += row[p] + "\x1f"
-	}
-	return out
-}
-
 func indexOf(xs []string, a string) int {
 	for i, x := range xs {
 		if x == a {
@@ -284,18 +366,4 @@ func indexOf(xs []string, a string) int {
 		}
 	}
 	return -1
-}
-
-func dedupe(rows [][]string) [][]string {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0:0]
-	for _, r := range rows {
-		k := instance.Tuple(r).Key()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, r)
-	}
-	return out
 }
