@@ -22,6 +22,8 @@ package repro
 
 import (
 	"fmt"
+	"reflect"
+	"sync"
 
 	"repro/internal/access"
 	"repro/internal/boundedness"
@@ -53,6 +55,10 @@ type (
 	Indexed = instance.Indexed
 	// Tuple is a database row.
 	Tuple = instance.Tuple
+	// Op is one tuple-level mutation of a batch delta (insert or delete).
+	Op = instance.Op
+	// Applied reports what a batch delta physically changed.
+	Applied = instance.Applied
 	// Term is a variable or constant in a query.
 	Term = cq.Term
 	// Atom is a relation atom.
@@ -121,6 +127,16 @@ type System struct {
 	Access *AccessSchema
 	Views  map[string]*UCQ
 	M      int
+
+	// Execute's prepared-view cache: re-interning a large view extent on
+	// every call would defeat scale independence, so the last (ix, views)
+	// pair's interned form is kept and reused. The views map itself is
+	// retained so the identity comparison cannot alias a freed map whose
+	// address got reused.
+	prepMu    sync.Mutex
+	prepIx    *Indexed
+	prepViews map[string][][]string // the views map the cache was built from
+	prepared  *plan.PreparedViews
 }
 
 // NewSystem builds a System after validating the constraints and views
@@ -220,14 +236,142 @@ func (sys *System) NewMaintainer(db *Database) (*Maintainer, error) {
 // Execute runs a plan over the indexed instance with the materialized
 // views, returning the answer rows and the number of tuples fetched from
 // the underlying database (|Dξ|).
+//
+// The interned form of the view extents is cached on the System, keyed by
+// the identity of (ix, views): repeated Execute calls with the same pair
+// never re-intern the extents. Pass a NEW views map (or use a Live handle)
+// when the extents change — mutating a map already handed to Execute is
+// not observed. The cache retains the last pair (including ix's database)
+// until the next Execute with a different one; long-lived Systems that
+// are done with a database should let the System go or Execute against
+// the successor pair.
 func (sys *System) Execute(p Plan, ix *Indexed, views map[string][][]string) ([][]string, int, error) {
+	pv := sys.prepareCached(ix, views)
 	ix.ResetCounters()
-	rows, err := plan.Run(p, ix, views)
+	rows, err := plan.RunPrepared(p, ix, pv)
 	if err != nil {
 		return nil, 0, err
 	}
 	return rows, ix.FetchedTuples(), nil
 }
+
+// prepareCached returns the interned form of views for ix, reusing the
+// cached one when both identities match. Comparing against the RETAINED
+// map is sound: as long as the cache holds it, its address cannot be
+// recycled for a different map.
+func (sys *System) prepareCached(ix *Indexed, views map[string][][]string) *plan.PreparedViews {
+	sys.prepMu.Lock()
+	defer sys.prepMu.Unlock()
+	same := sys.prepared != nil && sys.prepIx == ix &&
+		(views == nil) == (sys.prepViews == nil) &&
+		(views == nil || reflect.ValueOf(views).Pointer() == reflect.ValueOf(sys.prepViews).Pointer())
+	if !same {
+		sys.prepIx, sys.prepViews = ix, views
+		sys.prepared = plan.PrepareViews(ix, views)
+	}
+	return sys.prepared
+}
+
+// Live is a churn-capable serving handle over one database: the fetch
+// indices, the counting-based view maintenance engine and the interned
+// plan inputs are all kept incrementally consistent as batched deltas
+// arrive, so Execute always answers against fresh V(D) and fresh indices
+// without ever recomputing or re-interning them.
+//
+// Concurrency: any number of Execute/Views/Size calls may run in
+// parallel; ApplyDelta serializes against them with a write lock (the
+// engine's structures are patched in place). Fetch accounting stays exact
+// under concurrent readers (atomic counters), but per-call attribution of
+// fetched-tuple counts is only exact when calls do not overlap.
+type Live struct {
+	sys *System
+
+	mu  sync.RWMutex
+	db  *Database
+	ix  *Indexed
+	eng *eval.DeltaEngine
+	pv  *plan.PreparedViews
+}
+
+// DeltaStats summarizes one applied batch.
+type DeltaStats struct {
+	Inserted     int // tuples physically inserted
+	Deleted      int // tuples physically removed (absent deletes are no-ops)
+	ViewsChanged int // views whose extents were patched
+}
+
+// OpenLive builds the live state over db: fetch indices for the system's
+// access schema, the delta engine for its views, and the prepared
+// (interned) view extents for plan execution. The database must not be
+// mutated behind the handle's back afterwards — route all changes through
+// ApplyDelta.
+func (sys *System) OpenLive(db *Database) (*Live, error) {
+	eng, err := eval.NewDeltaEngine(db, sys.Views)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := instance.BuildIndexes(db, sys.Access)
+	if err != nil {
+		return nil, err
+	}
+	return &Live{sys: sys, db: db, ix: ix, eng: eng, pv: plan.PrepareIDViews(ix, eng.ExtentsIDs())}, nil
+}
+
+// ApplyDelta applies a batch of mutations (deletes first, then inserts;
+// each delete removes one occurrence of its row and is a no-op when
+// absent) and incrementally maintains the row shadows, the fetch indices,
+// the counted view extents and the prepared plan inputs. Per-batch cost
+// depends on the data the delta's residual joins touch, not on |D|.
+func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	a, err := l.db.ApplyDelta(inserts, deletes)
+	if err != nil {
+		return DeltaStats{}, err
+	}
+	if err := l.ix.Apply(a); err != nil {
+		return DeltaStats{}, err
+	}
+	changed, err := l.eng.Apply(a)
+	if err != nil {
+		return DeltaStats{}, err
+	}
+	for _, name := range changed {
+		l.pv.Set(name, l.eng.ExtentIDs(name))
+	}
+	return DeltaStats{Inserted: len(a.Inserted), Deleted: len(a.Deleted), ViewsChanged: len(changed)}, nil
+}
+
+// Execute runs a plan against the always-fresh views and indices,
+// returning the answer rows and the tuples fetched from D by this call.
+func (l *Live) Execute(p Plan) ([][]string, int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	before := l.ix.FetchedTuples()
+	rows, err := plan.RunPrepared(p, l.ix, l.pv)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, l.ix.FetchedTuples() - before, nil
+}
+
+// Views returns a decoded snapshot of the current view extents.
+func (l *Live) Views() map[string][][]string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.eng.Views()
+}
+
+// Size returns the current |D|.
+func (l *Live) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.db.Size()
+}
+
+// Indexed exposes the live fetch indices (for fetch accounting). Treat as
+// read-only; mutations go through ApplyDelta.
+func (l *Live) Indexed() *Indexed { return l.ix }
 
 // EvalDirect evaluates a UCQ by full scans (the baseline an engine without
 // access constraints performs).

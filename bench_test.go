@@ -589,3 +589,89 @@ func BenchmarkAblation_FDChaseVsGeneric(b *testing.B) {
 		}
 	})
 }
+
+// ---- PR 2: live-update subsystem ----
+
+// BenchmarkLive_ApplyDelta measures sustained incremental maintenance:
+// one churn batch of ~1% of |D| through a Live handle (row shadows, fetch
+// indices, counted view extents, prepared plan inputs — all patched).
+// Compare against BenchmarkLive_FullRefresh at the same size: the paper's
+// scale-independence story needs the former to win by widening margins.
+func BenchmarkLive_ApplyDelta(b *testing.B) {
+	for _, size := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			m := workload.NewMovies(50)
+			db := m.Generate(workload.MoviesParams{Persons: size, Movies: size, LikesPerPerson: 5, NASAShare: 10, Seed: 7})
+			sys, err := NewSystem(m.Schema, m.Access, m.Views(), 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l, err := sys.OpenLive(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch := workload.NewChurn(m, db, workload.ChurnParams{Seed: 1})
+			batch := db.Size() / 100
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ins, del := ch.Batch(batch)
+				if _, err := l.ApplyDelta(ins, del); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLive_FullRefresh is the cost incremental maintenance avoids:
+// re-materializing the views and rebuilding the fetch indices from
+// scratch, as the pre-live maintenance layer did on every deletion.
+func BenchmarkLive_FullRefresh(b *testing.B) {
+	for _, size := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			m := workload.NewMovies(50)
+			db := m.Generate(workload.MoviesParams{Persons: size, Movies: size, LikesPerPerson: 5, NASAShare: 10, Seed: 7})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				views, err := eval.Materialize(m.Views(), db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ix, err := instance.BuildIndexes(db, m.Access)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plan.PrepareViews(ix, views)
+			}
+		})
+	}
+}
+
+// BenchmarkSystemExecuteRepeated guards the prepared-view cache on
+// System.Execute: iterations after the first must not re-intern the view
+// extents (compare allocs/op with the view size; see also
+// TestSystemExecuteCachesPreparedViews).
+func BenchmarkSystemExecuteRepeated(b *testing.B) {
+	m := workload.NewMovies(50)
+	db := m.Generate(workload.MoviesParams{Persons: 20000, Movies: 20000, LikesPerPerson: 5, NASAShare: 10, Seed: 7})
+	sys, err := NewSystem(m.Schema, m.Access, m.Views(), 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	views, err := sys.Materialize(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := instance.BuildIndexes(db, m.Access)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := m.Fig1Plan()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Execute(p, ix, views); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

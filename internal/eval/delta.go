@@ -1,0 +1,557 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/intern"
+)
+
+// DeltaEngine keeps a set of UCQ views incrementally consistent with a
+// database under batched insertions AND deletions — the counting-based
+// (multiset) view maintenance that the paper's incremental-precomputation
+// story (Armbrust et al., §1/§7) needs once workloads stop being
+// append-only. For every view row it tracks the number of derivations
+// (valuations of the disjunct bodies producing it); a row is in the extent
+// iff its count is positive, so a deletion retracts exactly the rows that
+// lost their last derivation — no full refresh.
+//
+// Per delta tuple t the engine enumerates only the valuations that use t,
+// through join indexes (intern.DynIndex) on exactly the column sets the
+// compiled residual plans probe. The indexes are themselves maintained
+// incrementally, so per-op cost depends on the data touched by t's
+// residual joins, not on |D|. Base relations are treated with set
+// semantics: a per-row support count turns physical multiset churn into
+// 0↔1 support transitions, and only transitions trigger view work.
+//
+// The engine is not safe for concurrent use; the facade's Live handle
+// serializes Apply against readers. Extents are exposed interned
+// (ExtentIDs) for zero-copy patching of plan.PreparedViews, and decoded
+// (Views) for the Materialized interface.
+type DeltaEngine struct {
+	db    *instance.Database
+	dict  *intern.Dict
+	views map[string]*viewState
+	names []string // sorted view names
+	rels  map[string]*relState
+}
+
+// relState is the per-relation live state: support counts and the join
+// indexes the compiled plans probe.
+type relState struct {
+	arity   int
+	support *intern.Grouper[int]
+	indexes map[string]*intern.DynIndex // key: packed position set
+	plans   []*deltaPlan                // plans triggered by this relation
+}
+
+// viewState is one view's counted extent.
+type viewState struct {
+	name   string
+	arity  int
+	counts *intern.Grouper[rowStat]
+	rows   [][]uint32
+}
+
+type rowStat struct {
+	count int
+	pos   int
+}
+
+// deltaPlan is the compiled residual of one (disjunct, atom-occurrence)
+// pair: when a tuple t enters/leaves the occurrence's relation, binding
+// the occurrence to t and enumerating the steps yields exactly the
+// valuations gained/lost through this occurrence.
+type deltaPlan struct {
+	view    *viewState
+	trigger triggerSpec
+	steps   []joinStep
+	head    []valSrc
+	nslots  int
+}
+
+// triggerSpec matches the delta tuple against the trigger atom.
+type triggerSpec struct {
+	arity  int
+	consts []posConst // argument positions that must equal a constant
+	dups   [][2]int   // argument position pairs that must agree
+	binds  []posSlot  // argument position -> slot bindings
+}
+
+type posConst struct {
+	pos int
+	id  uint32
+}
+
+type posSlot struct {
+	pos  int
+	slot int
+}
+
+// joinStep probes one atom: the key (constants + already-bound slots) is
+// looked up in the atom's DynIndex; surviving rows bind the atom's new
+// variables. exclude implements the delta decomposition: occurrences of
+// the trigger relation that precede the trigger atom must not re-use the
+// delta tuple itself (each gained/lost valuation is counted at its FIRST
+// occurrence of t).
+type joinStep struct {
+	index   *intern.DynIndex
+	key     []valSrc
+	binds   []posSlot
+	post    [][2]int // argument position pairs (repeated new variable)
+	exclude bool
+}
+
+// valSrc produces one value: a constant ID or a slot read.
+type valSrc struct {
+	isConst bool
+	id      uint32
+	slot    int
+}
+
+// NewDeltaEngine compiles the views' delta plans, builds the join indexes
+// and support counts over db's current contents, and computes the initial
+// counted extents. Unsatisfiable disjuncts (inconsistent equalities) are
+// dropped; unsafe disjuncts (unbound head variable) and atoms over unknown
+// relations are errors, mirroring UCQOnDB.
+func NewDeltaEngine(db *instance.Database, views map[string]*cq.UCQ) (*DeltaEngine, error) {
+	e := &DeltaEngine{
+		db:    db,
+		dict:  db.Dict,
+		views: make(map[string]*viewState, len(views)),
+		rels:  make(map[string]*relState),
+	}
+	for name := range views {
+		e.names = append(e.names, name)
+	}
+	sort.Strings(e.names)
+
+	// Compile: one full plan per disjunct (for the initial extent) and one
+	// delta plan per (disjunct, atom occurrence). Compilation registers the
+	// DynIndexes the steps probe.
+	type initPlan struct{ p *deltaPlan }
+	var inits []initPlan
+	for _, name := range e.names {
+		def := views[name]
+		v := &viewState{name: name, arity: ucqArity(def)}
+		idpos := make([]int, v.arity)
+		for i := range idpos {
+			idpos[i] = i
+		}
+		v.counts = intern.NewGrouper[rowStat](idpos)
+		e.views[name] = v
+		for _, d := range def.Disjuncts {
+			n, err := d.Normalize()
+			if err != nil {
+				continue // unsatisfiable: contributes nothing, ever
+			}
+			full, err := e.compile(v, n, -1)
+			if err != nil {
+				return nil, fmt.Errorf("eval: view %s: %w", name, err)
+			}
+			inits = append(inits, initPlan{full})
+			for i := range n.Atoms {
+				p, err := e.compile(v, n, i)
+				if err != nil {
+					return nil, fmt.Errorf("eval: view %s: %w", name, err)
+				}
+				e.rels[n.Atoms[i].Rel].plans = append(e.rels[n.Atoms[i].Rel].plans, p)
+			}
+		}
+	}
+
+	// Populate support counts and join indexes from the current tables.
+	for rel, rs := range e.rels {
+		t := db.Table(rel)
+		for _, r := range t.IDRows() {
+			cnt := rs.support.At(r)
+			*cnt++
+			if *cnt == 1 {
+				for _, ix := range rs.indexes {
+					ix.Add(r)
+				}
+			}
+		}
+	}
+
+	// Initial extents: enumerate every derivation through the full plans.
+	for _, ip := range inits {
+		if err := e.enumerate(ip.p, nil, +1); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// relFor returns (creating on first use) the live state of a relation,
+// erroring on names the database does not know.
+func (e *DeltaEngine) relFor(rel string) (*relState, error) {
+	if rs, ok := e.rels[rel]; ok {
+		return rs, nil
+	}
+	t := e.db.Table(rel)
+	if t == nil {
+		return nil, fmt.Errorf("unknown relation %s", rel)
+	}
+	arity := t.Rel.Arity()
+	idpos := make([]int, arity)
+	for i := range idpos {
+		idpos[i] = i
+	}
+	rs := &relState{
+		arity:   arity,
+		support: intern.NewGrouper[int](idpos),
+		indexes: make(map[string]*intern.DynIndex),
+	}
+	e.rels[rel] = rs
+	return rs, nil
+}
+
+// indexOn returns (creating and registering on first use) the DynIndex of
+// rel keyed by the argument positions pos.
+func (e *DeltaEngine) indexOn(rel string, pos []int) (*intern.DynIndex, error) {
+	rs, err := e.relFor(rel)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprint(pos)
+	if ix, ok := rs.indexes[key]; ok {
+		return ix, nil
+	}
+	ix := intern.NewDynIndex(append([]int(nil), pos...))
+	rs.indexes[key] = ix
+	return ix, nil
+}
+
+// compile builds the delta plan of disjunct n triggered by atom occurrence
+// trig (trig == -1 compiles the full plan over all atoms, used once to
+// seed the initial counts). Steps are ordered greedily to maximize bound
+// argument positions, mirroring orderAtoms.
+func (e *DeltaEngine) compile(v *viewState, n *cq.CQ, trig int) (*deltaPlan, error) {
+	p := &deltaPlan{view: v}
+	slotOf := map[string]int{}
+	slot := func(name string) (int, bool) {
+		s, ok := slotOf[name]
+		return s, ok
+	}
+	newSlot := func(name string) int {
+		s := p.nslots
+		slotOf[name] = s
+		p.nslots++
+		return s
+	}
+
+	trigRel := ""
+	if trig >= 0 {
+		a := n.Atoms[trig]
+		trigRel = a.Rel
+		rs, err := e.relFor(a.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if len(a.Args) != rs.arity {
+			return nil, fmt.Errorf("atom %s has %d arguments, relation has %d", a, len(a.Args), rs.arity)
+		}
+		p.trigger.arity = rs.arity
+		seen := map[string]int{}
+		for i, t := range a.Args {
+			if t.Const {
+				p.trigger.consts = append(p.trigger.consts, posConst{pos: i, id: e.dict.ID(t.Val)})
+				continue
+			}
+			if first, dup := seen[t.Val]; dup {
+				p.trigger.dups = append(p.trigger.dups, [2]int{first, i})
+				continue
+			}
+			seen[t.Val] = i
+			p.trigger.binds = append(p.trigger.binds, posSlot{pos: i, slot: newSlot(t.Val)})
+		}
+	}
+
+	// Remaining atoms, greedily ordered: most bound argument positions
+	// first, then fewer new variables.
+	var remaining []int
+	for i := range n.Atoms {
+		if i != trig {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		best, bestScore := -1, -1<<30
+		for ri, ai := range remaining {
+			score := 0
+			for _, t := range n.Atoms[ai].Args {
+				if t.Const {
+					score += 2
+				} else if _, ok := slot(t.Val); ok {
+					score += 2
+				} else {
+					score--
+				}
+			}
+			if score > bestScore {
+				best, bestScore = ri, score
+			}
+		}
+		ai := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		a := n.Atoms[ai]
+		rs, err := e.relFor(a.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if len(a.Args) != rs.arity {
+			return nil, fmt.Errorf("atom %s has %d arguments, relation has %d", a, len(a.Args), rs.arity)
+		}
+		st := joinStep{exclude: trig >= 0 && a.Rel == trigRel && ai < trig}
+		var keyPos []int
+		seen := map[string]int{}
+		for i, t := range a.Args {
+			if t.Const {
+				keyPos = append(keyPos, i)
+				st.key = append(st.key, valSrc{isConst: true, id: e.dict.ID(t.Val)})
+				continue
+			}
+			// A repeat of a variable FIRST bound by this very atom cannot
+			// go into the lookup key (its slot is only filled by this
+			// step's own binds); it becomes an intra-row equality check.
+			if first, dup := seen[t.Val]; dup {
+				st.post = append(st.post, [2]int{first, i})
+				continue
+			}
+			if s, bound := slot(t.Val); bound {
+				keyPos = append(keyPos, i)
+				st.key = append(st.key, valSrc{slot: s})
+				continue
+			}
+			seen[t.Val] = i
+			st.binds = append(st.binds, posSlot{pos: i, slot: newSlot(t.Val)})
+		}
+		st.index, err = e.indexOn(a.Rel, keyPos)
+		if err != nil {
+			return nil, err
+		}
+		p.steps = append(p.steps, st)
+	}
+
+	for _, t := range n.Head {
+		if t.Const {
+			p.head = append(p.head, valSrc{isConst: true, id: e.dict.ID(t.Val)})
+			continue
+		}
+		s, ok := slot(t.Val)
+		if !ok {
+			return nil, fmt.Errorf("unsafe query, unbound head variable %s", t.Val)
+		}
+		p.head = append(p.head, valSrc{slot: s})
+	}
+	return p, nil
+}
+
+// enumerate walks a plan's steps for delta tuple t (nil for the full
+// plan), applying sign to the view count of every valuation's head row.
+func (e *DeltaEngine) enumerate(p *deltaPlan, t []uint32, sign int) error {
+	slots := make([]uint32, p.nslots)
+	if t != nil {
+		for _, c := range p.trigger.consts {
+			if t[c.pos] != c.id {
+				return nil
+			}
+		}
+		for _, d := range p.trigger.dups {
+			if t[d[0]] != t[d[1]] {
+				return nil
+			}
+		}
+		for _, b := range p.trigger.binds {
+			slots[b.slot] = t[b.pos]
+		}
+	}
+	key := make([]uint32, 0, 8)
+	head := make([]uint32, len(p.head))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(p.steps) {
+			for j, h := range p.head {
+				if h.isConst {
+					head[j] = h.id
+				} else {
+					head[j] = slots[h.slot]
+				}
+			}
+			return e.bump(p.view, head, sign)
+		}
+		st := &p.steps[i]
+		key = key[:0]
+		for _, k := range st.key {
+			if k.isConst {
+				key = append(key, k.id)
+			} else {
+				key = append(key, slots[k.slot])
+			}
+		}
+	rows:
+		for _, r := range st.index.Get(key) {
+			if st.exclude && intern.RowsEq(r, t) {
+				continue
+			}
+			for _, d := range st.post {
+				if r[d[0]] != r[d[1]] {
+					continue rows
+				}
+			}
+			for _, b := range st.binds {
+				slots[b.slot] = r[b.pos]
+			}
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// bump applies a derivation-count change to one view row, patching the
+// extent on 0↔positive transitions.
+func (e *DeltaEngine) bump(v *viewState, row []uint32, sign int) error {
+	st := v.counts.At(row)
+	old := st.count
+	st.count += sign
+	switch {
+	case st.count < 0:
+		return fmt.Errorf("eval: view %s: negative derivation count for a row — delta out of sync with the database", v.name)
+	case old == 0 && st.count > 0:
+		st.pos = len(v.rows)
+		v.rows = append(v.rows, append([]uint32(nil), row...))
+	case old > 0 && st.count == 0:
+		last := len(v.rows) - 1
+		moved := v.rows[last]
+		v.rows[st.pos] = moved
+		v.rows[last] = nil
+		v.rows = v.rows[:last]
+		if st.pos != last {
+			v.counts.At(moved).pos = st.pos
+		}
+		// Drop the spent entry: a long-running server's memory must track
+		// the live extent, not every row ever derived.
+		v.counts.Remove(row)
+	}
+	return nil
+}
+
+// Apply folds a physically applied batch delta into the counted extents
+// and join indexes, in the database's application order (deletes, then
+// inserts). It returns the names of the views whose extents changed, for
+// patching prepared plan inputs.
+func (e *DeltaEngine) Apply(a *instance.Applied) ([]string, error) {
+	// A view is reported changed when any transition triggered its plans —
+	// a cheap over-approximation (the extent header may also move on
+	// append), which is exactly what prepared-view patching needs.
+	dirty := make(map[string]bool)
+	for _, op := range a.Deleted {
+		rs, ok := e.rels[op.Rel]
+		if !ok {
+			continue // relation not referenced by any view: nothing to maintain
+		}
+		cnt := rs.support.At(op.IDs)
+		if *cnt <= 0 {
+			return nil, fmt.Errorf("eval: delta engine out of sync: delete of unsupported row in %s", op.Rel)
+		}
+		*cnt--
+		if *cnt > 0 {
+			continue // another physical copy remains: no set-level change
+		}
+		// Enumerate lost valuations while the row is still indexed, then
+		// retract it from the join state (dropping the spent support
+		// entry, so memory tracks live rows, not churn volume).
+		for _, p := range rs.plans {
+			if err := e.enumerate(p, op.IDs, -1); err != nil {
+				return nil, err
+			}
+			dirty[p.view.name] = true
+		}
+		for _, ix := range rs.indexes {
+			if !ix.Remove(op.IDs) {
+				// Same class of misuse the support-count check catches:
+				// fail fast rather than serve stale joins.
+				return nil, fmt.Errorf("eval: delta engine out of sync: retracted row missing from a join index of %s", op.Rel)
+			}
+		}
+		rs.support.Remove(op.IDs)
+	}
+	for _, op := range a.Inserted {
+		rs, ok := e.rels[op.Rel]
+		if !ok {
+			continue // relation not referenced by any view: nothing to maintain
+		}
+		cnt := rs.support.At(op.IDs)
+		*cnt++
+		if *cnt > 1 {
+			continue // duplicate of a supported row: no set-level change
+		}
+		// Index the row first, then count the gained valuations: the
+		// decomposition's exclude filters keep occurrences before the
+		// trigger from double-counting t.
+		row := append([]uint32(nil), op.IDs...)
+		for _, ix := range rs.indexes {
+			ix.Add(row)
+		}
+		for _, p := range rs.plans {
+			if err := e.enumerate(p, row, +1); err != nil {
+				return nil, err
+			}
+			dirty[p.view.name] = true
+		}
+	}
+
+	var changed []string
+	for _, name := range e.names {
+		if dirty[name] {
+			changed = append(changed, name)
+		}
+	}
+	return changed, nil
+}
+
+// ExtentIDs returns a view's current interned extent. The slice is owned
+// by the engine: it is patched in place by Apply and must only be read
+// while no Apply is running (the Live handle's read lock).
+func (e *DeltaEngine) ExtentIDs(name string) [][]uint32 {
+	v, ok := e.views[name]
+	if !ok {
+		return nil
+	}
+	return v.rows
+}
+
+// ExtentsIDs returns all interned extents, keyed by view name.
+func (e *DeltaEngine) ExtentsIDs() map[string][][]uint32 {
+	out := make(map[string][][]uint32, len(e.views))
+	for name, v := range e.views {
+		out[name] = v.rows
+	}
+	return out
+}
+
+// Views decodes the current extents, usable directly as plan.Materialized.
+func (e *DeltaEngine) Views() map[string][][]string {
+	out := make(map[string][][]string, len(e.views))
+	for name, v := range e.views {
+		out[name] = e.dict.DecodeAll(v.rows)
+		if out[name] == nil {
+			out[name] = [][]string{}
+		}
+	}
+	return out
+}
+
+// ucqArity returns the head arity of a UCQ (0 for an empty union).
+func ucqArity(u *cq.UCQ) int {
+	if len(u.Disjuncts) == 0 {
+		return 0
+	}
+	return len(u.Disjuncts[0].Head)
+}

@@ -8,151 +8,72 @@ import (
 )
 
 // Maintainer keeps a set of cached views incrementally consistent with a
-// database under tuple insertions — the "incremental precomputation" the
-// paper's practical story builds on (Armbrust et al., cited in §1/§7):
-// views are selected and cached once, then maintained as D grows, so
-// bounded plans always read fresh V(D) without recomputation.
+// database under tuple insertions and deletions — the "incremental
+// precomputation" the paper's practical story builds on (Armbrust et al.,
+// cited in §1/§7): views are selected and cached once, then maintained as
+// D changes, so bounded plans always read fresh V(D) without
+// recomputation.
 //
-// Insertions use the standard delta rule for set semantics: when t enters
-// relation R, each view atom over R is bound to t in turn and the
-// residual query is evaluated over the updated database; the union of the
-// residual answers is the view delta. Deletions are supported by full
-// refresh of the affected views (counting-based deletion is not needed by
-// the append-mostly workloads the paper targets; Refresh documents the
-// cost honestly instead of hiding it).
+// It is a convenience wrapper over DeltaEngine, the counting-based
+// (multiset) maintenance core: both insertions and deletions apply
+// incremental deltas through join indexes, so a deletion costs what the
+// retracted tuple's residual joins touch — not a full refresh. For batched
+// updates and the always-fresh serving path use the facade's Live handle,
+// which drives the same engine together with the fetch indices and
+// prepared plan views.
 type Maintainer struct {
-	DB    *instance.Database
-	defs  map[string]*cq.UCQ
-	rows  map[string][][]string      // view name -> extent
-	index map[string]map[string]bool // view name -> row-key set
+	DB     *instance.Database
+	engine *DeltaEngine
 }
 
 // NewMaintainer materializes the views once and begins maintaining them.
 func NewMaintainer(db *instance.Database, views map[string]*cq.UCQ) (*Maintainer, error) {
-	m := &Maintainer{
-		DB:    db,
-		defs:  make(map[string]*cq.UCQ, len(views)),
-		rows:  map[string][][]string{},
-		index: map[string]map[string]bool{},
+	e, err := NewDeltaEngine(db, views)
+	if err != nil {
+		return nil, err
 	}
-	for name, def := range views {
-		m.defs[name] = def
-	}
-	for name := range m.defs {
-		if err := m.refreshOne(name); err != nil {
-			return nil, err
-		}
-	}
-	return m, nil
+	return &Maintainer{DB: db, engine: e}, nil
 }
 
+// Engine exposes the underlying delta engine (interned extents, batch
+// Apply).
+func (m *Maintainer) Engine() *DeltaEngine { return m.engine }
+
 // Views returns the current extents, usable directly as plan.Materialized.
-func (m *Maintainer) Views() map[string][][]string { return m.rows }
+// The maps and rows are fresh decodes; mutating them does not affect the
+// maintainer.
+func (m *Maintainer) Views() map[string][][]string { return m.engine.Views() }
 
 // Insert adds a tuple to the database and applies the view deltas.
 func (m *Maintainer) Insert(rel string, row ...string) error {
-	if err := m.DB.Insert(rel, row...); err != nil {
+	a, err := m.DB.ApplyDelta([]instance.Op{{Rel: rel, Row: instance.Tuple(row)}}, nil)
+	if err != nil {
 		return err
 	}
-	t := instance.Tuple(row)
-	for name, def := range m.defs {
-		for _, d := range def.Disjuncts {
-			delta, err := m.deltaCQ(d, rel, t)
-			if err != nil {
-				return fmt.Errorf("eval: maintaining %s: %w", name, err)
-			}
-			for _, r := range delta {
-				k := instance.Tuple(r).Key()
-				if !m.index[name][k] {
-					m.index[name][k] = true
-					m.rows[name] = append(m.rows[name], r)
-				}
-			}
-		}
-	}
-	return nil
+	_, err = m.engine.Apply(a)
+	return err
 }
 
-// Delete removes (all copies of) a tuple from the database and refreshes
-// the views whose definitions mention the relation. O(eval) — documented
-// cost of deletions under set semantics without counting.
+// Delete removes all copies of a tuple from the database and incrementally
+// retracts the view rows that lost their last derivation. Counting-based:
+// no view refresh, no matter how large D is.
 func (m *Maintainer) Delete(rel string, row ...string) error {
 	tbl := m.DB.Table(rel)
 	if tbl == nil {
 		return fmt.Errorf("eval: no relation %s", rel)
 	}
-	if tbl.DeleteAll(row...) == 0 {
-		return nil // nothing deleted
+	n := tbl.Count(row...)
+	if n == 0 {
+		return nil // nothing to delete
 	}
-	for name, def := range m.defs {
-		if mentions(def, rel) {
-			if err := m.refreshOne(name); err != nil {
-				return err
-			}
-		}
+	dels := make([]instance.Op, n)
+	for i := range dels {
+		dels[i] = instance.Op{Rel: rel, Row: instance.Tuple(row)}
 	}
-	return nil
-}
-
-// deltaCQ evaluates the disjunct with each rel-atom bound to the new
-// tuple. Binding an atom specializes its variables to t's values (constant
-// mismatches kill the branch); the residual query runs over the already
-// updated database, which realizes the set-semantics delta rule.
-func (m *Maintainer) deltaCQ(d *cq.CQ, rel string, t instance.Tuple) ([][]string, error) {
-	var out [][]string
-	for i, a := range d.Atoms {
-		if a.Rel != rel || len(a.Args) != len(t) {
-			continue
-		}
-		bound := d.Clone()
-		ok := true
-		for j, term := range a.Args {
-			if term.Const {
-				if term.Val != t[j] {
-					ok = false
-					break
-				}
-				continue
-			}
-			bound.Eqs = append(bound.Eqs, cq.Equality{L: term, R: cq.Cst(t[j])})
-		}
-		if !ok {
-			continue
-		}
-		// Drop the bound atom? No: keep it — the tuple is in the database
-		// already, and repeated variables inside the atom must still be
-		// checked. (Keeping it is correct and simpler; it matches t only.)
-		_ = i
-		rows, err := CQOnDB(bound, &Source{DB: m.DB})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rows...)
-	}
-	return out, nil
-}
-
-func (m *Maintainer) refreshOne(name string) error {
-	rows, err := UCQOnDB(m.defs[name], &Source{DB: m.DB})
+	a, err := m.DB.ApplyDelta(nil, dels)
 	if err != nil {
 		return err
 	}
-	m.rows[name] = rows
-	ix := make(map[string]bool, len(rows))
-	for _, r := range rows {
-		ix[instance.Tuple(r).Key()] = true
-	}
-	m.index[name] = ix
-	return nil
-}
-
-func mentions(def *cq.UCQ, rel string) bool {
-	for _, d := range def.Disjuncts {
-		for _, a := range d.Atoms {
-			if a.Rel == rel {
-				return true
-			}
-		}
-	}
-	return false
+	_, err = m.engine.Apply(a)
+	return err
 }

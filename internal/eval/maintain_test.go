@@ -81,6 +81,11 @@ func TestMaintainerDeleteRefreshes(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertFresh(t, m, views)
+	// Deleting with the wrong arity is a no-op too, not a panic.
+	if err := m.Delete("E", "a"); err != nil {
+		t.Fatal(err)
+	}
+	assertFresh(t, m, views)
 }
 
 func TestMaintainerConstantAtomBinding(t *testing.T) {

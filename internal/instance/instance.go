@@ -43,8 +43,8 @@ func (t Tuple) Project(pos []int) Tuple {
 
 // Table is the instance of one relation schema. Tuples is the
 // string-valued storage; treat it as append-only from the outside (mutate
-// through Insert/DeleteAll so the ID-encoded shadow stays consistent —
-// plain appends are also picked up lazily by IDRows).
+// through Insert/DeleteAll/ApplyDelta so the ID-encoded shadow stays
+// consistent — plain appends are also picked up lazily by IDRows).
 type Table struct {
 	Rel    *schema.Relation
 	Tuples []Tuple
@@ -52,6 +52,14 @@ type Table struct {
 	mu     sync.Mutex
 	dict   *intern.Dict
 	idRows [][]uint32
+
+	// pos maps an ID-encoded row to the positions of its occurrences in
+	// Tuples/idRows (a multiset can hold several). Built lazily on the
+	// first delta delete, then maintained; posN is the watermark of rows
+	// already indexed. Tuple order is NOT stable once delta deletes happen:
+	// deleteOneLocked swap-deletes.
+	pos  *intern.Grouper[[]int]
+	posN int
 }
 
 // NewTable creates an empty table for the relation schema with its own
@@ -94,7 +102,9 @@ func (t *Table) DeleteAll(row ...string) int {
 	if removed > 0 {
 		t.Tuples = t.Tuples[:w]
 		t.mu.Lock()
-		t.idRows = nil
+		t.idRows = nil // shrunk: re-encode (and re-index positions) lazily
+		t.pos = nil
+		t.posN = 0
 		t.mu.Unlock()
 	}
 	return removed
@@ -111,16 +121,127 @@ func (t *Table) Len() int { return len(t.Tuples) }
 func (t *Table) IDRows() [][]uint32 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.encodeLocked()
+	return t.idRows
+}
+
+func (t *Table) encodeLocked() {
 	if t.dict == nil {
 		t.dict = intern.NewDict()
 	}
 	if len(t.idRows) > len(t.Tuples) {
 		t.idRows = nil // shrunk behind our back: re-encode from scratch
+		t.pos = nil
+		t.posN = 0
 	}
 	for i := len(t.idRows); i < len(t.Tuples); i++ {
 		t.idRows = append(t.idRows, t.dict.Encode(t.Tuples[i]))
 	}
-	return t.idRows
+}
+
+// posLocked builds/extends the row-position index up to the current table
+// length. Requires encodeLocked to have run.
+func (t *Table) posLocked() *intern.Grouper[[]int] {
+	if t.pos == nil {
+		idpos := make([]int, t.Rel.Arity())
+		for i := range idpos {
+			idpos[i] = i
+		}
+		t.pos = intern.NewGrouper[[]int](idpos)
+		t.posN = 0
+	}
+	for ; t.posN < len(t.idRows); t.posN++ {
+		occ := t.pos.At(t.idRows[t.posN])
+		*occ = append(*occ, t.posN)
+	}
+	return t.pos
+}
+
+// insertTracked appends a row and extends the ID shadow (and, when built,
+// the position index) in lockstep, returning the ID-encoded row.
+func (t *Table) insertTracked(row Tuple) []uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.encodeLocked()
+	t.Tuples = append(t.Tuples, row.Clone())
+	ids := t.dict.Encode(row)
+	t.idRows = append(t.idRows, ids)
+	if t.pos != nil {
+		t.posLocked()
+	}
+	return ids
+}
+
+// deleteOne removes one occurrence of row (swap-delete: the last tuple
+// takes its place), returning the ID-encoded row and whether an occurrence
+// existed. Cost is O(1) amortized, independent of the table size.
+func (t *Table) deleteOne(row Tuple) ([]uint32, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.encodeLocked()
+	pos := t.posLocked()
+	ids := make([]uint32, len(row))
+	for i, v := range row {
+		id, ok := t.dict.Lookup(v)
+		if !ok {
+			return nil, false // value never interned: row cannot be present
+		}
+		ids[i] = id
+	}
+	occ := pos.At(ids)
+	if len(*occ) == 0 {
+		pos.Remove(ids) // don't accumulate empty groups for absent rows
+		return nil, false
+	}
+	i := (*occ)[len(*occ)-1]
+	*occ = (*occ)[:len(*occ)-1]
+	if len(*occ) == 0 {
+		pos.Remove(ids) // last occurrence gone: memory tracks live rows
+	}
+	last := len(t.Tuples) - 1
+	if i != last {
+		moved := t.idRows[last]
+		t.Tuples[i] = t.Tuples[last]
+		t.idRows[i] = moved
+		mocc := pos.At(moved)
+		for k := range *mocc {
+			if (*mocc)[k] == last {
+				(*mocc)[k] = i
+				break
+			}
+		}
+	}
+	t.Tuples[last] = nil
+	t.idRows[last] = nil
+	t.Tuples = t.Tuples[:last]
+	t.idRows = t.idRows[:last]
+	t.posN = last
+	return ids, true
+}
+
+// Count returns the number of occurrences of row in the table; a row of
+// the wrong arity occurs zero times.
+func (t *Table) Count(row ...string) int {
+	if len(row) != t.Rel.Arity() {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.encodeLocked()
+	pos := t.posLocked()
+	ids := make([]uint32, len(row))
+	for i, v := range row {
+		id, ok := t.dict.Lookup(v)
+		if !ok {
+			return 0
+		}
+		ids[i] = id
+	}
+	n := len(*pos.At(ids))
+	if n == 0 {
+		pos.Remove(ids) // At created an empty group for an absent row
+	}
+	return n
 }
 
 // Database is an instance of a database schema. Dict is the value
@@ -160,6 +281,73 @@ func (db *Database) MustInsert(rel string, row ...string) {
 	if err := db.Insert(rel, row...); err != nil {
 		panic(err)
 	}
+}
+
+// Op names one tuple-level mutation of a batch delta: insert or delete one
+// occurrence of Row in relation Rel (which side it lands on is decided by
+// the ApplyDelta argument it is passed in).
+type Op struct {
+	Rel string
+	Row Tuple
+}
+
+// AppliedOp is one physically applied mutation, with the row ID-encoded
+// against the database dictionary — the currency of the incremental
+// maintenance layers (Indexed.Apply, eval's delta engine).
+type AppliedOp struct {
+	Rel string
+	IDs []uint32
+}
+
+// Applied reports what a batch delta physically changed, in application
+// order: all deletes first, then all inserts.
+type Applied struct {
+	Deleted  []AppliedOp
+	Inserted []AppliedOp
+}
+
+// ApplyDelta applies a batch of mutations: deletes first, then inserts.
+// Each delete removes ONE occurrence of its row (multiset semantics) and is
+// a silent no-op when no occurrence exists; each insert appends one
+// occurrence. The ID-encoded shadows (and position indexes) of the touched
+// tables are maintained in lockstep, so per-op cost is independent of the
+// database size. The whole batch is validated (relations exist, arities
+// match) before anything is mutated.
+//
+// The returned Applied lists what actually changed, for feeding the
+// incremental index and view maintenance (Indexed.Apply, eval.DeltaEngine).
+// Not safe for concurrent use with readers; callers serialize (see the
+// facade's Live handle).
+func (db *Database) ApplyDelta(inserts, deletes []Op) (*Applied, error) {
+	validate := func(ops []Op, kind string) error {
+		for _, op := range ops {
+			t := db.Table(op.Rel)
+			if t == nil {
+				return fmt.Errorf("instance: %s into unknown relation %s", kind, op.Rel)
+			}
+			if len(op.Row) != t.Rel.Arity() {
+				return fmt.Errorf("instance: %s %s expects %d values, got %d", kind, op.Rel, t.Rel.Arity(), len(op.Row))
+			}
+		}
+		return nil
+	}
+	if err := validate(deletes, "delete"); err != nil {
+		return nil, err
+	}
+	if err := validate(inserts, "insert"); err != nil {
+		return nil, err
+	}
+	a := &Applied{}
+	for _, op := range deletes {
+		if ids, ok := db.Table(op.Rel).deleteOne(op.Row); ok {
+			a.Deleted = append(a.Deleted, AppliedOp{Rel: op.Rel, IDs: ids})
+		}
+	}
+	for _, op := range inserts {
+		ids := db.Table(op.Rel).insertTracked(op.Row)
+		a.Inserted = append(a.Inserted, AppliedOp{Rel: op.Rel, IDs: ids})
+	}
+	return a, nil
 }
 
 // Size returns |D|: the total number of tuples across all relations.

@@ -420,6 +420,31 @@ outer:
 	return e.val
 }
 
+// Remove deletes the group of row's projection, reporting whether it
+// existed. Long-lived incremental state (support counts, extent
+// positions) uses this to keep memory proportional to live data rather
+// than total churn.
+func (g *Grouper[T]) Remove(row []uint32) bool {
+	h := HashAt(row, g.pos)
+	es := g.buckets[h]
+outer:
+	for i := range es {
+		for j, p := range g.pos {
+			if es[i].key[j] != row[p] {
+				continue outer
+			}
+		}
+		es[i] = es[len(es)-1]
+		es[len(es)-1] = groupEntry[T]{}
+		g.buckets[h] = es[:len(es)-1]
+		if len(g.buckets[h]) == 0 {
+			delete(g.buckets, h)
+		}
+		return true
+	}
+	return false
+}
+
 // Each calls f for every group, in unspecified order.
 func (g *Grouper[T]) Each(f func(key []uint32, val *T)) {
 	for _, es := range g.buckets {

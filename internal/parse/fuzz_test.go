@@ -1,0 +1,129 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cq"
+)
+
+// renderQuery prints a CQ back in the surface syntax, for round-trip
+// checking (Term/Atom String() already use the parser's notation).
+func renderQuery(q *cq.CQ) string {
+	var b strings.Builder
+	b.WriteString(cq.Atom{Rel: q.Name, Args: q.Head}.String())
+	b.WriteString(" :- ")
+	parts := make([]string, 0, len(q.Atoms)+len(q.Eqs))
+	for _, a := range q.Atoms {
+		parts = append(parts, a.String())
+	}
+	for _, e := range q.Eqs {
+		parts = append(parts, e.String())
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	b.WriteString(".")
+	return b.String()
+}
+
+// FuzzQuery checks that Query never panics, and that successful parses
+// round-trip: render(parse(s)) re-parses to a query rendering identically.
+func FuzzQuery(f *testing.F) {
+	for _, seed := range []string{
+		`Q(mid) :- movie(mid, y, "Universal", "2014"), rating(mid, "5").`,
+		`Q(x) :- R(x, y), y = "c".`,
+		`Q(x, x) :- R(x, x), S(x), x = z.`,
+		`Q() :- R().`,
+		`V1(mid) :- person(xp, xp2, "NASA"), like(xp, mid, "movie")`,
+		`Q(x) :- R(x, "a,b"), S("((")`,
+		`Q(x) :- R(x), "c" = "c".`,
+		`Q(α) :- R(α, β_2).`,
+		`Q(x) :- R(x), x = y, y = "v".`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Query(s)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatalf("nil query with nil error for %q", s)
+		}
+		r1 := renderQuery(q)
+		q2, err := Query(r1)
+		if err != nil {
+			t.Fatalf("render of parsed query does not re-parse: %q -> %q: %v", s, r1, err)
+		}
+		if r2 := renderQuery(q2); r1 != r2 {
+			t.Fatalf("render not a fixpoint: %q -> %q -> %q", s, r1, r2)
+		}
+	})
+}
+
+// FuzzConstraint checks that Constraint never panics and successful
+// parses round-trip through the paper-notation String().
+func FuzzConstraint(f *testing.F) {
+	for _, seed := range []string{
+		"movie(studio, release -> mid, 100)",
+		"rating(mid -> rank, 1)",
+		"vip(-> phone, 50)",
+		"r(a, a -> b, c, 3)",
+		"r( -> x, 0)",
+		"r(x -> y, -17)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Constraint(s)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatalf("nil constraint with nil error for %q", s)
+		}
+		// NewConstraint normalizes (sorts, dedupes) X and Y, so String()
+		// is canonical: parse(String()) must reproduce it exactly.
+		c2, err := Constraint(c.String())
+		if err != nil {
+			t.Fatalf("render of parsed constraint does not re-parse: %q -> %q: %v", s, c, err)
+		}
+		if c.String() != c2.String() {
+			t.Fatalf("constraint round trip: %q -> %q -> %q", s, c, c2)
+		}
+	})
+}
+
+// FuzzProgram checks that whole-program parsing never panics and that the
+// declared invariants hold on success (arity-consistent UCQs, Order
+// matching Queries).
+func FuzzProgram(f *testing.F) {
+	for _, seed := range []string{
+		"rel movie(mid, mname, studio, release)\nQ(m) :- movie(m, n, s, r).\nmovie(studio -> mid, 10)",
+		"# comment\n% other comment\n\nQ(x) :- R(x).\nQ(y) :- S(y).",
+		"rel r(a)\nr(-> a, 2)",
+		"Q(x) :- R(x).\nbad line",
+		"rel r(a)\nrel r(a)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseProgram(s)
+		if err != nil {
+			return
+		}
+		if len(p.Order) != len(p.Queries) {
+			t.Fatalf("Order has %d names, Queries %d", len(p.Order), len(p.Queries))
+		}
+		for _, name := range p.Order {
+			u, ok := p.Queries[name]
+			if !ok {
+				t.Fatalf("Order names unknown query %q", name)
+			}
+			for _, d := range u.Disjuncts {
+				if len(d.Head) != len(u.Disjuncts[0].Head) {
+					t.Fatalf("query %q: disjunct arity drift survived parsing", name)
+				}
+			}
+		}
+	})
+}

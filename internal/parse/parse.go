@@ -25,7 +25,10 @@ import (
 )
 
 // Constraint parses an access constraint of the form
-// "rel(x1, x2 -> y1, y2, N)".
+// "rel(x1, x2 -> y1, y2, N)". The paper-notation rendering of
+// access.Constraint.String — "rel((x1,x2) -> (y1,y2), N)", with ∅ for an
+// empty X — is also accepted, so constraints round-trip through String.
+// Attribute names must be identifiers.
 func Constraint(s string) (*access.Constraint, error) {
 	s = strings.TrimSpace(s)
 	open := strings.IndexByte(s, '(')
@@ -33,8 +36,8 @@ func Constraint(s string) (*access.Constraint, error) {
 		return nil, fmt.Errorf("parse: constraint %q: want rel(X -> Y, N)", s)
 	}
 	rel := strings.TrimSpace(s[:open])
-	if rel == "" {
-		return nil, fmt.Errorf("parse: constraint %q: missing relation name", s)
+	if !isIdent(rel) {
+		return nil, fmt.Errorf("parse: constraint %q: bad relation name %q", s, rel)
 	}
 	body := s[open+1 : len(s)-1]
 	arrow := strings.Index(body, "->")
@@ -53,22 +56,41 @@ func Constraint(s string) (*access.Constraint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parse: constraint %q: bad bound %q", s, nPart)
 	}
-	return access.NewConstraint(rel, splitIdents(xPart), splitIdents(yPart), n), nil
+	x, err := splitIdents(xPart)
+	if err != nil {
+		return nil, fmt.Errorf("parse: constraint %q: %w", s, err)
+	}
+	y, err := splitIdents(yPart)
+	if err != nil {
+		return nil, fmt.Errorf("parse: constraint %q: %w", s, err)
+	}
+	return access.NewConstraint(rel, x, y, n), nil
 }
 
-func splitIdents(s string) []string {
-	if strings.TrimSpace(s) == "" {
-		return nil
+// splitIdents parses a comma-separated attribute list, optionally wrapped
+// in one pair of parentheses (the String() notation); "∅" is the empty
+// list.
+func splitIdents(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	if s == "" || s == "∅" {
+		return nil, nil
 	}
 	parts := strings.Split(s, ",")
 	out := make([]string, 0, len(parts))
 	for _, p := range parts {
 		p = strings.TrimSpace(p)
-		if p != "" {
-			out = append(out, p)
+		if p == "" {
+			continue
 		}
+		if !isIdent(p) {
+			return nil, fmt.Errorf("bad attribute name %q", p)
+		}
+		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // Query parses one CQ rule "Name(h1, h2) :- atom1, atom2, x = \"c\"." (the
@@ -146,11 +168,22 @@ func ParseProgram(text string) (*Program, error) {
 			if err != nil {
 				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 			}
+			if len(terms) == 0 {
+				return nil, fmt.Errorf("line %d: relation %s needs at least one attribute", lineNo+1, name)
+			}
+			// Guard everything schema.NewRelation panics on: the schema
+			// package treats bad relation schemas as programmer error, but
+			// here they are untrusted input.
 			attrs := make([]string, len(terms))
+			seen := make(map[string]bool, len(terms))
 			for i, t := range terms {
 				if t.Const {
 					return nil, fmt.Errorf("line %d: relation attributes must be identifiers", lineNo+1)
 				}
+				if seen[t.Val] {
+					return nil, fmt.Errorf("line %d: relation %s has duplicate attribute %s", lineNo+1, name, t.Val)
+				}
+				seen[t.Val] = true
 				attrs[i] = t.Val
 			}
 			if p.Schema.Has(name) {

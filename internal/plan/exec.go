@@ -48,6 +48,27 @@ func PrepareViews(ix *instance.Indexed, views Materialized) *PreparedViews {
 	return &PreparedViews{d: d, rows: rows}
 }
 
+// PrepareIDViews wraps already-interned view extents (e.g. the live
+// extents of eval's delta engine) as PreparedViews bound to ix's database,
+// with no re-encoding. The rows are retained by reference; use Set to
+// patch a view after its extent changes.
+func PrepareIDViews(ix *instance.Indexed, rows map[string][][]uint32) *PreparedViews {
+	m := make(map[string][][]uint32, len(rows))
+	for name, ext := range rows {
+		m[name] = ext
+	}
+	return &PreparedViews{d: ix.DB.Dict, rows: m}
+}
+
+// Set replaces one view's interned extent in place — the live-update path:
+// a long-running process patches the changed views after each delta
+// instead of ever re-interning. Not safe for concurrent use with
+// RunPrepared; callers serialize (the facade's Live handle holds a write
+// lock around it).
+func (pv *PreparedViews) Set(name string, rows [][]uint32) {
+	pv.rows[name] = rows
+}
+
 // RunPrepared is Run over views prepared with PrepareViews against the
 // same database.
 func RunPrepared(n Node, ix *instance.Indexed, pv *PreparedViews) ([][]string, error) {

@@ -1,0 +1,64 @@
+package plan_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/eval"
+	"repro/internal/instance"
+	"repro/internal/plan"
+	"repro/internal/schema"
+)
+
+// TestPreparedViewsPatchInPlace covers the live-update path of prepared
+// views: PrepareIDViews wraps already-interned extents without
+// re-encoding, and Set patches one view so subsequent RunPrepared calls
+// see the new extent — no re-interning, ever.
+func TestPreparedViewsPatchInPlace(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "A"))
+	db := instance.NewDatabase(s)
+	ix, err := instance.BuildIndexes(db, access.NewSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := func(rows ...string) [][]uint32 {
+		out := make([][]uint32, len(rows))
+		for i, v := range rows {
+			out[i] = []uint32{db.Dict.ID(v)}
+		}
+		return out
+	}
+	pv := plan.PrepareIDViews(ix, map[string][][]uint32{"V": enc("a", "b")})
+	node := &plan.View{Name: "V", Cols: []string{"x"}}
+
+	got, err := plan.RunPrepared(node, ix, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.SortRows(got)
+	if !reflect.DeepEqual(got, [][]string{{"a"}, {"b"}}) {
+		t.Fatalf("initial extent: %v", got)
+	}
+
+	pv.Set("V", enc("b", "c", "d"))
+	got, err = plan.RunPrepared(node, ix, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.SortRows(got)
+	if !reflect.DeepEqual(got, [][]string{{"b"}, {"c"}, {"d"}}) {
+		t.Fatalf("patched extent: %v", got)
+	}
+
+	// A dictionary growing (new live values) must not invalidate the
+	// prepared handle: Set with rows over fresh IDs just works.
+	pv.Set("V", enc("zz-fresh"))
+	got, err = plan.RunPrepared(node, ix, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, [][]string{{"zz-fresh"}}) {
+		t.Fatalf("fresh-value extent: %v", got)
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/instance"
+)
+
+// ChurnParams controls the movie-domain churn generator that drives the
+// live-update experiments: a seeded stream of batched inserts and deletes
+// against an instance of the Movies schema that keeps A0 satisfied while
+// D grows.
+type ChurnParams struct {
+	DeleteShare float64 // fraction of each batch that deletes live rows (default 0.4)
+	Seed        int64
+}
+
+// Churn produces batches of instance.Op mutations. Inserts add persons,
+// likes, and movies (each movie with its one rating, in fresh
+// (studio, release) groups so ϕ1's fan-out bound never tips); deletes
+// retract random live persons and likes — the relations Q0's plan reads
+// through the views, so churn exercises incremental view maintenance, not
+// just appends.
+type Churn struct {
+	m   *Movies
+	rng *rand.Rand
+	p   ChurnParams
+
+	persons    [][]string // live person rows
+	likes      [][]string // live like rows
+	baseMovies int        // movies pre-existing in db (ids "m<i>")
+	newMovies  int        // movies inserted by the churn (ids "cm<i>")
+	nextPID    int        // person ids ever created (for fresh pids)
+	grp        int        // churn (studio, release) groups opened
+	grpUsed    int        // movies placed in the current group
+}
+
+// NewChurn seeds the generator's live-row pools from db's current
+// contents. The database must be an instance of m.Schema.
+func NewChurn(m *Movies, db *instance.Database, p ChurnParams) *Churn {
+	if p.DeleteShare <= 0 {
+		p.DeleteShare = 0.4
+	}
+	c := &Churn{m: m, rng: rand.New(rand.NewSource(p.Seed)), p: p}
+	for _, tu := range db.Table("person").Tuples {
+		c.persons = append(c.persons, tu.Clone())
+	}
+	for _, tu := range db.Table("like").Tuples {
+		c.likes = append(c.likes, tu.Clone())
+	}
+	c.baseMovies = db.Table("movie").Len()
+	c.nextPID = len(c.persons)
+	return c
+}
+
+// randMID draws a movie id that exists: a pre-existing "m<i>" or a
+// churn-inserted "cm<i>".
+func (c *Churn) randMID() string {
+	i := c.rng.Intn(c.baseMovies + c.newMovies)
+	if i < c.baseMovies {
+		return fmt.Sprintf("m%d", i)
+	}
+	return fmt.Sprintf("cm%d", i-c.baseMovies)
+}
+
+// Batch draws the next batch of n operations (a movie insert spends two:
+// the movie and its rating). The returned ops are ready for
+// Database.ApplyDelta / Live.ApplyDelta, which applies deletes first —
+// so the batch's deletes only target rows that existed before the batch.
+func (c *Churn) Batch(n int) (inserts, deletes []instance.Op) {
+	likeLim, personLim := len(c.likes), len(c.persons)
+	for spent := 0; spent < n; {
+		if c.rng.Float64() < c.p.DeleteShare && likeLim+personLim > 0 {
+			var op instance.Op
+			op, likeLim, personLim = c.deleteOne(likeLim, personLim)
+			deletes = append(deletes, op)
+			spent++
+			continue
+		}
+		ins := c.insertSome()
+		inserts = append(inserts, ins...)
+		spent += len(ins)
+	}
+	return inserts, deletes
+}
+
+// deleteOne retracts a pool row with index below the pre-batch limit,
+// keeping the pre-batch prefix invariant intact across the swap-removes.
+func (c *Churn) deleteOne(likeLim, personLim int) (instance.Op, int, int) {
+	remove := func(pool [][]string, lim int) ([]string, [][]string, int) {
+		i := c.rng.Intn(lim)
+		row := pool[i]
+		pool[i] = pool[lim-1]
+		pool[lim-1] = pool[len(pool)-1]
+		pool[len(pool)-1] = nil
+		return row, pool[:len(pool)-1], lim - 1
+	}
+	// Prefer likes (the busiest relation), fall back to persons.
+	if likeLim > 0 && (c.rng.Intn(4) > 0 || personLim == 0) {
+		row, pool, lim := remove(c.likes, likeLim)
+		c.likes = pool
+		return instance.Op{Rel: "like", Row: instance.Tuple(row)}, lim, personLim
+	}
+	row, pool, lim := remove(c.persons, personLim)
+	c.persons = pool
+	return instance.Op{Rel: "person", Row: instance.Tuple(row)}, likeLim, lim
+}
+
+func (c *Churn) insertSome() []instance.Op {
+	switch r := c.rng.Float64(); {
+	case r < 0.55 && c.baseMovies+c.newMovies > 0 && len(c.persons) > 0:
+		// A like from a live person to a random movie.
+		p := c.persons[c.rng.Intn(len(c.persons))]
+		row := []string{p[0], c.randMID(), "movie"}
+		c.likes = append(c.likes, row)
+		return []instance.Op{{Rel: "like", Row: instance.Tuple(row)}}
+	case r < 0.85 || c.baseMovies+c.newMovies == 0:
+		// A fresh person; every 10th joins NASA so view deltas fire.
+		aff := fmt.Sprintf("org%d", c.rng.Intn(500))
+		if c.nextPID%10 == 0 {
+			aff = "NASA"
+		}
+		row := []string{fmt.Sprintf("cp%d", c.nextPID), fmt.Sprintf("Churn Person %d", c.nextPID), aff}
+		c.nextPID++
+		c.persons = append(c.persons, row)
+		return []instance.Op{{Rel: "person", Row: instance.Tuple(row)}}
+	default:
+		// A fresh movie (+ its single rating) in a churn-owned
+		// (studio, release) group, capped at N0 so D ⊨ ϕ1 stays true.
+		if c.grpUsed >= c.m.N0 {
+			c.grp++
+			c.grpUsed = 0
+		}
+		c.grpUsed++
+		mid := fmt.Sprintf("cm%d", c.newMovies)
+		c.newMovies++
+		movie := []string{mid, "Churn Movie", fmt.Sprintf("ChurnStudio%d", c.grp), "2016"}
+		rank := fmt.Sprintf("%d", 1+c.rng.Intn(5))
+		return []instance.Op{
+			{Rel: "movie", Row: instance.Tuple(movie)},
+			{Rel: "rating", Row: instance.Tuple([]string{mid, rank})},
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestChurnKeepsAccessSchemaSatisfied drives a few thousand churn ops into
+// a small Movies instance and checks the invariants the live-update
+// experiments rely on: D keeps satisfying A0, deletes hit existing rows,
+// and the stream is not append-only.
+func TestChurnKeepsAccessSchemaSatisfied(t *testing.T) {
+	m := NewMovies(20)
+	db := m.Generate(MoviesParams{Persons: 300, Movies: 300, LikesPerPerson: 4, NASAShare: 10, Seed: 2})
+	ch := NewChurn(m, db, ChurnParams{Seed: 7})
+	insTotal, delTotal := 0, 0
+	for b := 0; b < 40; b++ {
+		ins, del := ch.Batch(100)
+		applied, err := db.ApplyDelta(ins, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(applied.Deleted) != len(del) {
+			t.Fatalf("batch %d: %d of %d deletes hit nothing (generator out of sync)", b, len(del)-len(applied.Deleted), len(del))
+		}
+		insTotal += len(applied.Inserted)
+		delTotal += len(applied.Deleted)
+	}
+	if delTotal == 0 || insTotal == 0 {
+		t.Fatalf("stream must mix inserts and deletes: %d ins, %d del", insTotal, delTotal)
+	}
+	ok, err := db.SatisfiesAll(m.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("churned instance violates A0: %v", db.Violations(m.Access))
+	}
+}
