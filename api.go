@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/boundedness"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/fo"
 	"repro/internal/instance"
+	"repro/internal/intern"
 	"repro/internal/parse"
 	"repro/internal/plan"
 	"repro/internal/schema"
@@ -137,6 +139,16 @@ type System struct {
 	prepIx    *Indexed
 	prepViews map[string][][]string // the views map the cache was built from
 	prepared  *plan.PreparedViews
+
+	// Prepared-query cache (see Prepare): canonical query key -> the
+	// VBRP search result, so renamed/reordered variants of one query
+	// never pay a second exponential search. Entries are created under
+	// prepQMu; the search itself runs under the entry's once, so
+	// concurrent Prepare calls for different queries do not serialize.
+	prepQMu      sync.Mutex
+	prepQ        map[string]*prepEntry
+	prepSearches atomic.Int64 // VBRP searches actually run
+	prepHits     atomic.Int64 // Prepare calls answered from the cache
 }
 
 // NewSystem builds a System after validating the constraints and views
@@ -182,7 +194,33 @@ func (sys *System) CheckToppedCQ(q *CQ) ToppedResult {
 // plan language (CQ, UCQ or ∃FO+) by candidate-plan enumeration — the Σp3
 // procedure of Theorem 3.1. Exponential; intended for small M and the
 // theory experiments. The limits mirror vbrp.Problem's.
+//
+// Unlike the bare decision procedure, the full candidate frontier is
+// enumerated (up to vbrp.Problem's MaxCandidates) and the returned plan is
+// the cheapest under the static cost model — ranked purely from the
+// access-constraint bounds N, since no instance statistics exist here. Use
+// Prepare for statistics-aware selection against a Live handle, or
+// vbrp.Decide directly when only the yes/no (first witness) is needed —
+// that path stops at the first A-equivalent plan instead of costing the
+// frontier.
 func (sys *System) HasBoundedRewriting(q *UCQ, lang Language) (bool, Plan, error) {
+	cands, err := sys.searchCandidates(q, lang)
+	if err != nil && err != vbrp.ErrSearchTruncated {
+		return false, nil, err
+	}
+	if len(cands) == 0 {
+		if err == vbrp.ErrSearchTruncated {
+			return false, nil, err // truncated search: a "no" is unreliable
+		}
+		return false, nil, nil
+	}
+	best, _ := bestCandidate(cands, nil)
+	return true, cands[best].Plan, nil
+}
+
+// searchCandidates runs the full VBRP enumeration for q, returning every
+// conforming A-equivalent candidate plan (the budgeted frontier).
+func (sys *System) searchCandidates(q *UCQ, lang Language) ([]vbrp.Candidate, error) {
 	var consts []string
 	for _, d := range q.Disjuncts {
 		consts = append(consts, d.Constants()...)
@@ -191,14 +229,7 @@ func (sys *System) HasBoundedRewriting(q *UCQ, lang Language) (bool, Plan, error
 		S: sys.Schema, A: sys.Access, Views: sys.Views,
 		M: sys.M, Lang: lang, Consts: consts,
 	}
-	dec, err := vbrp.Decide(q, prob)
-	if err != nil {
-		return false, nil, err
-	}
-	if !dec.Exact && !dec.Has {
-		return false, nil, vbrp.ErrSearchTruncated
-	}
-	return dec.Has, dec.Plan, nil
+	return vbrp.Candidates(q, prob)
 }
 
 // BoundedOutput decides BOP for a UCQ under the system's access schema
@@ -285,20 +316,38 @@ func (sys *System) prepareCached(ix *Indexed, views map[string][][]string) *plan
 // fetched-tuple counts is only exact when calls do not overlap.
 type Live struct {
 	sys *System
+	id  uint64 // process-unique handle identity (see PreparedQuery selection)
 
 	mu  sync.RWMutex
 	db  *Database
 	ix  *Indexed
 	eng *eval.DeltaEngine
 	pv  *plan.PreparedViews
+
+	// Cost-model statistics over the current instance, rebuilt when the
+	// churn since the last build passes the drift threshold. statsVer
+	// bumps on every rebuild; PreparedQuery handles re-select their plan
+	// when they observe a new version.
+	stats      *plan.Stats
+	statsVer   uint64
+	statsChurn int // physical ops applied since stats was built
 }
 
 // DeltaStats summarizes one applied batch.
 type DeltaStats struct {
-	Inserted     int // tuples physically inserted
-	Deleted      int // tuples physically removed (absent deletes are no-ops)
-	ViewsChanged int // views whose extents were patched
+	Inserted       int  // tuples physically inserted
+	Deleted        int  // tuples physically removed (absent deletes are no-ops)
+	ViewsChanged   int  // views whose extents were patched
+	StatsRefreshed bool // churn drift passed the threshold: statistics rebuilt
 }
+
+// Statistics drift policy: rebuild when the physical ops since the last
+// build exceed statsDriftFrac of the current |D| (and at least
+// statsMinChurn, so tiny instances don't rebuild per batch).
+const (
+	statsDriftFrac = 0.2
+	statsMinChurn  = 256
+)
 
 // OpenLive builds the live state over db: fetch indices for the system's
 // access schema, the delta engine for its views, and the prepared
@@ -314,7 +363,56 @@ func (sys *System) OpenLive(db *Database) (*Live, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Live{sys: sys, db: db, ix: ix, eng: eng, pv: plan.PrepareIDViews(ix, eng.ExtentsIDs())}, nil
+	l := &Live{sys: sys, id: liveIDs.Add(1), db: db, ix: ix, eng: eng, pv: plan.PrepareIDViews(ix, eng.ExtentsIDs())}
+	l.rebuildStatsLocked()
+	return l, nil
+}
+
+// liveIDs hands every Live handle a process-unique identity, so prepared
+// queries can remember which handle they last selected a plan for without
+// retaining the handle (and its database) itself.
+var liveIDs atomic.Uint64
+
+// rebuildStatsLocked collects fresh cost-model statistics from the
+// interned table shadows and the live view extents. Callers hold the
+// write lock (or have exclusive access, as in OpenLive).
+func (l *Live) rebuildStatsLocked() {
+	rs := instance.CollectStats(l.db)
+	st := &plan.Stats{
+		RelRows:      rs.Rows,
+		RelDistinct:  make(map[string]map[string]int, len(rs.Rows)),
+		ViewRows:     make(map[string]int),
+		ViewDistinct: make(map[string][]int),
+	}
+	for name, counts := range rs.Distinct {
+		rel := l.sys.Schema.Relation(name)
+		if rel == nil {
+			continue
+		}
+		byAttr := make(map[string]int, len(counts))
+		for i, a := range rel.Attrs {
+			if i < len(counts) {
+				byAttr[a] = counts[i]
+			}
+		}
+		st.RelDistinct[name] = byAttr
+	}
+	for name, rows := range l.eng.ExtentsIDs() {
+		st.ViewRows[name] = len(rows)
+		st.ViewDistinct[name] = intern.DistinctCols(rows)
+	}
+	l.stats = st
+	l.statsVer++
+	l.statsChurn = 0
+}
+
+// Stats returns the current cost-model statistics and their version. The
+// returned Stats is immutable once published (rebuilds install a fresh
+// one), so callers may estimate against it without holding the lock.
+func (l *Live) Stats() (*plan.Stats, uint64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.stats, l.statsVer
 }
 
 // ApplyDelta applies a batch of mutations (deletes first, then inserts;
@@ -339,7 +437,13 @@ func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	for _, name := range changed {
 		l.pv.Set(name, l.eng.ExtentIDs(name))
 	}
-	return DeltaStats{Inserted: len(a.Inserted), Deleted: len(a.Deleted), ViewsChanged: len(changed)}, nil
+	st := DeltaStats{Inserted: len(a.Inserted), Deleted: len(a.Deleted), ViewsChanged: len(changed)}
+	l.statsChurn += st.Inserted + st.Deleted
+	if float64(l.statsChurn) >= statsDriftFrac*float64(l.db.Size()) && l.statsChurn >= statsMinChurn {
+		l.rebuildStatsLocked()
+		st.StatsRefreshed = true
+	}
+	return st, nil
 }
 
 // Execute runs a plan against the always-fresh views and indices,

@@ -11,6 +11,7 @@
 //	benchrun -exp ex33  Example 3.3: bounded output of views
 //	benchrun -exp ex63  Example 6.3: FO vs UCQ separation
 //	benchrun -exp churn live updates: incremental maintenance vs full refresh
+//	benchrun -exp planpick cost-based selection over the full candidate frontier
 //	benchrun -exp all   everything (default)
 //
 // With -json FILE, per-experiment wall-clock timings and the individual
@@ -61,7 +62,9 @@ type measurement struct {
 	BatchOps   int     `json:"batch_ops,omitempty"`   // churn: ops per applied batch
 	MaintainNS int64   `json:"maintain_ns,omitempty"` // churn: incremental maintenance per batch
 	RefreshNS  int64   `json:"refresh_ns,omitempty"`  // churn: full refresh (materialize+indexes+prepare)
-	Speedup    float64 `json:"speedup,omitempty"`     // churn: refresh_ns / maintain_ns
+	Speedup    float64 `json:"speedup,omitempty"`     // churn: refresh_ns / maintain_ns; planpick: worst/chosen gap
+	Candidates int     `json:"candidates,omitempty"`  // planpick: enumerated candidate plans
+	CacheHit   bool    `json:"cache_hit,omitempty"`   // planpick: renamed re-Prepare hit the cache
 }
 
 // report is the -json output document.
@@ -77,7 +80,7 @@ var rep report
 func record(m measurement) { rep.Measurements = append(rep.Measurements, m) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, all)")
+	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, all)")
 	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file")
 	flag.Parse()
 	rep.Experiments = []expTiming{}
@@ -100,8 +103,9 @@ func main() {
 	run("ex33", expEx33)
 	run("ex63", expEx63)
 	run("churn", expChurn)
+	run("planpick", expPlanPick)
 	if !matched {
-		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn or all)", *exp)
+		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick or all)", *exp)
 	}
 	if *jsonPath != "" {
 		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -572,4 +576,92 @@ func expChurn() {
 	}
 	fmt.Println("\n(Incremental cost tracks the delta, not |D|: the speedup over full refresh")
 	fmt.Println("widens as D grows — the live extension of the scale-independence claim.)")
+}
+
+// expPlanPick measures cost-based plan selection over the full VBRP
+// candidate frontier: every enumerated bounded plan answers the query, but
+// their realized fetch volumes differ by orders of magnitude, and the gap
+// between the cost-picked and the worst candidate widens with |D|. It also
+// demonstrates the prepared-query cache: a renamed, reordered — but
+// equivalent — query re-Prepares without a second VBRP search.
+func expPlanPick() {
+	header("EXP-PLANPICK — cost-based selection over the full candidate frontier")
+	pp := workload.NewPlanPick(5, 100_000)
+	sys, err := repro.NewSystem(pp.Schema, pp.Access, pp.Views(), pp.M)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("| |D| | candidates | chosen fetch | worst fetch | fetch gap | chosen time | worst time |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, rows := range []int{500, 5000, 50000} {
+		db := pp.Generate(rows, 4, 7)
+		l, err := sys.OpenLive(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pq, err := sys.Prepare(cq.NewUCQ(pp.Q), plan.LangCQ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		direct, err := sys.EvalDirect(cq.NewUCQ(pp.Q), db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		worstFetch, worstNS := -1, int64(0)
+		for _, c := range pq.Candidates() {
+			t0 := time.Now()
+			crows, fetched, err := l.Execute(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dt := int64(time.Since(t0))
+			if !cq.RowsEqual(crows, direct) {
+				log.Fatalf("candidate plan disagrees with direct evaluation:\n%s", plan.Render(c))
+			}
+			if fetched > worstFetch {
+				worstFetch, worstNS = fetched, dt
+			}
+		}
+		t0 := time.Now()
+		arows, chosenFetch, err := pq.Execute(l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chosenNS := int64(time.Since(t0))
+		if !cq.RowsEqual(arows, direct) {
+			log.Fatal("chosen plan disagrees with direct evaluation")
+		}
+		gap := float64(worstFetch) / float64(max(1, chosenFetch))
+		if gap < 2 {
+			log.Fatalf("cost selection regressed: chosen plan fetches %d, worst %d (gap %.1fx < 2x)",
+				chosenFetch, worstFetch, gap)
+		}
+		record(measurement{Experiment: "planpick", Name: "chosen", DBSize: db.Size(),
+			PlanNS: chosenNS, Fetched: chosenFetch, Rows: len(arows), Candidates: len(pq.Candidates())})
+		record(measurement{Experiment: "planpick", Name: "worst", DBSize: db.Size(),
+			PlanNS: worstNS, Fetched: worstFetch, Speedup: gap})
+		fmt.Printf("| %d | %d | %d | %d | %.0fx | %s | %s |\n",
+			db.Size(), len(pq.Candidates()), chosenFetch, worstFetch, gap,
+			time.Duration(chosenNS).Round(time.Microsecond), time.Duration(worstNS).Round(time.Microsecond))
+	}
+
+	// Prepared-query cache: a renamed + reordered (but equivalent) query
+	// must be served from the cache, with no second exponential search.
+	searches0, _ := sys.PrepareCacheStats()
+	renamed := cq.NewCQ([]cq.Term{cq.Var("out")}, []cq.Atom{
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("out")),
+	})
+	renamed.Name = "Qren"
+	pq2, err := sys.Prepare(cq.NewUCQ(renamed), plan.LangCQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	searches1, hits := sys.PrepareCacheStats()
+	hit := searches1 == searches0 && hits > 0
+	record(measurement{Experiment: "planpick", Name: "renamed-prepare", CacheHit: hit})
+	fmt.Printf("\nrenamed query re-Prepare: cache hit = %v (searches %d -> %d, hits %d); key: %s\n",
+		hit, searches0, searches1, hits, pq2.Key())
+	if !hit {
+		log.Fatal("renamed-but-equivalent query missed the prepared-query cache")
+	}
 }

@@ -1,0 +1,195 @@
+package plan
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cq"
+)
+
+// QueryKey returns a canonical cache key for a UCQ: two queries that are
+// equal up to variable renaming, atom reordering, disjunct reordering and
+// resolvable equality conditions map to the same key, and equal keys imply
+// equality up to renaming (the key IS a rendering of the canonicalized
+// query), so a cache keyed on it can never serve a plan for a different
+// query. Unsatisfiable disjuncts (equalities forcing two distinct
+// constants) contribute nothing to the union and are dropped.
+//
+// The canonical form of each disjunct is the lexicographically least
+// rendering over all atom orderings, with variables named by first
+// occurrence (head first). The search is exact — branch-and-bound over
+// atom permutations — up to canonMaxAtoms atoms; beyond that the disjunct
+// falls back to a deterministic but renaming-sensitive form (keys stay
+// sound: equal keys still imply equal queries; renamed variants of huge
+// queries merely miss the cache).
+func QueryKey(u *cq.UCQ) string {
+	parts := make([]string, 0, len(u.Disjuncts))
+	for _, d := range u.Disjuncts {
+		s, ok := canonCQ(d)
+		if !ok {
+			continue // unsatisfiable disjunct: identical on every instance without it
+		}
+		parts = append(parts, s)
+	}
+	if len(parts) == 0 {
+		return "empty/" + strconv.Itoa(u.Arity())
+	}
+	sort.Strings(parts)
+	// Idempotent union: duplicate disjuncts collapse.
+	w := 0
+	for i, p := range parts {
+		if i == 0 || parts[i-1] != p {
+			parts[w] = p
+			w++
+		}
+	}
+	return strings.Join(parts[:w], " ∪ ")
+}
+
+// canonMaxAtoms bounds the exact canonical search; 8 atoms is far above
+// the plan-size budgets the rewriting search handles anyway.
+const canonMaxAtoms = 8
+
+// canonCQ canonicalizes one disjunct; ok is false when the equality
+// conditions are unsatisfiable.
+func canonCQ(q *cq.CQ) (string, bool) {
+	n, err := q.Normalize()
+	if err != nil {
+		return "", false
+	}
+	names := map[string]string{}
+	head := make([]string, len(n.Head))
+	for i, t := range n.Head {
+		head[i] = canonTerm(t, names)
+	}
+	hs := "(" + strings.Join(head, ",") + ")<-"
+	if len(n.Atoms) == 0 {
+		return hs, true
+	}
+	if len(n.Atoms) > canonMaxAtoms {
+		// Fallback: render head AND atoms with the ORIGINAL variable names
+		// (plus the canonical head prefix for arity/shape). Equal keys then
+		// imply identical queries up to atom order — sound, merely
+		// renaming-sensitive, so huge renamed variants miss the cache.
+		origHead := make([]string, len(n.Head))
+		for i, t := range n.Head {
+			origHead[i] = origTerm(t)
+		}
+		rendered := make([]string, len(n.Atoms))
+		for i, a := range n.Atoms {
+			parts := make([]string, len(a.Args))
+			for j, t := range a.Args {
+				parts[j] = origTerm(t)
+			}
+			rendered[i] = strconv.Quote(a.Rel) + "(" + strings.Join(parts, ",") + ")"
+		}
+		sort.Strings(rendered)
+		return hs + "big:(" + strings.Join(origHead, ",") + ")<-" + strings.Join(rendered, ";"), true
+	}
+	c := &canonSearch{atoms: n.Atoms, used: make([]bool, len(n.Atoms))}
+	c.dfs(names, make([]string, 0, len(n.Atoms)), true)
+	return hs + strings.Join(c.best, ";"), true
+}
+
+// canonSearch finds the lexicographically least sequence of atom
+// renderings over all orderings. A branch is pruned as soon as its prefix
+// renders strictly greater than the incumbent's.
+type canonSearch struct {
+	atoms []cq.Atom
+	used  []bool
+	best  []string
+}
+
+// dfs extends the current prefix (parts, with the naming built so far).
+// tied reports that the prefix equals the incumbent best prefix — only
+// then can a later element still lose to the incumbent.
+func (c *canonSearch) dfs(names map[string]string, parts []string, tied bool) {
+	depth := len(parts)
+	if depth == len(c.atoms) {
+		if c.best == nil || less(parts, c.best) {
+			c.best = append([]string(nil), parts...)
+		}
+		return
+	}
+	for i, a := range c.atoms {
+		if c.used[i] {
+			continue
+		}
+		names2 := cloneNames(names)
+		r := canonAtom(a, names2)
+		tied2 := tied
+		if c.best != nil && tied {
+			if depth >= len(c.best) || r > c.best[depth] {
+				continue // prefix already beaten
+			}
+			tied2 = depth < len(c.best) && r == c.best[depth]
+		}
+		c.used[i] = true
+		c.dfs(names2, append(parts, r), tied2)
+		c.used[i] = false
+	}
+}
+
+func less(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func cloneNames(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m)+2)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// canonAtom renders an atom under the naming, assigning fresh canonical
+// names (c0, c1, ...) to variables seen for the first time, in argument
+// order.
+func canonAtom(a cq.Atom, names map[string]string) string {
+	var b strings.Builder
+	b.WriteString(strconv.Quote(a.Rel))
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(canonTerm(t, names))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// canonTerm renders a term under the naming. Constants are Go-quoted —
+// NOT concatenated raw — so a constant crafted to look like key syntax
+// (embedded quotes, separators) cannot make two different queries render
+// the same key; the same holds for relation names in canonAtom. Canonical
+// variable names are generated (c0, c1, ...) and inherently safe.
+func canonTerm(t cq.Term, names map[string]string) string {
+	if t.Const {
+		return strconv.Quote(t.Val)
+	}
+	nm, ok := names[t.Val]
+	if !ok {
+		nm = "c" + strconv.Itoa(len(names))
+		names[t.Val] = nm
+	}
+	return nm
+}
+
+// origTerm renders a term with its original name, quote-escaped, with a
+// kind prefix so a variable can never collide with a constant.
+func origTerm(t cq.Term) string {
+	if t.Const {
+		return "k" + strconv.Quote(t.Val)
+	}
+	return "v" + strconv.Quote(t.Val)
+}

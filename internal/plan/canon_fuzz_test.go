@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/parse"
+)
+
+// fuzzSeenKeys maps cache keys to the first query observed with that key,
+// across the whole fuzz run: any later query with the same key must be
+// equivalent (keys are renderings of the canonical query, so a collision
+// between non-equivalent queries would poison the prepared-query cache).
+var fuzzSeenKeys sync.Map
+
+// FuzzQueryKey checks the canonicalization invariants on parser-built
+// queries: renamings and atom reorderings share a key, String()/ParseQuery
+// round-trips preserve the key, and within the corpus equal keys only ever
+// join equivalent queries.
+func FuzzQueryKey(f *testing.F) {
+	f.Add(`Q(x) :- R(x, y), S(y, "c").`, uint8(1))
+	f.Add(`Q(a, a) :- E(a, b), E(b, c), E(c, a).`, uint8(3))
+	f.Add(`Q(x) :- R(x, x), R(y, y), x = y.`, uint8(0))
+	f.Add(`Q("k") :- T(z), T(w).`, uint8(7))
+	f.Fuzz(func(t *testing.T, src string, seed uint8) {
+		q, err := parse.Query(src)
+		if err != nil {
+			t.Skip()
+		}
+		u := cq.NewUCQ(q)
+		key := QueryKey(u)
+
+		// Round-trip: the printed form must re-parse to the same key.
+		back, err := parse.Query(q.String())
+		if err != nil {
+			t.Fatalf("String() does not re-parse: %v\n%s", err, q.String())
+		}
+		if k2 := QueryKey(cq.NewUCQ(back)); k2 != key {
+			t.Fatalf("round-trip changed the key:\n%s\n%s", key, k2)
+		}
+
+		// Injective renaming + deterministic reordering must not move the key.
+		ren := renameQuery(q)
+		rot := int(seed)
+		if n := len(ren.Atoms); n > 1 {
+			rot %= n
+			ren.Atoms = append(ren.Atoms[rot:], ren.Atoms[:rot]...)
+		}
+		if k2 := QueryKey(cq.NewUCQ(ren)); k2 != key {
+			t.Fatalf("renaming/reordering changed the key:\nquery: %s\nvariant: %s\n%s\n%s",
+				q, ren, key, k2)
+		}
+
+		// Corpus-wide collision check: same key => equivalent queries.
+		// (Chandra-Merlin is exponential, so only verify small queries.)
+		if prev, loaded := fuzzSeenKeys.LoadOrStore(key, q); loaded {
+			p := prev.(*cq.CQ)
+			if len(p.Atoms) <= 4 && len(q.Atoms) <= 4 && p.String() != q.String() {
+				n1, err1 := p.Normalize()
+				n2, err2 := q.Normalize()
+				if err1 == nil && err2 == nil && !cq.Equivalent(n1, n2) {
+					t.Fatalf("key collision between non-equivalent queries:\n%s\n%s\nkey %s", p, q, key)
+				}
+			}
+		}
+	})
+}
+
+// renameQuery applies an injective variable renaming (reverse first-seen
+// order, fresh names) to a copy of the query.
+func renameQuery(q *cq.CQ) *cq.CQ {
+	vars := q.Vars()
+	m := make(map[string]string, len(vars))
+	for i, v := range vars {
+		m[v] = fmt.Sprintf("fzv%d", len(vars)-i)
+	}
+	out := q.Clone()
+	sub := func(t cq.Term) cq.Term {
+		if t.Const {
+			return t
+		}
+		return cq.Var(m[t.Val])
+	}
+	for i, t := range out.Head {
+		out.Head[i] = sub(t)
+	}
+	for i, a := range out.Atoms {
+		for j, t := range a.Args {
+			out.Atoms[i].Args[j] = sub(t)
+		}
+	}
+	for i, e := range out.Eqs {
+		out.Eqs[i] = cq.Equality{L: sub(e.L), R: sub(e.R)}
+	}
+	return out
+}

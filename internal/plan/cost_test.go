@@ -1,0 +1,103 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/access"
+)
+
+// planpick-shaped candidates: a view scan (no fetches), a selective fetch,
+// and a whole-table fetch must rank in that order once the statistics say
+// the table is large and the selective group is small.
+func TestEstimateRanksFetchVolume(t *testing.T) {
+	sel := access.NewConstraint("R", []string{"A"}, []string{"B"}, 5)
+	all := access.NewConstraint("R", nil, []string{"A", "B"}, 100_000)
+
+	viewPlan := &Project{
+		Child: &Select{
+			Child: &View{Name: "V", Cols: []string{"a", "b"}},
+			Cond:  []CondItem{{L: "a", RConst: true, R: "k"}},
+		},
+		Cols: []string{"b"},
+	}
+	selPlan := &Project{
+		Child: &Fetch{Child: &Const{Attr: "x", Val: "k"}, C: sel, Bind: []string{"x"}, As: []string{"a", "b"}},
+		Cols:  []string{"b"},
+	}
+	allPlan := &Project{
+		Child: &Select{
+			Child: &Fetch{C: all, As: []string{"a", "b"}},
+			Cond:  []CondItem{{L: "a", RConst: true, R: "k"}},
+		},
+		Cols: []string{"b"},
+	}
+
+	st := &Stats{
+		RelRows:      map[string]int{"R": 50_000},
+		RelDistinct:  map[string]map[string]int{"R": {"A": 12_000, "B": 20_000}},
+		ViewRows:     map[string]int{"V": 50_000},
+		ViewDistinct: map[string][]int{"V": {12_000, 20_000}},
+	}
+	cv, cs, ca := Estimate(viewPlan, st), Estimate(selPlan, st), Estimate(allPlan, st)
+	if cv.Fetch != 0 {
+		t.Fatalf("view plan must estimate zero fetches, got %v", cv.Fetch)
+	}
+	if !(cs.Fetch < ca.Fetch) {
+		t.Fatalf("selective fetch (%v) must estimate below the whole-table fetch (%v)", cs.Fetch, ca.Fetch)
+	}
+	if ca.Score() <= cs.Score() || ca.Score() <= cv.Score() {
+		t.Fatalf("whole-table plan must score worst: view %v sel %v all %v", cv.Score(), cs.Score(), ca.Score())
+	}
+	best, _ := Best([]Node{allPlan, viewPlan, selPlan}, st)
+	if best == 0 {
+		t.Fatal("Best picked the whole-table plan")
+	}
+
+	// With a small table the view scan must win outright (fetches are
+	// priced ~1000x a cached-tuple touch).
+	small := &Stats{
+		RelRows:     map[string]int{"R": 200},
+		RelDistinct: map[string]map[string]int{"R": {"A": 50, "B": 100}},
+		ViewRows:    map[string]int{"V": 200},
+	}
+	best, c := Best([]Node{allPlan, selPlan, viewPlan}, small)
+	if best != 2 {
+		t.Fatalf("with a small view extent the zero-fetch plan must win, got %d (%+v)", best, c)
+	}
+
+	// Static ranking (nil stats) must also refuse the whole-table fetch.
+	best, _ = Best([]Node{allPlan, viewPlan}, nil)
+	if best != 1 {
+		t.Fatal("static ranking must prefer the view plan over a 100k-wide fetch")
+	}
+}
+
+// Join fan-out: the hash-join estimate must scale the cross product down
+// by the join-column distinct counts, and a selective equality must shrink
+// the estimate further.
+func TestEstimateJoinFanOut(t *testing.T) {
+	join := &Select{
+		Child: &Product{
+			L: &View{Name: "V1", Cols: []string{"a", "b"}},
+			R: &View{Name: "V2", Cols: []string{"c", "d"}},
+		},
+		Cond: []CondItem{{L: "b", R: "c"}},
+	}
+	st := &Stats{
+		ViewRows:     map[string]int{"V1": 1000, "V2": 1000},
+		ViewDistinct: map[string][]int{"V1": {1000, 100}, "V2": {500, 1000}},
+	}
+	c := Estimate(join, st)
+	// 1000*1000 / max(100, 500) = 2000 joined rows.
+	if c.Rows < 1500 || c.Rows > 2500 {
+		t.Fatalf("join fan-out estimate off: %v rows", c.Rows)
+	}
+	// The hash-join estimate must be far below the materialized product.
+	bare := Estimate(&Product{
+		L: &View{Name: "V1", Cols: []string{"a", "b"}},
+		R: &View{Name: "V2", Cols: []string{"c", "d"}},
+	}, st)
+	if c.Work >= bare.Work {
+		t.Fatalf("hash join work (%v) must undercut the cross product (%v)", c.Work, bare.Work)
+	}
+}

@@ -1,0 +1,62 @@
+package vbrp
+
+import (
+	"repro/internal/boundedness"
+	"repro/internal/cq"
+	"repro/internal/plan"
+)
+
+// Candidate is one bounded rewriting found by the full enumeration: a
+// conforming plan of size ≤ M that is A-equivalent to the query, together
+// with the structural bound on the tuples any run of it fetches from D.
+// Different candidates answer the same query but can differ by orders of
+// magnitude in realized fetch volume and join order — which one to serve
+// is the cost model's decision (plan.Best), not the search's.
+type Candidate struct {
+	Plan       plan.Node
+	FetchBound int64
+}
+
+// Candidates solves VBRP(L) like Decide but collects ALL witnessing plans
+// (up to Problem.MaxCandidates) instead of stopping at the first, so a
+// cost model can pick the cheapest. The enumeration order is by plan size,
+// so the collected frontier always contains the smallest witnesses.
+//
+// Errors mirror Decide: ErrSearchTruncated reports that the shape cap was
+// hit — the returned candidates (possibly none) are then an incomplete
+// frontier, but each one is still a correct rewriting. Hitting the
+// candidate cap is not an error: the search proved "yes" many times over.
+func Candidates(q *cq.UCQ, p *Problem) ([]Candidate, error) {
+	if p.Lang == plan.LangFO {
+		return nil, ErrFOUndecidable
+	}
+	p.normalize()
+	if boundedness.AEmptyUCQ(q, p.S, p.A) {
+		if p.M >= 2 {
+			return []Candidate{{Plan: emptyPlan()}}, nil
+		}
+		return nil, nil
+	}
+	shapes, err := p.Enumerate()
+	if err != nil && err != ErrSearchTruncated {
+		return nil, err
+	}
+	truncated := err != nil
+	fdOnly := p.A.AllFDs()
+	checked := 0
+	var out []Candidate
+	for _, s := range shapes {
+		n, bound, ok := p.equivalentShape(q, s, fdOnly, &checked)
+		if !ok {
+			continue
+		}
+		out = append(out, Candidate{Plan: n, FetchBound: bound})
+		if len(out) >= p.maxCandidates() {
+			return out, nil
+		}
+	}
+	if truncated {
+		return out, ErrSearchTruncated
+	}
+	return out, nil
+}

@@ -27,7 +27,7 @@ type Decision struct {
 // plans is undecidable, Theorem 3.1(2); see DecideFOApprox).
 func Decide(q *cq.UCQ, p *Problem) (Decision, error) {
 	if p.Lang == plan.LangFO {
-		return Decision{}, fmt.Errorf("vbrp: exact decision for FO plans is undecidable; use DecideFOApprox")
+		return Decision{}, ErrFOUndecidable
 	}
 	p.normalize()
 	// Fast path: Q ≡_A ∅ is answered by the (2-node) empty plan; the
@@ -46,38 +46,47 @@ func Decide(q *cq.UCQ, p *Problem) (Decision, error) {
 	dec := Decision{Exact: exact}
 	fdOnly := p.A.AllFDs()
 	for _, s := range shapes {
-		n, err := p.Materialize(s)
-		if err != nil {
-			continue
-		}
-		if !plan.InLanguage(n, p.Lang) {
-			continue
-		}
-		dec.Checked++
-		rep := plan.Conforms(n, p.S, p.A, p.Views)
-		if !rep.Conforms {
-			continue
-		}
-		u := plan.NewUnfolder(p.S, p.Views)
-		qxi, err := u.UCQ(n)
-		if err != nil {
-			continue
-		}
-		equiv := false
-		if fdOnly && len(qxi.Disjuncts) == 1 && len(q.Disjuncts) == 1 {
-			// Corollary 4.4 / Proposition 4.5 fast path: chase-based
-			// A-equivalence under FD-shaped constraints.
-			equiv = chase.AEquivalentFD(q.Disjuncts[0], qxi.Disjuncts[0], p.S, p.A)
-		} else {
-			equiv = boundedness.AEquivalentUCQ(q, qxi, p.S, p.A)
-		}
-		if equiv {
+		n, _, ok := p.equivalentShape(q, s, fdOnly, &dec.Checked)
+		if ok {
 			dec.Has = true
 			dec.Plan = n
 			return dec, nil
 		}
 	}
 	return dec, nil
+}
+
+// equivalentShape materializes one candidate shape and runs the
+// conformance (PNP) and A-equivalence (Πp2) steps against Q, returning the
+// plan and its structural fetch bound when both hold. checked counts the
+// shapes that reached the conformance test.
+func (p *Problem) equivalentShape(q *cq.UCQ, s *shape, fdOnly bool, checked *int) (plan.Node, int64, bool) {
+	n, err := p.Materialize(s)
+	if err != nil {
+		return nil, 0, false
+	}
+	if !plan.InLanguage(n, p.Lang) {
+		return nil, 0, false
+	}
+	*checked++
+	rep := plan.Conforms(n, p.S, p.A, p.Views)
+	if !rep.Conforms {
+		return nil, 0, false
+	}
+	u := plan.NewUnfolder(p.S, p.Views)
+	qxi, err := u.UCQ(n)
+	if err != nil {
+		return nil, 0, false
+	}
+	equiv := false
+	if fdOnly && len(qxi.Disjuncts) == 1 && len(q.Disjuncts) == 1 {
+		// Corollary 4.4 / Proposition 4.5 fast path: chase-based
+		// A-equivalence under FD-shaped constraints.
+		equiv = chase.AEquivalentFD(q.Disjuncts[0], qxi.Disjuncts[0], p.S, p.A)
+	} else {
+		equiv = boundedness.AEquivalentUCQ(q, qxi, p.S, p.A)
+	}
+	return n, rep.FetchBound, equiv
 }
 
 // DecideBoolean decides VBRP for a Boolean query expressed as a UCQ with
@@ -90,6 +99,10 @@ func DecideBoolean(q *cq.UCQ, p *Problem) (Decision, error) {
 	}
 	return Decide(q, p)
 }
+
+// ErrFOUndecidable reports a request for the exact decision over FO
+// plans, which Theorem 3.1(2) rules out; use DecideFOApprox.
+var ErrFOUndecidable = fmt.Errorf("vbrp: exact decision for FO plans is undecidable; use DecideFOApprox")
 
 // emptyPlan is a canonical always-empty plan: σ contradictory over a
 // constant.

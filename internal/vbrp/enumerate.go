@@ -44,6 +44,7 @@ type Problem struct {
 	MaxArity       int // maximum node arity considered (default 4)
 	MaxSelectConds int // maximum comparisons per σ node (default 4)
 	MaxShapes      int // cap on generated shapes; exceeded => ErrSearchTruncated
+	MaxCandidates  int // cap on candidates Candidates collects (default 64)
 }
 
 // ErrSearchTruncated reports that the shape cap was hit: a "no" answer is
@@ -140,6 +141,13 @@ func (p *Problem) maxShapes() int {
 		return p.MaxShapes
 	}
 	return 400_000
+}
+
+func (p *Problem) maxCandidates() int {
+	if p.MaxCandidates > 0 {
+		return p.MaxCandidates
+	}
+	return 64
 }
 
 // viewArity resolves a view's head arity.

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+// PlanPick is a fixture built so the full VBRP enumeration yields several
+// A-equivalent bounded plans whose realized fetch volumes differ by orders
+// of magnitude — the plan-selection experiment. One relation R(A,B), a
+// whole-view V(a,b) = R(a,b), and two ways to reach the data:
+//
+//   - Sel: R(A -> B, NSel) — the selective index path; fetching the "k"
+//     group reads at most NSel tuples;
+//   - All: R(∅ -> (A,B), NAll) — the "small table" constraint; an
+//     input-free fetch reads the whole relation.
+//
+// The query Q(b) :- R("k", b) then has (at least) three candidates at
+// M = 3: σ_{a="k"}(V) (zero fetches), a fetch through Sel (≤ NSel), and
+// σ_{a="k"} over an input-free fetch through All (the whole table). All
+// answer Q; only the cost model tells them apart.
+type PlanPick struct {
+	Schema *schema.Schema
+	Access *access.Schema
+	Q      *cq.CQ
+	M      int
+
+	Sel *access.Constraint
+	All *access.Constraint
+}
+
+// NewPlanPick builds the fixture. nsel bounds the per-A-value fan-out,
+// nall bounds the whole table (every generated instance stays within
+// both).
+func NewPlanPick(nsel, nall int) *PlanPick {
+	s := schema.New(schema.NewRelation("R", "A", "B"))
+	sel := access.NewConstraint("R", []string{"A"}, []string{"B"}, nsel)
+	all := access.NewConstraint("R", nil, []string{"A", "B"}, nall)
+	q := cq.NewCQ([]cq.Term{cq.Var("b")}, []cq.Atom{
+		cq.NewAtom("R", cq.Cst("k"), cq.Var("b")),
+	})
+	q.Name = "Q"
+	return &PlanPick{
+		Schema: s,
+		Access: access.NewSchema(sel, all),
+		Q:      q, M: 3,
+		Sel: sel, All: all,
+	}
+}
+
+// Views returns the single whole-table view V(a,b) = R(a,b).
+func (p *PlanPick) Views() map[string]*cq.UCQ {
+	v := cq.NewCQ([]cq.Term{cq.Var("a"), cq.Var("b")}, []cq.Atom{
+		cq.NewAtom("R", cq.Var("a"), cq.Var("b")),
+	})
+	v.Name = "V"
+	return map[string]*cq.UCQ{"V": cq.NewUCQ(v)}
+}
+
+// Generate builds an instance satisfying the access schema: `rows` tuples
+// total (capped at NAll), kGroup of them (capped at NSel) in the "k"
+// group so Q has answers, the rest spread over distinct A-values with
+// per-group fan-out within NSel.
+func (p *PlanPick) Generate(rows, kGroup int, seed int64) *instance.Database {
+	rng := rand.New(rand.NewSource(seed))
+	if rows > p.All.N {
+		rows = p.All.N
+	}
+	if kGroup > p.Sel.N {
+		kGroup = p.Sel.N
+	}
+	if kGroup > rows {
+		kGroup = rows
+	}
+	db := instance.NewDatabase(p.Schema)
+	for i := 0; i < kGroup; i++ {
+		db.MustInsert("R", "k", fmt.Sprintf("kb%d", i))
+	}
+	perGroup := p.Sel.N
+	if perGroup > 4 {
+		perGroup = 4 // many groups: makes the A-column distinct count high
+	}
+	for i := kGroup; i < rows; i++ {
+		g := (i - kGroup) / perGroup
+		db.MustInsert("R", fmt.Sprintf("a%d", g), fmt.Sprintf("b%d", rng.Intn(rows)))
+	}
+	return db
+}

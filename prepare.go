@@ -1,0 +1,186 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/vbrp"
+)
+
+// ErrNoBoundedRewriting is returned by Prepare when the query has no
+// M-bounded rewriting in the requested language (the exhaustive search
+// completed and found nothing).
+var ErrNoBoundedRewriting = fmt.Errorf("repro: query has no M-bounded rewriting")
+
+// prepCacheMax bounds the prepared-query cache (positive and negative
+// entries alike); see Prepare's eviction note.
+const prepCacheMax = 65536
+
+// prepEntry is one slot of the prepared-query cache. The once gates the
+// exponential VBRP search: the first Prepare for a canonical key runs it,
+// every later (or concurrent) Prepare for an equivalent query waits on the
+// same entry and shares the result.
+type prepEntry struct {
+	once sync.Once
+	pq   *PreparedQuery
+	err  error
+}
+
+// PreparedQuery is a compiled query handle: the full frontier of bounded
+// candidate plans found by the VBRP search, plus the cost-model selection
+// state. The search runs once per canonical query (Prepare's cache);
+// selection is revisited whenever the Live handle it serves publishes new
+// statistics — re-selection is a cheap arithmetic pass over the cached
+// candidates, never a new search.
+//
+// Handles are safe for concurrent use; one handle may serve many Execute
+// calls in parallel while deltas churn the Live state.
+type PreparedQuery struct {
+	sys   *System
+	key   string
+	lang  Language
+	cands []vbrp.Candidate
+
+	staticSel  int       // min-cost candidate under static (nil) statistics
+	staticCost plan.Cost // its static cost estimate
+
+	mu   sync.Mutex
+	sels map[uint64]selState // Live handle id -> selection (bounded, see planFor)
+}
+
+// selState is one Live handle's cached plan selection: revisited only
+// when that handle's statistics version moves.
+type selState struct {
+	sel  int
+	cost plan.Cost
+	ver  uint64
+}
+
+// maxLiveSelections bounds the per-handle selection cache; an arbitrary
+// entry is dropped beyond it (re-selection is cheap arithmetic).
+const maxLiveSelections = 8
+
+// Prepare compiles a UCQ for repeated serving: it canonicalizes the query
+// into a cache key (invariant under variable renaming and atom/disjunct
+// reordering), runs the full VBRP candidate enumeration once per key, and
+// returns a handle that serves the min-cost candidate. Repeated Prepare
+// calls with equivalent queries — including renamed ones — hit the cache
+// and never pay a second search; negative answers are cached too.
+//
+// The plan language defaults matter: pass LangUCQ for UCQ queries. The
+// system's M is the size bound.
+func (sys *System) Prepare(q *UCQ, lang Language) (*PreparedQuery, error) {
+	key := lang.String() + "|" + plan.QueryKey(q)
+	sys.prepQMu.Lock()
+	if sys.prepQ == nil {
+		sys.prepQ = make(map[string]*prepEntry)
+	}
+	e, hit := sys.prepQ[key]
+	if !hit {
+		// Bound the cache: beyond prepCacheMax distinct canonical queries
+		// an arbitrary entry is dropped (in-flight holders keep their
+		// shared prepEntry; a later Prepare for the evicted key just
+		// re-searches). Keeps a long-running server's memory flat under
+		// adversarial or naturally diverse query text.
+		if len(sys.prepQ) >= prepCacheMax {
+			for k := range sys.prepQ {
+				delete(sys.prepQ, k)
+				break
+			}
+		}
+		e = &prepEntry{}
+		sys.prepQ[key] = e
+	}
+	sys.prepQMu.Unlock()
+	if hit {
+		sys.prepHits.Add(1)
+	}
+	e.once.Do(func() {
+		sys.prepSearches.Add(1)
+		cands, err := sys.searchCandidates(q, lang)
+		if err != nil && err != vbrp.ErrSearchTruncated {
+			e.err = err
+			return
+		}
+		if len(cands) == 0 {
+			if err == vbrp.ErrSearchTruncated {
+				e.err = err // the "no" is unreliable: report the truncation
+				return
+			}
+			e.err = ErrNoBoundedRewriting
+			return
+		}
+		pq := &PreparedQuery{sys: sys, key: key, lang: lang, cands: cands, sels: make(map[uint64]selState)}
+		// Static selection so Plan() is meaningful before any Live exists.
+		pq.staticSel, pq.staticCost = bestCandidate(cands, nil)
+		e.pq = pq
+	})
+	return e.pq, e.err
+}
+
+// PrepareCacheStats reports the prepared-query cache counters: the number
+// of VBRP searches actually run and the number of Prepare calls served
+// from the cache.
+func (sys *System) PrepareCacheStats() (searches, hits int64) {
+	return sys.prepSearches.Load(), sys.prepHits.Load()
+}
+
+func bestCandidate(cands []vbrp.Candidate, st *plan.Stats) (int, plan.Cost) {
+	plans := make([]plan.Node, len(cands))
+	for i, c := range cands {
+		plans[i] = c.Plan
+	}
+	return plan.Best(plans, st)
+}
+
+// Key returns the canonical cache key the query was prepared under.
+func (pq *PreparedQuery) Key() string { return pq.key }
+
+// Candidates returns the enumerated candidate plans (the budgeted
+// frontier), in search order. The slice is shared; treat it as read-only.
+func (pq *PreparedQuery) Candidates() []Plan {
+	out := make([]Plan, len(pq.cands))
+	for i, c := range pq.cands {
+		out[i] = c.Plan
+	}
+	return out
+}
+
+// Plan returns the statically selected plan and its estimated cost (the
+// min-cost candidate under default statistics — what HasBoundedRewriting
+// would return). Per-Live selections live with the handles (see Execute).
+func (pq *PreparedQuery) Plan() (Plan, plan.Cost) {
+	return pq.cands[pq.staticSel].Plan, pq.staticCost
+}
+
+// planFor returns the plan to serve l with. Each Live handle keeps its
+// own cached selection (so alternating Executes against several handles
+// do not thrash), re-ranked only when that handle's statistics version
+// moved — churn past the drift threshold rebuilt them.
+func (pq *PreparedQuery) planFor(l *Live) Plan {
+	st, ver := l.Stats()
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	s, ok := pq.sels[l.id]
+	if !ok || s.ver != ver {
+		if !ok && len(pq.sels) >= maxLiveSelections {
+			for id := range pq.sels {
+				delete(pq.sels, id)
+				break
+			}
+		}
+		s.sel, s.cost = bestCandidate(pq.cands, st)
+		s.ver = ver
+		pq.sels[l.id] = s
+	}
+	return pq.cands[s.sel].Plan
+}
+
+// Execute serves the query against the live state: the min-cost candidate
+// under l's current statistics runs over the always-fresh views and
+// indices. Returns the answer rows and the tuples this call fetched from
+// the underlying database.
+func (pq *PreparedQuery) Execute(l *Live) ([][]string, int, error) {
+	return l.Execute(pq.planFor(l))
+}

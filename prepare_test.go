@@ -1,0 +1,353 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/workload"
+)
+
+func planPickSystem(t *testing.T) (*System, *workload.PlanPick) {
+	t.Helper()
+	pp := workload.NewPlanPick(5, 100_000)
+	sys, err := NewSystem(pp.Schema, pp.Access, pp.Views(), pp.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, pp
+}
+
+// renamedPlanPickQuery is Q(b) :- R("k", b) under fresh variable names.
+func renamedPlanPickQuery(i int) *UCQ {
+	q := NewCQ([]Term{Var(fmt.Sprintf("out%d", i))}, []Atom{
+		NewAtom("R", Cst("k"), Var(fmt.Sprintf("out%d", i))),
+	})
+	return NewUCQ(q)
+}
+
+// TestPrepareSelectsCheapPlanAndCaches: the handle must serve a plan whose
+// realized fetch volume is far below the worst candidate's, and a
+// renamed-but-equivalent query must be answered from the cache with no
+// second VBRP search. Negative answers are cached too.
+func TestPrepareSelectsCheapPlanAndCaches(t *testing.T) {
+	sys, pp := planPickSystem(t)
+	db := pp.Generate(4000, 4, 11)
+	l, err := sys.OpenLive(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := sys.Prepare(NewUCQ(pp.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pq.Candidates()) < 3 {
+		t.Fatalf("expected the view, selective-fetch and whole-table candidates, got %d", len(pq.Candidates()))
+	}
+	direct, err := sys.EvalDirect(NewUCQ(pp.Q), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, fetched, err := pq.Execute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cq.RowsEqual(rows, direct) {
+		t.Fatalf("prepared answers diverge: %v vs %v", rows, direct)
+	}
+	worst := -1
+	for _, c := range pq.Candidates() {
+		_, f, err := l.Execute(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f > worst {
+			worst = f
+		}
+	}
+	if worst < 2*(fetched+1) {
+		t.Fatalf("cost selection bought nothing: chosen fetches %d, worst %d", fetched, worst)
+	}
+
+	// Renamed query: cache hit, no second search.
+	searches0, _ := sys.PrepareCacheStats()
+	pq2, err := sys.Prepare(renamedPlanPickQuery(1), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	searches1, hits := sys.PrepareCacheStats()
+	if searches1 != searches0 || hits == 0 {
+		t.Fatalf("renamed query must hit the cache: searches %d -> %d, hits %d", searches0, searches1, hits)
+	}
+	if pq2 != pq {
+		t.Fatal("equivalent queries must share one handle")
+	}
+
+	// A query with no 3-bounded rewriting: the error is cached as well.
+	noRw := NewUCQ(NewCQ([]Term{Var("a")}, []Atom{
+		NewAtom("R", Var("a"), Var("b")),
+		NewAtom("R", Var("b"), Var("c")),
+	}))
+	if _, err := sys.Prepare(noRw, LangCQ); err != ErrNoBoundedRewriting {
+		t.Fatalf("want ErrNoBoundedRewriting, got %v", err)
+	}
+	s2, _ := sys.PrepareCacheStats()
+	if _, err := sys.Prepare(noRw, LangCQ); err != ErrNoBoundedRewriting {
+		t.Fatalf("negative answer must be cached: %v", err)
+	}
+	if s3, _ := sys.PrepareCacheStats(); s3 != s2 {
+		t.Fatal("negative Prepare re-ran the search")
+	}
+}
+
+// TestPreparedReselectsUnderChurnDrift: the selection must flip when the
+// statistics drift. On a small instance the zero-fetch view scan wins;
+// after churn grows the view extent past the fetch-weighted break-even,
+// the refreshed statistics must swing the selection to the selective
+// index fetch (observable as fetched > 0), without any new VBRP search.
+func TestPreparedReselectsUnderChurnDrift(t *testing.T) {
+	sys, pp := planPickSystem(t)
+	db := pp.Generate(400, 4, 5)
+	l, err := sys.OpenLive(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := sys.Prepare(NewUCQ(pp.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fetched0, err := pq.Execute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fetched0 != 0 {
+		t.Fatalf("small instance must be served from the view (0 fetches), got %d", fetched0)
+	}
+	searches0, _ := sys.PrepareCacheStats()
+
+	// Grow the instance well past the break-even (~fetchWeight rows) in
+	// batches; the drift threshold rebuilds statistics along the way.
+	refreshed := false
+	next := 0
+	for l.Size() < 12_000 {
+		var ins []Op
+		for i := 0; i < 500; i++ {
+			ins = append(ins, Op{Rel: "R", Row: Tuple{fmt.Sprintf("g%d", next), fmt.Sprintf("v%d", next)}})
+			next++
+		}
+		st, err := l.ApplyDelta(ins, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refreshed = refreshed || st.StatsRefreshed
+	}
+	if !refreshed {
+		t.Fatal("churn past the drift threshold must refresh statistics")
+	}
+	direct, err := sys.EvalDirect(NewUCQ(pp.Q), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, fetched1, err := pq.Execute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cq.RowsEqual(rows, direct) {
+		t.Fatal("re-selected plan diverges from direct evaluation")
+	}
+	if fetched1 == 0 {
+		t.Fatal("grown instance must swing the selection to the index fetch")
+	}
+	if s1, _ := sys.PrepareCacheStats(); s1 != searches0 {
+		t.Fatal("re-selection must not re-run the VBRP search")
+	}
+}
+
+// TestPreparedConcurrentChurnMatchesLockedRecompute is the -race stress
+// for the serving layer: parallel Prepare, PreparedQuery.Execute and
+// ApplyDelta on one Live handle, with a checkpointing gate that freezes
+// the writer and asserts the served answers equal a full locked
+// recomputation at that instant.
+func TestPreparedConcurrentChurnMatchesLockedRecompute(t *testing.T) {
+	sys, pp := planPickSystem(t)
+	db := pp.Generate(600, 4, 23)
+	l, err := sys.OpenLive(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := sys.Prepare(NewUCQ(pp.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gate sync.RWMutex // writer holds R during batches; checker holds W
+	stop := make(chan struct{})
+	errCh := make(chan error, 16)
+	var wg sync.WaitGroup
+
+	// Writer: churn that respects the access schema — fresh singleton
+	// groups plus toggling one existing "k"-row.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			gate.RLock()
+			ins := []Op{{Rel: "R", Row: Tuple{fmt.Sprintf("w%d", n), fmt.Sprintf("x%d", n)}}}
+			var del []Op
+			if n%3 == 0 {
+				del = append(del, Op{Rel: "R", Row: Tuple{"k", "kb3"}})
+			} else if n%3 == 1 {
+				ins = append(ins, Op{Rel: "R", Row: Tuple{"k", "kb3"}})
+			}
+			_, err := l.ApplyDelta(ins, del)
+			gate.RUnlock()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			n++
+		}
+	}()
+
+	// Readers: concurrent Prepare (cache hits) + Execute. ready guarantees
+	// every reader completes at least one round before the test winds down.
+	var ready sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			readied := false
+			markReady := func() {
+				if !readied {
+					readied = true
+					ready.Done()
+				}
+			}
+			defer markReady()
+			for i := 0; ; i++ {
+				if i > 0 {
+					markReady()
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := sys.Prepare(renamedPlanPickQuery(r*7+i%5), LangCQ)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				rows, _, err := h.Execute(l)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for _, row := range rows {
+					if len(row) != 1 {
+						errCh <- fmt.Errorf("torn row %v", row)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Checker: freeze the writer, compare against full recomputation.
+	for c := 0; c < 20; c++ {
+		gate.Lock()
+		direct, err := sys.EvalDirect(NewUCQ(pp.Q), db)
+		if err != nil {
+			gate.Unlock()
+			t.Fatal(err)
+		}
+		rows, _, err := pq.Execute(l)
+		if err != nil {
+			gate.Unlock()
+			t.Fatal(err)
+		}
+		if !cq.RowsEqual(rows, direct) {
+			gate.Unlock()
+			t.Fatalf("checkpoint %d: served answers diverge from locked recomputation:\n%v\n%v", c, rows, direct)
+		}
+		gate.Unlock()
+	}
+	ready.Wait()
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if searches, hits := sys.PrepareCacheStats(); searches != 1 || hits == 0 {
+		t.Fatalf("all concurrent Prepares were renamings of one query: want 1 search, got %d (hits %d)", searches, hits)
+	}
+}
+
+// TestNoAliasingOfViewsAndPreparedResults is the regression test that
+// Live.Views snapshots and PreparedQuery results never alias internal
+// view/index storage: corrupting everything a caller can reach must not
+// change what is served next.
+func TestNoAliasingOfViewsAndPreparedResults(t *testing.T) {
+	sys, pp := planPickSystem(t)
+	db := pp.Generate(300, 3, 9)
+	l, err := sys.OpenLive(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := sys.Prepare(NewUCQ(pp.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := pq.Execute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the views snapshot in place.
+	snap := l.Views()
+	for name, rows := range snap {
+		for _, row := range rows {
+			for i := range row {
+				row[i] = "CORRUPTED"
+			}
+		}
+		snap[name] = append(rows, []string{"bogus", "bogus"})
+	}
+	// Corrupt the prepared result rows.
+	got1, _, err := pq.Execute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range got1 {
+		for i := range row {
+			row[i] = "CORRUPTED"
+		}
+	}
+	// Fresh reads must be unaffected by either mutation.
+	fresh := l.Views()
+	mats, err := sys.Materialize(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wantRows := range mats {
+		if !cq.RowsEqual(fresh[name], wantRows) {
+			t.Fatalf("view %s served corrupted rows after caller mutation", name)
+		}
+	}
+	got2, _, err := pq.Execute(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cq.RowsEqual(got2, want) {
+		t.Fatalf("prepared results alias internal storage: %v vs %v", got2, want)
+	}
+}
