@@ -25,6 +25,7 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/access"
 	"repro/internal/boundedness"
@@ -339,6 +340,12 @@ type DeltaStats struct {
 	Deleted        int  // tuples physically removed (absent deletes are no-ops)
 	ViewsChanged   int  // views whose extents were patched
 	StatsRefreshed bool // churn drift passed the threshold: statistics rebuilt
+
+	// MaxExclusive is the longest contiguous exclusive-lock window the
+	// batch imposed on readers: the whole maintenance for this handle's
+	// single write lock, one shard's slice of it for LiveSharded — the
+	// stall bound the sharded scaling experiment tracks.
+	MaxExclusive time.Duration
 }
 
 // Statistics drift policy: rebuild when the physical ops since the last
@@ -407,8 +414,10 @@ func (l *Live) rebuildStatsLocked() {
 }
 
 // Stats returns the current cost-model statistics and their version. The
-// returned Stats is immutable once published (rebuilds install a fresh
-// one), so callers may estimate against it without holding the lock.
+// returned Stats is SHARED, not copied: it is immutable once published
+// (rebuilds install a fresh value rather than patching in place), so
+// callers may estimate against it without holding the lock but must treat
+// it as read-only — mutating its maps corrupts every other holder.
 func (l *Live) Stats() (*plan.Stats, uint64) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
@@ -423,6 +432,7 @@ func (l *Live) Stats() (*plan.Stats, uint64) {
 func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	t0 := time.Now()
 	a, err := l.db.ApplyDelta(inserts, deletes)
 	if err != nil {
 		return DeltaStats{}, err
@@ -443,6 +453,7 @@ func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 		l.rebuildStatsLocked()
 		st.StatsRefreshed = true
 	}
+	st.MaxExclusive = time.Since(t0)
 	return st, nil
 }
 
@@ -459,7 +470,11 @@ func (l *Live) Execute(p Plan) ([][]string, int, error) {
 	return rows, l.ix.FetchedTuples() - before, nil
 }
 
-// Views returns a decoded snapshot of the current view extents.
+// Views returns a decoded snapshot of the current view extents. The
+// returned map and rows are fresh COPIES owned by the caller: mutating
+// them never affects the handle, and later deltas never mutate a snapshot
+// already handed out (the aliasing regression tests pin this for both
+// this handle and LiveSharded).
 func (l *Live) Views() map[string][][]string {
 	l.mu.RLock()
 	defer l.mu.RUnlock()

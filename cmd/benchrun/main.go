@@ -12,6 +12,7 @@
 //	benchrun -exp ex63  Example 6.3: FO vs UCQ separation
 //	benchrun -exp churn live updates: incremental maintenance vs full refresh
 //	benchrun -exp planpick cost-based selection over the full candidate frontier
+//	benchrun -exp shard sharded scatter-gather: partitioned maintenance + serving scaling
 //	benchrun -exp all   everything (default)
 //
 // With -json FILE, per-experiment wall-clock timings and the individual
@@ -26,6 +27,9 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	repro "repro"
@@ -52,19 +56,25 @@ type expTiming struct {
 
 // measurement is one plan-vs-scan data point inside an experiment.
 type measurement struct {
-	Experiment string  `json:"experiment"`
-	Name       string  `json:"name"`
-	DBSize     int     `json:"db_size,omitempty"`
-	PlanNS     int64   `json:"plan_ns,omitempty"`
-	ScanNS     int64   `json:"scan_ns,omitempty"`
-	Fetched    int     `json:"fetched_tuples,omitempty"`
-	Rows       int     `json:"rows,omitempty"`
-	BatchOps   int     `json:"batch_ops,omitempty"`   // churn: ops per applied batch
-	MaintainNS int64   `json:"maintain_ns,omitempty"` // churn: incremental maintenance per batch
-	RefreshNS  int64   `json:"refresh_ns,omitempty"`  // churn: full refresh (materialize+indexes+prepare)
-	Speedup    float64 `json:"speedup,omitempty"`     // churn: refresh_ns / maintain_ns; planpick: worst/chosen gap
-	Candidates int     `json:"candidates,omitempty"`  // planpick: enumerated candidate plans
-	CacheHit   bool    `json:"cache_hit,omitempty"`   // planpick: renamed re-Prepare hit the cache
+	Experiment     string  `json:"experiment"`
+	Name           string  `json:"name"`
+	DBSize         int     `json:"db_size,omitempty"`
+	PlanNS         int64   `json:"plan_ns,omitempty"`
+	ScanNS         int64   `json:"scan_ns,omitempty"`
+	Fetched        int     `json:"fetched_tuples,omitempty"`
+	Rows           int     `json:"rows,omitempty"`
+	BatchOps       int     `json:"batch_ops,omitempty"`        // churn: ops per applied batch
+	MaintainNS     int64   `json:"maintain_ns,omitempty"`      // churn: incremental maintenance per batch
+	RefreshNS      int64   `json:"refresh_ns,omitempty"`       // churn: full refresh (materialize+indexes+prepare)
+	Speedup        float64 `json:"speedup,omitempty"`          // churn: refresh_ns / maintain_ns; planpick: worst/chosen gap; shard: throughput vs 1 shard
+	Candidates     int     `json:"candidates,omitempty"`       // planpick: enumerated candidate plans
+	CacheHit       bool    `json:"cache_hit,omitempty"`        // planpick: renamed re-Prepare hit the cache
+	Shards         int     `json:"shards,omitempty"`           // shard: partition count of this run
+	OpsPerSec      float64 `json:"ops_per_sec,omitempty"`      // shard: delta ops applied per second
+	QPS            float64 `json:"qps,omitempty"`              // shard: point queries served per second under churn
+	StallFrac      float64 `json:"stall_frac,omitempty"`       // shard: reader time spent blocked behind writer locks
+	MaxExclusiveNS int64   `json:"max_exclusive_ns,omitempty"` // shard: longest single-lock exclusive window per batch
+	ExclCut        float64 `json:"excl_window_cut,omitempty"`  // shard: exclusive-window reduction vs 1 shard
 }
 
 // report is the -json output document.
@@ -80,7 +90,7 @@ var rep report
 func record(m measurement) { rep.Measurements = append(rep.Measurements, m) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, all)")
+	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, all)")
 	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file")
 	flag.Parse()
 	rep.Experiments = []expTiming{}
@@ -104,8 +114,9 @@ func main() {
 	run("ex63", expEx63)
 	run("churn", expChurn)
 	run("planpick", expPlanPick)
+	run("shard", expShard)
 	if !matched {
-		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick or all)", *exp)
+		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard or all)", *exp)
 	}
 	if *jsonPath != "" {
 		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -663,5 +674,215 @@ func expPlanPick() {
 		hit, searches0, searches1, hits, pq2.Key())
 	if !hit {
 		log.Fatal("renamed-but-equivalent query missed the prepared-query cache")
+	}
+}
+
+// expShard measures the sharded scatter-gather subsystem on the
+// account/transaction fixture at P = 1, 2, 4, 8 shards:
+//
+//   - batched-delta throughput: churn batches routed per shard and
+//     maintained concurrently (database, fetch indices, co-partitioned
+//     view partitions — VPairs makes every txn op real join work).
+//   - point-read serving under churn: prepared per-uid queries whose
+//     bounded plans route to a single shard, executed by concurrent
+//     readers while a writer applies large batches back-to-back. Besides
+//     raw throughput, the readers account their STALL time — latency
+//     spent blocked behind the writer's exclusive locks. Partitioning
+//     shrinks the exclusive window a reader can collide with from the
+//     whole batch to one shard's slice of it, so the stall reduction is
+//     the architectural signal and shows at any GOMAXPROCS.
+//
+// The wall-clock throughput ratios are a parallel scatter: they need
+// actual cores. With GOMAXPROCS >= 4 (CI and any real deployment) the run
+// FAILS unless 8-shard delta and serving throughput are both >= 2x the
+// single-shard baseline; the stall-reduction gate applies everywhere.
+//
+// Scale independence is asserted throughout: per-query fetch volume is
+// bounded by NTxn and identical at every shard count.
+func expShard() {
+	header("EXP-SHARD — sharded scatter-gather: partitioned maintenance and point-read serving")
+	const (
+		users      = 25_000
+		txnsPer    = 4
+		nTxn       = 8
+		batchOps   = 2_000
+		batches    = 16
+		serveMs    = 900
+		readers    = 4
+		queryPool  = 24
+		writeBatch = 16_000
+	)
+	w := workload.NewSharded(nTxn)
+	sys, err := repro.NewSystem(w.Schema, w.Access, w.Views(), w.M)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One prepared handle per pooled uid; the VBRP search runs once per
+	// uid and is shared by every shard count (planpick-style traffic).
+	pqs := make([]*repro.PreparedQuery, queryPool)
+	for i := range pqs {
+		pq, err := sys.Prepare(cq.NewUCQ(w.Query(w.UID(i*97))), plan.LangCQ)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pqs[i] = pq
+	}
+
+	fmt.Printf("|D| = %d tuples, delta batches of %d ops, %d readers vs %d-op writer batches, GOMAXPROCS=%d\n\n",
+		users*(1+txnsPer), batchOps, readers, writeBatch, runtime.GOMAXPROCS(0))
+	fmt.Println("| shards | delta ops/s | vs 1 shard | excl. window (med) | stall-bound cut | serve q/s | vs 1 shard | reader stall | fetched/query |")
+	fmt.Println("|---|---|---|---|---|---|---|---|---|")
+
+	var deltaBase, serveBase float64
+	var exclBase time.Duration
+	var deltaRatio, serveRatio, exclRatio float64
+	for _, p := range []int{1, 2, 4, 8} {
+		db := w.Generate(users, txnsPer, 7)
+		mirror := db.Clone()
+		sl, err := sys.OpenLiveSharded(db, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch := w.NewChurn(mirror, 11)
+
+		// Correctness preflight: served answers equal recomputation and
+		// the fetch volume is bounded and shard-count-independent.
+		fetchedPerQuery := 0
+		for i, pq := range pqs {
+			rows, fetched, err := pq.ExecuteSharded(sl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if fetched > nTxn {
+				log.Fatalf("P=%d: fetched %d > NTxn=%d — bounded plan lost its bound", p, fetched, nTxn)
+			}
+			fetchedPerQuery += fetched
+			if i%6 == 0 {
+				direct, err := sys.EvalDirect(cq.NewUCQ(w.Query(w.UID(i*97))), mirror)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !cq.RowsEqual(rows, direct) {
+					log.Fatalf("P=%d: sharded answers diverge from recomputation", p)
+				}
+			}
+		}
+
+		// Phase A: batched-delta throughput (warm-up batch pays the lazy
+		// one-time builds, mirroring the churn experiment).
+		ins, del := ch.Batch(batchOps)
+		if _, err := sl.ApplyDelta(ins, del); err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		applied := 0
+		excls := make([]time.Duration, 0, batches)
+		t0 := time.Now()
+		for b := 0; b < batches; b++ {
+			ins, del := ch.Batch(batchOps)
+			st, err := sl.ApplyDelta(ins, del)
+			if err != nil {
+				log.Fatal(err)
+			}
+			excls = append(excls, st.MaxExclusive)
+			applied += len(ins) + len(del)
+		}
+		opsPerSec := float64(applied) / time.Since(t0).Seconds()
+		// Median across batches: the typical stall bound, robust against a
+		// GC pause landing inside one shard's section.
+		sort.Slice(excls, func(i, j int) bool { return excls[i] < excls[j] })
+		excl := excls[len(excls)/2]
+
+		// Phase B: point-read serving while a writer churns back-to-back.
+		runtime.GC()
+		var served atomic.Int64
+		stall0 := sl.LockStall()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, _, err := pqs[(r*5+i)%len(pqs)].ExecuteSharded(sl); err != nil {
+						log.Fatal(err)
+					}
+					served.Add(1)
+				}
+			}(r)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ins, del := ch.Batch(writeBatch)
+				if _, err := sl.ApplyDelta(ins, del); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+		t0 = time.Now()
+		time.Sleep(serveMs * time.Millisecond)
+		// Wall stops when the readers do: the writer's in-flight batch
+		// drains after close(stop) and must not pad the qps denominator
+		// (it drains faster at higher shard counts, which would bias the
+		// gated 8-vs-1 ratio).
+		wall := time.Since(t0).Seconds()
+		close(stop)
+		wg.Wait()
+		qps := float64(served.Load()) / wall
+		// Stall fraction: reader-seconds spent actually blocked behind the
+		// writer's locks, per reader-second of wall time.
+		stall := (sl.LockStall() - stall0).Seconds() / (float64(readers) * wall)
+
+		if p == 1 {
+			deltaBase, serveBase, exclBase = opsPerSec, qps, excl
+		}
+		dR, sR := opsPerSec/deltaBase, qps/serveBase
+		eR := float64(exclBase) / float64(excl)
+		if p == 8 {
+			deltaRatio, serveRatio, exclRatio = dR, sR, eR
+		}
+		record(measurement{Experiment: "shard", Name: "deltas", Shards: p,
+			DBSize: users * (1 + txnsPer), BatchOps: batchOps, OpsPerSec: opsPerSec,
+			MaxExclusiveNS: int64(excl), ExclCut: eR, Speedup: dR})
+		record(measurement{Experiment: "shard", Name: "serving", Shards: p,
+			DBSize: users * (1 + txnsPer), QPS: qps, StallFrac: stall, Speedup: sR,
+			Fetched: fetchedPerQuery / len(pqs)})
+		fmt.Printf("| %d | %.0f | %.2fx | %s | %.1fx | %.0f | %.2fx | %.1f%% | %d |\n",
+			p, opsPerSec, dR, excl.Round(time.Microsecond), eR, qps, sR, 100*stall, fetchedPerQuery/len(pqs))
+	}
+
+	fmt.Println("\n(The exclusive window is the longest contiguous lock hold a batch imposes:")
+	fmt.Println("the whole maintenance at one shard, one shard's slice at eight — the stall")
+	fmt.Println("bound a concurrent point read can collide with, and the 'global writer")
+	fmt.Println("stall' partitioning removes. It shrinks ~P-fold at any GOMAXPROCS. The")
+	fmt.Println("wall-clock delta and serving ratios are a parallel scatter: they need")
+	fmt.Println("cores, and are gated when GOMAXPROCS >= 4.)")
+	if exclRatio < 2 {
+		log.Fatalf("writer exclusive window at 8 shards shrank only %.2fx vs the single-shard baseline (< 2x)", exclRatio)
+	}
+	if runtime.GOMAXPROCS(0) >= 4 {
+		if deltaRatio < 2 {
+			log.Fatalf("delta throughput at 8 shards is %.2fx the single-shard baseline (< 2x with %d procs)",
+				deltaRatio, runtime.GOMAXPROCS(0))
+		}
+		if serveRatio < 2 {
+			log.Fatalf("serving throughput at 8 shards is %.2fx the single-shard baseline (< 2x with %d procs)",
+				serveRatio, runtime.GOMAXPROCS(0))
+		}
+	} else {
+		fmt.Printf("\n(GOMAXPROCS=%d: the parallel-scatter throughput gates need >= 4 procs and were\n", runtime.GOMAXPROCS(0))
+		fmt.Println("skipped; the exclusive-window gate above ran and is the single-core signal.)")
 	}
 }

@@ -195,6 +195,10 @@ func (ix *Indexed) Apply(a *Applied) error {
 	return nil
 }
 
+// Dict returns the database dictionary rows are interned against, making
+// Indexed a plan.Source.
+func (ix *Indexed) Dict() *intern.Dict { return ix.DB.Dict }
+
 // FetchAttrs returns the attribute names (ordered) of the tuples a Fetch
 // over constraint c yields: the sorted union X ∪ Y.
 func (ix *Indexed) FetchAttrs(c *access.Constraint) []string {

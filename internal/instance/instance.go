@@ -255,7 +255,15 @@ type Database struct {
 // NewDatabase creates an empty instance of the schema with one (empty)
 // table per relation, all sharing one dictionary.
 func NewDatabase(s *schema.Schema) *Database {
-	db := &Database{Schema: s, Tables: make(map[string]*Table, len(s.Relations)), Dict: intern.NewDict()}
+	return NewDatabaseWith(s, intern.NewDict())
+}
+
+// NewDatabaseWith creates an empty instance whose tables intern through an
+// existing dictionary. Several instances sharing one dictionary see
+// identical IDs for identical values — the property the sharded engine
+// needs so rows routed to different partitions stay directly comparable.
+func NewDatabaseWith(s *schema.Schema, d *intern.Dict) *Database {
+	db := &Database{Schema: s, Tables: make(map[string]*Table, len(s.Relations)), Dict: d}
 	for _, r := range s.Relations {
 		t := NewTable(r)
 		t.dict = db.Dict

@@ -3,10 +3,24 @@ package plan
 import (
 	"fmt"
 
+	"repro/internal/access"
 	"repro/internal/instance"
 	"repro/internal/intern"
 	"repro/internal/par"
 )
+
+// Source is what plan execution reads the underlying database through: the
+// value dictionary rows are interned against, and the fetch function of the
+// access constraints. instance.Indexed is the single-machine source; the
+// sharded engine (internal/shard) implements a scatter-gather source that
+// routes each fetch to the owning partition or gathers across all of them.
+// FetchIDs must return the distinct XY-projections for the X-value and is
+// responsible for its own fetch accounting; returned rows must stay valid
+// (and unmutated) for the duration of the plan run.
+type Source interface {
+	Dict() *intern.Dict
+	FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error)
+}
 
 // Materialized maps view names to their cached extents V(D), with columns
 // ordered like the View node's Cols. Reading from cached views costs no
@@ -24,7 +38,7 @@ type Materialized map[string][][]string
 // Indexed's atomic counters keep the |Dξ| accounting exact.
 func Run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
 	d := ix.DB.Dict
-	return exec(n, &execCtx{ix: ix, d: d, views: views, cache: intern.NewRowCache(d)})
+	return exec(n, &execCtx{src: ix, d: d, views: views, cache: intern.NewRowCache(d)})
 }
 
 // PreparedViews is the ID-encoded form of a Materialized view set, bound
@@ -53,11 +67,19 @@ func PrepareViews(ix *instance.Indexed, views Materialized) *PreparedViews {
 // with no re-encoding. The rows are retained by reference; use Set to
 // patch a view after its extent changes.
 func PrepareIDViews(ix *instance.Indexed, rows map[string][][]uint32) *PreparedViews {
+	return NewPreparedViews(ix.DB.Dict, rows)
+}
+
+// NewPreparedViews wraps already-interned view extents bound to an explicit
+// dictionary — the constructor for sources that are not a single Indexed
+// (the sharded engine's gathered extents). The map is copied; the row sets
+// are retained by reference.
+func NewPreparedViews(d *intern.Dict, rows map[string][][]uint32) *PreparedViews {
 	m := make(map[string][][]uint32, len(rows))
 	for name, ext := range rows {
 		m[name] = ext
 	}
-	return &PreparedViews{d: ix.DB.Dict, rows: m}
+	return &PreparedViews{d: d, rows: m}
 }
 
 // Set replaces one view's interned extent in place — the live-update path:
@@ -72,10 +94,16 @@ func (pv *PreparedViews) Set(name string, rows [][]uint32) {
 // RunPrepared is Run over views prepared with PrepareViews against the
 // same database.
 func RunPrepared(n Node, ix *instance.Indexed, pv *PreparedViews) ([][]string, error) {
-	if pv != nil && pv.d != ix.DB.Dict {
+	return RunOn(n, ix, pv)
+}
+
+// RunOn executes the plan against an arbitrary Source with views prepared
+// over the same dictionary. A nil pv serves no views (View nodes error).
+func RunOn(n Node, src Source, pv *PreparedViews) ([][]string, error) {
+	if pv != nil && pv.d != src.Dict() {
 		return nil, fmt.Errorf("plan: prepared views belong to a different database")
 	}
-	ctx := &execCtx{ix: ix, d: ix.DB.Dict}
+	ctx := &execCtx{src: src, d: src.Dict()}
 	if pv != nil {
 		ctx.prepared = pv.rows
 	} else {
@@ -103,7 +131,7 @@ func exec(n Node, ctx *execCtx) ([][]string, error) {
 // interned lazily, once per view, under a lock so parallel subtrees can
 // share the cache.
 type execCtx struct {
-	ix       *instance.Indexed
+	src      Source
 	d        *intern.Dict
 	views    Materialized
 	cache    *intern.RowCache      // lazy interning of views (Run path)
@@ -178,7 +206,7 @@ func (ctx *execCtx) run(n Node) ([][]uint32, error) {
 		}
 		var out [][]uint32
 		for _, in := range inputs {
-			rows, err := ctx.ix.FetchIDs(x.C, in)
+			rows, err := ctx.src.FetchIDs(x.C, in)
 			if err != nil {
 				return nil, err
 			}

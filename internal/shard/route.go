@@ -1,0 +1,225 @@
+// Package shard implements horizontal partitioning of a live instance: a
+// Database is hash-partitioned into P shards, each owning its own fetch
+// indices (instance.Indexed), incremental view-maintenance engine with its
+// join indexes (eval.DeltaEngine over intern.DynIndex), materialized-view
+// partitions and cost-model statistics. Plan execution is scatter-gather —
+// a fetch whose access constraint binds the partition key routes to the
+// single owning shard, everything else gathers across shards and dedups —
+// and batched deltas are routed per shard and maintained concurrently on
+// the internal/par pool, replacing the single global writer stall of the
+// facade's Live handle with per-shard locking.
+//
+// The paper's scale-independence story composes with partitioning: a
+// bounded plan touches cached views plus a constant-size slice of D, and
+// the partitioning rule keeps every routed fetch a single-shard point
+// read, so |Dξ| does not grow with the shard count.
+package shard
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/schema"
+)
+
+// fnv64 parameters, matching intern's row hashing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashVals hashes a sequence of domain values byte-wise. Routing hashes
+// string values (not interned IDs) so rows can be placed without touching
+// the dictionary and probes can be routed from either representation.
+func hashVals(vals []string) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range vals {
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= fnvPrime64
+		}
+		h ^= 0x1f // value separator, so ("ab","c") != ("a","bc")
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// relRoute is one relation's partitioning rule: rows are placed by the
+// hash of their projection onto Attrs (sorted attribute order).
+type relRoute struct {
+	Attrs []string // partition attributes, sorted
+	Pos   []int    // their positions in the relation
+}
+
+// conRoute is the routing decision for one access constraint: when the
+// constraint's X covers the relation's partition attributes, a fetch for
+// an X-value is answered entirely by one shard and XPos gives the
+// positions of the partition attributes within the X-value (c.X order);
+// otherwise the fetch broadcasts to every shard and gathers.
+type conRoute struct {
+	XPos []int // nil => broadcast
+}
+
+// Partition is the routing metadata of one sharded instance: the number of
+// shards, the per-relation partitioning rule and the per-constraint fetch
+// route. It is immutable after construction.
+type Partition struct {
+	P    int
+	rels map[string]*relRoute
+	cons map[string]*conRoute
+}
+
+// NewPartition derives the partitioning rule from the schema and access
+// schema. Per relation the partition attributes are chosen among the
+// non-empty X-sets of its access constraints — the set covered by the most
+// constraints wins (ties: fewer attributes, then lexicographic), so as
+// many fetches as possible become single-shard point reads. A relation
+// with no usable constraint partitions by its full row; every fetch on it
+// broadcasts.
+func NewPartition(s *schema.Schema, a *access.Schema, p int) *Partition {
+	pt := &Partition{P: p, rels: make(map[string]*relRoute), cons: make(map[string]*conRoute)}
+	for _, r := range s.Relations {
+		attrs := choosePartitionAttrs(r, a.OnRelation(r.Name))
+		pos, err := r.Positions(attrs)
+		if err != nil {
+			// Attrs come from validated constraints or the relation itself;
+			// fall back to the full row on the impossible path.
+			attrs = append([]string(nil), r.Attrs...)
+			sort.Strings(attrs)
+			pos, _ = r.Positions(attrs)
+		}
+		pt.rels[r.Name] = &relRoute{Attrs: attrs, Pos: pos}
+	}
+	for _, c := range a.Constraints {
+		rr := pt.rels[c.Rel]
+		if rr == nil {
+			continue
+		}
+		route := &conRoute{}
+		if covered, xpos := subsetPositions(rr.Attrs, c.X); covered {
+			route.XPos = xpos
+		}
+		pt.cons[c.Key()] = route
+	}
+	return pt
+}
+
+// choosePartitionAttrs picks the partition attribute set for one relation.
+func choosePartitionAttrs(r *schema.Relation, cons []*access.Constraint) []string {
+	type cand struct {
+		attrs []string
+		key   string
+		score int
+	}
+	byKey := map[string]*cand{}
+	for _, c := range cons {
+		if len(c.X) == 0 {
+			continue
+		}
+		k := strings.Join(c.X, "\x1f")
+		if _, ok := byKey[k]; !ok {
+			byKey[k] = &cand{attrs: c.X, key: k}
+		}
+	}
+	if len(byKey) == 0 {
+		attrs := append([]string(nil), r.Attrs...)
+		sort.Strings(attrs)
+		return attrs
+	}
+	for _, cd := range byKey {
+		for _, c := range cons {
+			if ok, _ := subsetPositions(cd.attrs, c.X); ok {
+				cd.score++
+			}
+		}
+	}
+	var best *cand
+	for _, cd := range byKey {
+		switch {
+		case best == nil,
+			cd.score > best.score,
+			cd.score == best.score && len(cd.attrs) < len(best.attrs),
+			cd.score == best.score && len(cd.attrs) == len(best.attrs) && cd.key < best.key:
+			best = cd
+		}
+	}
+	return best.attrs
+}
+
+// subsetPositions reports whether sub ⊆ super (both sorted, deduplicated)
+// and returns the position of each sub element within super.
+func subsetPositions(sub, super []string) (bool, []int) {
+	pos := make([]int, len(sub))
+	for i, a := range sub {
+		j := sort.SearchStrings(super, a)
+		if j >= len(super) || super[j] != a {
+			return false, nil
+		}
+		pos[i] = j
+	}
+	return true, pos
+}
+
+// ShardOfRow returns the shard owning a row of the named relation.
+func (pt *Partition) ShardOfRow(rel string, row []string) int {
+	rr := pt.rels[rel]
+	vals := make([]string, len(rr.Pos))
+	for i, p := range rr.Pos {
+		vals[i] = row[p]
+	}
+	return int(hashVals(vals) % uint64(pt.P))
+}
+
+// Route returns the fetch route of a constraint (nil for unknown ones).
+func (pt *Partition) Route(c *access.Constraint) *conRoute { return pt.cons[c.Key()] }
+
+// Rel returns the partitioning rule of a relation (nil for unknown ones).
+func (pt *Partition) Rel(name string) *relRoute { return pt.rels[name] }
+
+// LocalView reports whether a UCQ view is co-partitioned: every
+// satisfiable disjunct, after normalization, binds the partition
+// attributes of all its atoms to the same term sequence, so every
+// valuation draws all of its rows from a single shard. For such views
+// V(D) = ∪_p V(D_p) (as sets) and maintenance stays entirely shard-local;
+// anything else is maintained by the global engine instead.
+func (pt *Partition) LocalView(def *cq.UCQ) bool {
+	for _, d := range def.Disjuncts {
+		n, err := d.Normalize()
+		if err != nil {
+			continue // unsatisfiable: contributes nothing on any shard
+		}
+		var sig []cq.Term
+		for i, at := range n.Atoms {
+			rr := pt.rels[at.Rel]
+			if rr == nil || len(at.Args) < len(rr.Pos) {
+				return false // unknown relation / malformed atom: play safe
+			}
+			s := make([]cq.Term, len(rr.Pos))
+			for j, p := range rr.Pos {
+				s[j] = at.Args[p]
+			}
+			if i == 0 {
+				sig = s
+				continue
+			}
+			if !termsEq(sig, s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func termsEq(a, b []cq.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Const != b[i].Const || a[i].Val != b[i].Val {
+			return false
+		}
+	}
+	return true
+}

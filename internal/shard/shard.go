@@ -1,0 +1,728 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/eval"
+	"repro/internal/instance"
+	"repro/internal/intern"
+	"repro/internal/par"
+	"repro/internal/plan"
+	"repro/internal/schema"
+)
+
+// state is one shard: a partition of the database with its own fetch
+// indices and its own incremental maintenance engine for the co-partitioned
+// (shard-local) views. The RWMutex serializes that shard's maintenance
+// against readers touching the shard — the whole point of partitioning is
+// that a writer patching shard i never stalls a reader served by shard j.
+type state struct {
+	mu  sync.RWMutex
+	db  *instance.Database
+	ix  *instance.Indexed
+	eng *eval.DeltaEngine
+}
+
+// globalEngine maintains the views that are NOT co-partitioned: their
+// joins cross shards, so they are fed every applied op and keep their own
+// join state, exactly like an unsharded Live would. It has its own lock,
+// ordered after all shard locks.
+type globalEngine struct {
+	mu  sync.RWMutex
+	eng *eval.DeltaEngine
+}
+
+// DeltaStats summarizes one applied batch (mirrors the facade's).
+// MaxShardHold is the longest contiguous exclusive-lock window any single
+// shard saw while the batch was maintained — the stall bound a concurrent
+// point read can collide with. The unsharded Live handle's equivalent is
+// the whole batch's maintenance; partitioning shrinks it ~P-fold.
+type DeltaStats struct {
+	Inserted       int
+	Deleted        int
+	ViewsChanged   int
+	StatsRefreshed bool
+	MaxShardHold   time.Duration
+}
+
+// Statistics drift policy, matching the facade's Live handle.
+const (
+	statsDriftFrac = 0.2
+	statsMinChurn  = 256
+)
+
+// Sharded is a partitioned live instance: P shards, the routing metadata,
+// the global engine for non-co-partitioned views, the gathered view
+// extents served to plan execution, and merged cost-model statistics.
+//
+// Concurrency: any number of Execute/Views/Size calls may run in parallel
+// with each other and with ApplyDelta. ApplyDelta batches serialize among
+// themselves, but inside a batch the shards are maintained concurrently,
+// each under its own write lock. A plan whose fetches all route (and that
+// reads no views) locks only the shards its probes actually hit; other
+// plans take every shard's read lock for the duration of the call. There
+// is no cross-shard snapshot: a read overlapping a delta may observe the
+// batch applied on some shards and not yet on others (each shard is
+// individually consistent). Readers that need a frozen global state must
+// not overlap ApplyDelta; see ROADMAP's snapshot-isolation item.
+type Sharded struct {
+	schema *schema.Schema
+	access *access.Schema
+	views  map[string]*cq.UCQ
+	part   *Partition
+	dict   *intern.Dict
+
+	shards []*state
+	g      *globalEngine // nil when every view is co-partitioned
+	local  map[string]bool
+
+	batchMu sync.Mutex // serializes ApplyDelta batches
+
+	// Gathered extents: per view, the concatenation of the shard extents
+	// (local views) or the global engine's extent. Entries are rebuilt
+	// lazily by readers when a batch dirtied them; mergeMu orders strictly
+	// after every shard lock and the global lock.
+	mergeMu sync.Mutex
+	merged  map[string][][]uint32
+	dirty   map[string]bool
+
+	// Merged cost-model statistics over all shards.
+	statsMu    sync.RWMutex
+	stats      *plan.Stats
+	statsVer   uint64
+	statsChurn int
+
+	fetchedTuples atomic.Int64
+	fetchCalls    atomic.Int64
+	lockStall     atomic.Int64 // ns readers spent blocked behind writer locks
+}
+
+// rlockTimed takes a read lock, accounting the time spent actually
+// blocked (a free lock costs nothing). The counter is how the serving
+// experiments measure the writer-induced stall partitioning removes: at
+// P shards a point read can only collide with the one shard the writer
+// is currently patching, not with the whole batch.
+func (s *Sharded) rlockTimed(mu *sync.RWMutex) {
+	if mu.TryRLock() {
+		return
+	}
+	t0 := time.Now()
+	mu.RLock()
+	s.lockStall.Add(int64(time.Since(t0)))
+}
+
+// LockStall returns the cumulative time readers spent blocked on shard
+// (or global-engine) locks across the handle's lifetime.
+func (s *Sharded) LockStall() time.Duration { return time.Duration(s.lockStall.Load()) }
+
+// Open partitions db into p shards and builds the per-shard state. The
+// database is consumed: its rows are moved into the shard partitions and
+// its tables are emptied; route all further reads and writes through the
+// returned handle. The views must already be validated against the schema.
+func Open(db *instance.Database, s *schema.Schema, a *access.Schema, views map[string]*cq.UCQ, p int) (*Sharded, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", p)
+	}
+	pt := NewPartition(s, a, p)
+	localViews := make(map[string]*cq.UCQ)
+	globalViews := make(map[string]*cq.UCQ)
+	local := make(map[string]bool, len(views))
+	for name, def := range views {
+		if pt.LocalView(def) {
+			localViews[name] = def
+			local[name] = true
+		} else {
+			globalViews[name] = def
+		}
+	}
+	sh := &Sharded{
+		schema: s,
+		access: a,
+		views:  views,
+		part:   pt,
+		dict:   db.Dict,
+		local:  local,
+		merged: make(map[string][][]uint32, len(views)),
+		dirty:  make(map[string]bool, len(views)),
+	}
+
+	// The global engine seeds its join state from the full instance, so it
+	// must be built before the rows move out.
+	if len(globalViews) > 0 {
+		eng, err := eval.NewDeltaEngine(db, globalViews)
+		if err != nil {
+			return nil, err
+		}
+		sh.g = &globalEngine{eng: eng}
+	}
+
+	// Route every row to its shard. Row slices are moved, not copied: the
+	// source database hands its storage over to the partitions.
+	sh.shards = make([]*state, p)
+	for i := range sh.shards {
+		sh.shards[i] = &state{db: instance.NewDatabaseWith(s, db.Dict)}
+	}
+	for name, t := range db.Tables {
+		for _, tu := range t.Tuples {
+			sdb := sh.shards[pt.ShardOfRow(name, tu)].db
+			st := sdb.Tables[name]
+			st.Tuples = append(st.Tuples, tu)
+		}
+		t.Tuples = nil // consumed; lazy shadows re-encode to empty
+	}
+
+	// Per-shard indices and maintenance engines, built concurrently.
+	if err := par.ForEach(p, func(i int) error {
+		st := sh.shards[i]
+		ix, err := instance.BuildIndexes(st.db, a)
+		if err != nil {
+			return err
+		}
+		eng, err := eval.NewDeltaEngine(st.db, localViews)
+		if err != nil {
+			return err
+		}
+		st.ix, st.eng = ix, eng
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	for name := range views {
+		sh.dirty[name] = true
+	}
+	sh.rebuildStats()
+	return sh, nil
+}
+
+// ShardCount returns P.
+func (s *Sharded) ShardCount() int { return len(s.shards) }
+
+// Partition exposes the routing metadata (read-only).
+func (s *Sharded) Partition() *Partition { return s.part }
+
+// Dict returns the shared dictionary, making the handle a plan.Source.
+func (s *Sharded) Dict() *intern.Dict { return s.dict }
+
+// LocalViews reports which views are maintained shard-locally (the
+// co-partitioned ones) vs by the global engine.
+func (s *Sharded) LocalViews() (local, global []string) {
+	for name := range s.views {
+		if s.local[name] {
+			local = append(local, name)
+		} else {
+			global = append(global, name)
+		}
+	}
+	return local, global
+}
+
+// ShardSizes returns |D_p| per shard.
+func (s *Sharded) ShardSizes() []int {
+	out := make([]int, len(s.shards))
+	for i, st := range s.shards {
+		st.mu.RLock()
+		out[i] = st.db.Size()
+		st.mu.RUnlock()
+	}
+	return out
+}
+
+// Size returns |D| across all shards.
+func (s *Sharded) Size() int {
+	n := 0
+	for _, p := range s.ShardSizes() {
+		n += p
+	}
+	return n
+}
+
+// FetchedTuples returns the tuples fetched from the shards so far (the
+// |Dξ| accounting, deduplicated exactly like the unsharded index's).
+func (s *Sharded) FetchedTuples() int { return int(s.fetchedTuples.Load()) }
+
+// FetchCalls returns the number of fetch probes so far.
+func (s *Sharded) FetchCalls() int { return int(s.fetchCalls.Load()) }
+
+// ApplyDelta validates and routes a batch per shard, then maintains every
+// touched shard concurrently (database, fetch indices, local views) and
+// feeds the applied ops to the global engine. Semantics match the
+// unsharded path: deletes first (each removing one occurrence, absent
+// deletes are no-ops), then inserts; all copies of a row live on one
+// shard, so per-shard application preserves the batch's outcome exactly.
+func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	validate := func(ops []instance.Op, kind string) error {
+		for _, op := range ops {
+			r := s.schema.Relation(op.Rel)
+			if r == nil {
+				return fmt.Errorf("shard: %s into unknown relation %s", kind, op.Rel)
+			}
+			if len(op.Row) != r.Arity() {
+				return fmt.Errorf("shard: %s %s expects %d values, got %d", kind, op.Rel, r.Arity(), len(op.Row))
+			}
+		}
+		return nil
+	}
+	if err := validate(deletes, "delete"); err != nil {
+		return DeltaStats{}, err
+	}
+	if err := validate(inserts, "insert"); err != nil {
+		return DeltaStats{}, err
+	}
+
+	p := len(s.shards)
+	delBy := make([][]instance.Op, p)
+	insBy := make([][]instance.Op, p)
+	for _, op := range deletes {
+		i := s.part.ShardOfRow(op.Rel, op.Row)
+		delBy[i] = append(delBy[i], op)
+	}
+	for _, op := range inserts {
+		i := s.part.ShardOfRow(op.Rel, op.Row)
+		insBy[i] = append(insBy[i], op)
+	}
+
+	applied := make([]*instance.Applied, p)
+	changed := make([][]string, p)
+	holds := make([]time.Duration, p)
+	if err := par.ForEach(p, func(i int) error {
+		if len(delBy[i]) == 0 && len(insBy[i]) == 0 {
+			return nil
+		}
+		st := s.shards[i]
+		st.mu.Lock()
+		t0 := time.Now()
+		defer func() {
+			holds[i] = time.Since(t0)
+			st.mu.Unlock()
+		}()
+		a, err := st.db.ApplyDelta(insBy[i], delBy[i])
+		if err != nil {
+			return err
+		}
+		if err := st.ix.Apply(a); err != nil {
+			return err
+		}
+		ch, err := st.eng.Apply(a)
+		if err != nil {
+			return err
+		}
+		// Mark the changed views dirty while still holding this shard's
+		// write lock: the extents were just patched in place, and the
+		// merged-extent cache holds references into their old headers. A
+		// reader acquiring this shard after the unlock must already see
+		// the dirty flag, or it would serve the mutated stale cache.
+		s.markDirty(ch)
+		applied[i], changed[i] = a, ch
+		return nil
+	}); err != nil {
+		return DeltaStats{}, err
+	}
+
+	stats := DeltaStats{}
+	dirty := make(map[string]bool)
+	for i := 0; i < p; i++ {
+		if holds[i] > stats.MaxShardHold {
+			stats.MaxShardHold = holds[i]
+		}
+		if applied[i] == nil {
+			continue
+		}
+		stats.Inserted += len(applied[i].Inserted)
+		stats.Deleted += len(applied[i].Deleted)
+		for _, name := range changed[i] {
+			dirty[name] = true
+		}
+	}
+
+	// Non-co-partitioned views see the whole batch, deletes first. Their
+	// maintenance runs after the shard scatter: a read overlapping this
+	// window sees the new base rows with the global views one batch
+	// behind — the same absence of a cross-batch snapshot documented on
+	// the type (each engine stays individually consistent throughout).
+	if s.g != nil && stats.Inserted+stats.Deleted > 0 {
+		combined := &instance.Applied{}
+		for i := 0; i < p; i++ {
+			if applied[i] != nil {
+				combined.Deleted = append(combined.Deleted, applied[i].Deleted...)
+			}
+		}
+		for i := 0; i < p; i++ {
+			if applied[i] != nil {
+				combined.Inserted = append(combined.Inserted, applied[i].Inserted...)
+			}
+		}
+		s.g.mu.Lock()
+		t0 := time.Now()
+		gch, err := s.g.eng.Apply(combined)
+		// Dirty-mark before releasing the engine lock, for the same
+		// in-place patching reason as the per-shard marking above.
+		s.markDirty(gch)
+		// The global engine's hold is an exclusive window readers of
+		// non-co-partitioned views block on: it counts toward the bound.
+		if hold := time.Since(t0); hold > stats.MaxShardHold {
+			stats.MaxShardHold = hold
+		}
+		s.g.mu.Unlock()
+		if err != nil {
+			return DeltaStats{}, err
+		}
+		for _, name := range gch {
+			dirty[name] = true
+		}
+	}
+
+	stats.ViewsChanged = len(dirty)
+
+	s.statsMu.Lock()
+	s.statsChurn += stats.Inserted + stats.Deleted
+	churn := s.statsChurn
+	s.statsMu.Unlock()
+	if float64(churn) >= statsDriftFrac*float64(s.Size()) && churn >= statsMinChurn {
+		s.rebuildStats()
+		stats.StatsRefreshed = true
+	}
+	return stats, nil
+}
+
+// rebuildStats collects per-shard statistics concurrently and installs the
+// merged result. Relation row counts sum exactly; distinct counts sum
+// (exact for partition columns, whose values never repeat across shards,
+// and an upper bound the cost model clamps for the rest); view rows sum
+// per-shard extents, an upper bound when a view's head does not bind the
+// partition key (cross-shard duplicate heads). Callers must exclude
+// concurrent writers (ApplyDelta holds batchMu; Open has exclusive use).
+func (s *Sharded) rebuildStats() {
+	p := len(s.shards)
+	rels := make([]*instance.RelStats, p)
+	_ = par.ForEach(p, func(i int) error {
+		rels[i] = instance.CollectStats(s.shards[i].db)
+		return nil
+	})
+	st := &plan.Stats{
+		RelRows:      make(map[string]int),
+		RelDistinct:  make(map[string]map[string]int),
+		ViewRows:     make(map[string]int),
+		ViewDistinct: make(map[string][]int),
+	}
+	for _, rs := range rels {
+		for name, n := range rs.Rows {
+			st.RelRows[name] += n
+		}
+		for name, counts := range rs.Distinct {
+			rel := s.schema.Relation(name)
+			if rel == nil {
+				continue
+			}
+			byAttr := st.RelDistinct[name]
+			if byAttr == nil {
+				byAttr = make(map[string]int, len(counts))
+				st.RelDistinct[name] = byAttr
+			}
+			for i, a := range rel.Attrs {
+				if i < len(counts) {
+					byAttr[a] += counts[i]
+				}
+			}
+		}
+	}
+	addView := func(name string, rows [][]uint32) {
+		st.ViewRows[name] += len(rows)
+		d := intern.DistinctCols(rows)
+		if len(d) > len(st.ViewDistinct[name]) {
+			grown := make([]int, len(d))
+			copy(grown, st.ViewDistinct[name])
+			st.ViewDistinct[name] = grown
+		}
+		for i, n := range d {
+			st.ViewDistinct[name][i] += n
+		}
+	}
+	for name := range s.views {
+		st.ViewRows[name] = 0
+		if s.local[name] {
+			for _, sh := range s.shards {
+				addView(name, sh.eng.ExtentIDs(name))
+			}
+		} else {
+			addView(name, s.g.eng.ExtentIDs(name))
+		}
+	}
+	s.statsMu.Lock()
+	s.stats = st
+	s.statsVer++
+	s.statsChurn = 0
+	s.statsMu.Unlock()
+}
+
+// Stats returns the merged cost-model statistics and their version. The
+// returned Stats is immutable once published; treat it as read-only.
+func (s *Sharded) Stats() (*plan.Stats, uint64) {
+	s.statsMu.RLock()
+	defer s.statsMu.RUnlock()
+	return s.stats, s.statsVer
+}
+
+// routedOnly reports whether every leaf of the plan is a fetch that routes
+// to a single shard (and the plan reads no views): such plans run in
+// point-read mode, locking only the shards their probes hit.
+func (s *Sharded) routedOnly(n plan.Node) bool {
+	switch x := n.(type) {
+	case *plan.View:
+		return false
+	case *plan.Fetch:
+		r := s.part.Route(x.C)
+		if r == nil || r.XPos == nil {
+			return false
+		}
+	}
+	for _, c := range n.Children() {
+		if !s.routedOnly(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Execute runs a plan scatter-gather over the shards, returning the answer
+// rows and the tuples this call fetched from the partitions (exact when
+// calls do not overlap; the counters themselves are always exact).
+func (s *Sharded) Execute(p plan.Node) ([][]string, int, error) {
+	before := s.fetchedTuples.Load()
+	var rows [][]string
+	var err error
+	if s.routedOnly(p) {
+		// Point-read mode: no global locking at all. Each probe takes its
+		// owning shard's read lock just long enough to copy the group.
+		rows, err = plan.RunOn(p, &lockedSource{s: s}, nil)
+	} else {
+		// Gather mode: freeze every shard (readers never block readers)
+		// and serve views from the gathered extents.
+		for _, st := range s.shards {
+			s.rlockTimed(&st.mu)
+		}
+		if s.g != nil {
+			s.rlockTimed(&s.g.mu)
+		}
+		pv := s.refreshMerged()
+		rows, err = plan.RunOn(p, &frozenSource{s: s}, pv)
+		if s.g != nil {
+			s.g.mu.RUnlock()
+		}
+		for i := len(s.shards) - 1; i >= 0; i-- {
+			s.shards[i].mu.RUnlock()
+		}
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, int(s.fetchedTuples.Load() - before), nil
+}
+
+// markDirty flags views whose extents were just patched in place, so the
+// next reader rebuilds their gathered form instead of serving the stale
+// merged cache. Callers hold the lock of the engine they patched; mergeMu
+// is the leaf of the lock order, so this never deadlocks.
+func (s *Sharded) markDirty(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	s.mergeMu.Lock()
+	for _, n := range names {
+		s.dirty[n] = true
+	}
+	s.mergeMu.Unlock()
+}
+
+// gatherLocked rebuilds the gathered extent of every view dirtied since
+// the last read. Callers hold mergeMu plus every shard's (and the global
+// engine's) read lock. Shard extents of a co-partitioned view can overlap
+// when the view's head does not bind the partition key (the same row
+// derived on two shards), so the gather deduplicates — the merged extent
+// is exactly the set the unsharded engine would serve.
+func (s *Sharded) gatherLocked() {
+	for name := range s.dirty {
+		delete(s.dirty, name)
+		if !s.local[name] {
+			s.merged[name] = s.g.eng.ExtentIDs(name)
+			continue
+		}
+		total := 0
+		for _, st := range s.shards {
+			total += len(st.eng.ExtentIDs(name))
+		}
+		out := make([][]uint32, 0, total)
+		seen := intern.NewSet(total)
+		for _, st := range s.shards {
+			for _, r := range st.eng.ExtentIDs(name) {
+				if seen.Add(r) {
+					out = append(out, r)
+				}
+			}
+		}
+		s.merged[name] = out
+	}
+}
+
+// refreshMerged refreshes the dirty gathered extents and returns a
+// consistent PreparedViews snapshot. Callers hold every shard's (and the
+// global engine's) read lock.
+func (s *Sharded) refreshMerged() *plan.PreparedViews {
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	s.gatherLocked()
+	return plan.NewPreparedViews(s.dict, s.merged)
+}
+
+// fetchRouted answers a fetch whose constraint binds the partition key:
+// every matching row lives on one shard, so this is a point read and the
+// group is already the distinct XY-projection set the unsharded index
+// would return.
+func (s *Sharded) fetchRouted(c *access.Constraint, r *conRoute, xval []uint32, lock bool) ([][]uint32, error) {
+	vals := make([]string, len(r.XPos))
+	for i, p := range r.XPos {
+		vals[i] = s.dict.Str(xval[p])
+	}
+	st := s.shards[hashVals(vals)%uint64(len(s.shards))]
+	if !lock {
+		rows, err := st.ix.FetchIDs(c, xval)
+		if err == nil {
+			s.fetchedTuples.Add(int64(len(rows)))
+		}
+		return rows, err
+	}
+	s.rlockTimed(&st.mu)
+	rows, err := st.ix.FetchIDs(c, xval)
+	if err == nil && len(rows) > 0 {
+		// The group header is swap-patched in place by maintenance; copy it
+		// before releasing the shard. The rows themselves are immutable.
+		rows = append([][]uint32(nil), rows...)
+	}
+	st.mu.RUnlock()
+	if err == nil {
+		s.fetchedTuples.Add(int64(len(rows)))
+	}
+	return rows, err
+}
+
+// fetchBroadcast scatters a probe to every shard and gathers the distinct
+// XY-projections. Deduplication across shards keeps the result — and the
+// fetch accounting — identical to the unsharded index's.
+func (s *Sharded) fetchBroadcast(c *access.Constraint, xval []uint32) ([][]uint32, error) {
+	p := len(s.shards)
+	parts := make([][][]uint32, p)
+	if err := par.ForEach(p, func(i int) error {
+		rows, err := s.shards[i].ix.FetchIDs(c, xval)
+		parts[i] = rows
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	nonEmpty, total := 0, 0
+	last := -1
+	for i, rows := range parts {
+		if len(rows) > 0 {
+			nonEmpty++
+			total += len(rows)
+			last = i
+		}
+	}
+	if nonEmpty == 0 {
+		return nil, nil
+	}
+	if nonEmpty == 1 {
+		s.fetchedTuples.Add(int64(len(parts[last])))
+		return parts[last], nil
+	}
+	seen := intern.NewSet(total)
+	out := make([][]uint32, 0, total)
+	for _, rows := range parts {
+		for _, r := range rows {
+			if seen.Add(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	s.fetchedTuples.Add(int64(len(out)))
+	return out, nil
+}
+
+// frozenSource serves plan execution while the caller holds every shard's
+// read lock: no per-probe locking is needed.
+type frozenSource struct{ s *Sharded }
+
+func (f *frozenSource) Dict() *intern.Dict { return f.s.dict }
+
+func (f *frozenSource) FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error) {
+	s := f.s
+	r := s.part.Route(c)
+	if r == nil {
+		return nil, fmt.Errorf("shard: no index for constraint %s", c)
+	}
+	if len(xval) != len(c.X) {
+		return nil, fmt.Errorf("shard: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
+	}
+	s.fetchCalls.Add(1)
+	if r.XPos != nil {
+		return s.fetchRouted(c, r, xval, false)
+	}
+	return s.fetchBroadcast(c, xval)
+}
+
+// lockedSource serves point-read plans: each probe locks only the owning
+// shard, so readers and the per-shard maintenance workers only ever
+// collide on the one partition they share.
+type lockedSource struct{ s *Sharded }
+
+func (l *lockedSource) Dict() *intern.Dict { return l.s.dict }
+
+func (l *lockedSource) FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error) {
+	s := l.s
+	r := s.part.Route(c)
+	if r == nil || r.XPos == nil {
+		// routedOnly vetted the plan; reaching here is a bug.
+		return nil, fmt.Errorf("shard: unroutable fetch %s in point-read mode", c)
+	}
+	if len(xval) != len(c.X) {
+		return nil, fmt.Errorf("shard: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
+	}
+	s.fetchCalls.Add(1)
+	return s.fetchRouted(c, r, xval, true)
+}
+
+// Views returns a decoded snapshot of every view's gathered extent,
+// served from the merged cache (rebuilt only for views dirtied since the
+// last read). The returned map and rows are fresh copies owned by the
+// caller.
+func (s *Sharded) Views() map[string][][]string {
+	for _, st := range s.shards {
+		st.mu.RLock()
+	}
+	if s.g != nil {
+		s.g.mu.RLock()
+	}
+	s.mergeMu.Lock()
+	s.gatherLocked()
+	out := make(map[string][][]string, len(s.views))
+	for name := range s.views {
+		out[name] = s.dict.DecodeAll(s.merged[name])
+		if out[name] == nil {
+			out[name] = [][]string{}
+		}
+	}
+	s.mergeMu.Unlock()
+	if s.g != nil {
+		s.g.mu.RUnlock()
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.RUnlock()
+	}
+	return out
+}

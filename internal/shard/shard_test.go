@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+func fixtureSchema() (*schema.Schema, *access.Schema) {
+	s := schema.New(
+		schema.NewRelation("acct", "uid", "region"),
+		schema.NewRelation("txn", "uid", "item", "amt"),
+		schema.NewRelation("misc", "a", "b"),
+	)
+	a := access.NewSchema(
+		access.NewConstraint("acct", []string{"uid"}, []string{"region"}, 1),
+		access.NewConstraint("txn", []string{"uid"}, []string{"item", "amt"}, 8),
+		access.NewConstraint("txn", []string{"uid", "item"}, []string{"amt"}, 2),
+		access.NewConstraint("misc", nil, []string{"a", "b"}, 1000),
+	)
+	return s, a
+}
+
+// TestPartitionAttrsAndRoutes pins the partition-key choice (the X-set
+// covered by the most constraints) and the per-constraint routing: X ⊇
+// partition key routes, anything else broadcasts.
+func TestPartitionAttrsAndRoutes(t *testing.T) {
+	s, a := fixtureSchema()
+	pt := NewPartition(s, a, 4)
+	if got := pt.Rel("acct").Attrs; len(got) != 1 || got[0] != "uid" {
+		t.Fatalf("acct partition attrs = %v, want [uid]", got)
+	}
+	// {uid} is a subset of both txn constraints' X-sets, {uid,item} only of
+	// one: {uid} wins.
+	if got := pt.Rel("txn").Attrs; len(got) != 1 || got[0] != "uid" {
+		t.Fatalf("txn partition attrs = %v, want [uid]", got)
+	}
+	// misc has no constraint with non-empty X: full-row partitioning.
+	if got := pt.Rel("misc").Attrs; len(got) != 2 {
+		t.Fatalf("misc partition attrs = %v, want the full row", got)
+	}
+	if r := pt.Route(a.Constraints[0]); r == nil || r.XPos == nil {
+		t.Fatal("acct(uid->region) must route")
+	}
+	if r := pt.Route(a.Constraints[2]); r == nil || r.XPos == nil {
+		t.Fatal("txn(uid,item->amt) must route: X covers the partition key")
+	}
+	if r := pt.Route(a.Constraints[3]); r == nil || r.XPos != nil {
+		t.Fatal("misc(∅->a,b) must broadcast")
+	}
+}
+
+// TestRoutingConsistency checks the load-bearing invariant: the shard a
+// row is placed on equals the shard every routed fetch key for that row
+// hashes to, and co-partitioned atoms land together.
+func TestRoutingConsistency(t *testing.T) {
+	s, a := fixtureSchema()
+	pt := NewPartition(s, a, 7)
+	for i := 0; i < 200; i++ {
+		uid := fmt.Sprintf("u%d", i)
+		accRow := []string{uid, "emea"}
+		txnRow := []string{uid, fmt.Sprintf("it%d", i%13), "9"}
+		sa := pt.ShardOfRow("acct", accRow)
+		st := pt.ShardOfRow("txn", txnRow)
+		if sa != st {
+			t.Fatalf("uid %s: acct on shard %d, txn on shard %d — co-partitioning broken", uid, sa, st)
+		}
+		// The routed fetch key for txn(uid,item -> amt) is (item, uid) in
+		// sorted-X order; XPos must pick out uid.
+		r := pt.Route(a.Constraints[2])
+		xval := []string{txnRow[1], uid} // c.X = [item, uid] sorted
+		vals := make([]string, len(r.XPos))
+		for j, p := range r.XPos {
+			vals[j] = xval[p]
+		}
+		if got := int(hashVals(vals) % 7); got != st {
+			t.Fatalf("uid %s: fetch routes to shard %d, row lives on %d", uid, got, st)
+		}
+	}
+}
+
+// TestLocalViewAnalysis pins the co-partition analysis: joins on the
+// partition key are shard-local, anything else is global.
+func TestLocalViewAnalysis(t *testing.T) {
+	s, a := fixtureSchema()
+	pt := NewPartition(s, a, 4)
+	mk := func(head []cq.Term, atoms ...cq.Atom) *cq.UCQ { return cq.NewUCQ(cq.NewCQ(head, atoms)) }
+
+	// Single atom: always local.
+	if !pt.LocalView(mk([]cq.Term{cq.Var("u")}, cq.NewAtom("acct", cq.Var("u"), cq.Var("r")))) {
+		t.Fatal("single-atom view must be local")
+	}
+	// Join on the shared partition key: local.
+	coPart := mk([]cq.Term{cq.Var("u"), cq.Var("i")},
+		cq.NewAtom("acct", cq.Var("u"), cq.Cst("emea")),
+		cq.NewAtom("txn", cq.Var("u"), cq.Var("i"), cq.Var("x")))
+	if !pt.LocalView(coPart) {
+		t.Fatal("join on the partition key must be local")
+	}
+	// Join on a non-partition column: global.
+	crossPart := mk([]cq.Term{cq.Var("u")},
+		cq.NewAtom("acct", cq.Var("u"), cq.Var("r")),
+		cq.NewAtom("txn", cq.Var("v"), cq.Var("r"), cq.Var("x")))
+	if pt.LocalView(crossPart) {
+		t.Fatal("join across partition keys must be global")
+	}
+	// An equality that unifies the keys makes it local again (analysis
+	// runs on the normalized disjunct).
+	unified := cq.NewUCQ(cq.NewCQ([]cq.Term{cq.Var("u")},
+		[]cq.Atom{
+			cq.NewAtom("acct", cq.Var("u"), cq.Var("r")),
+			cq.NewAtom("txn", cq.Var("v"), cq.Var("i"), cq.Var("x")),
+		},
+		cq.Equality{L: cq.Var("u"), R: cq.Var("v")}))
+	if !pt.LocalView(unified) {
+		t.Fatal("normalization must make the unified join local")
+	}
+}
+
+// TestShardedOpenAndPointReads drives the engine directly: rows land on
+// their shards, routed fetches answer from exactly one partition, and the
+// gathered answer matches the per-shard contents.
+func TestShardedOpenAndPointReads(t *testing.T) {
+	s, a := fixtureSchema()
+	db := instance.NewDatabase(s)
+	const users = 50
+	for i := 0; i < users; i++ {
+		uid := fmt.Sprintf("u%d", i)
+		db.MustInsert("acct", uid, "emea")
+		for j := 0; j < 3; j++ {
+			db.MustInsert("txn", uid, fmt.Sprintf("it%d", j), fmt.Sprintf("%d", j))
+		}
+	}
+	views := map[string]*cq.UCQ{}
+	sh, err := Open(db, s, a, views, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh.Size(); got != users*4 {
+		t.Fatalf("size %d, want %d", got, users*4)
+	}
+	sizes := sh.ShardSizes()
+	nonEmpty := 0
+	for _, n := range sizes {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("hash partitioning left the data on %d shard(s): %v", nonEmpty, sizes)
+	}
+	// Routed probe per uid: exactly the 3 txns, counted once.
+	src := &frozenSource{s: sh}
+	for i := 0; i < users; i++ {
+		uid := sh.dict.ID(fmt.Sprintf("u%d", i))
+		rows, err := src.FetchIDs(a.Constraints[1], []uint32{uid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("u%d: fetched %d txns, want 3", i, len(rows))
+		}
+	}
+	if got := sh.FetchedTuples(); got != users*3 {
+		t.Fatalf("fetch accounting %d, want %d", got, users*3)
+	}
+	// Broadcast probe on misc (empty X): the gathered whole-relation scan.
+	if _, err := sh.ApplyDelta([]instance.Op{
+		{Rel: "misc", Row: instance.Tuple{"x", "y"}},
+		{Rel: "misc", Row: instance.Tuple{"p", "q"}},
+		{Rel: "misc", Row: instance.Tuple{"x", "y"}}, // duplicate: one projection
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := src.FetchIDs(a.Constraints[3], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("broadcast fetch gathered %d distinct projections, want 2", len(rows))
+	}
+}

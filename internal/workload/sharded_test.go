@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestShardedFixtureSatisfiesAccessSchema: the generator and the churn
+// stream must keep D |= A (the key and fan-out constraints) — otherwise
+// the fetch bounds the scaling experiment asserts are meaningless.
+func TestShardedFixtureSatisfiesAccessSchema(t *testing.T) {
+	// The small-pool case (50 users, 300-op batches) is the regression
+	// pin for deletes targeting same-batch inserts: batches much larger
+	// than the per-uid pools force the generator onto its limit-tracking
+	// paths, where a phantom delete would drift the fan-out over NTxn.
+	for _, tc := range []struct{ users, txns, batch, rounds int }{
+		{300, 5, 120, 20},
+		{50, 5, 300, 12},
+	} {
+		w := NewSharded(8)
+		db := w.Generate(tc.users, tc.txns, 42)
+		if ok, err := db.SatisfiesAll(w.Access); err != nil || !ok {
+			t.Fatalf("generated instance violates A: ok=%v err=%v (violations %v)", ok, err, db.Violations(w.Access))
+		}
+		ch := w.NewChurn(db, 7)
+		for b := 0; b < tc.rounds; b++ {
+			ins, del := ch.Batch(tc.batch)
+			if _, err := db.ApplyDelta(ins, del); err != nil {
+				t.Fatalf("%d users, batch %d: %v", tc.users, b, err)
+			}
+			if ok, err := db.SatisfiesAll(w.Access); err != nil || !ok {
+				t.Fatalf("%d users, batch %d drove D out of A: ok=%v err=%v (violations %v)",
+					tc.users, b, ok, err, db.Violations(w.Access))
+			}
+		}
+		if db.Size() == 0 {
+			t.Fatal("churn emptied the instance")
+		}
+	}
+}

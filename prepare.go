@@ -154,25 +154,25 @@ func (pq *PreparedQuery) Plan() (Plan, plan.Cost) {
 	return pq.cands[pq.staticSel].Plan, pq.staticCost
 }
 
-// planFor returns the plan to serve l with. Each Live handle keeps its
-// own cached selection (so alternating Executes against several handles
-// do not thrash), re-ranked only when that handle's statistics version
-// moved — churn past the drift threshold rebuilt them.
-func (pq *PreparedQuery) planFor(l *Live) Plan {
-	st, ver := l.Stats()
+// planOn returns the plan to serve the handle with the given identity and
+// statistics. Each live handle (Live or LiveSharded) keeps its own cached
+// selection (so alternating Executes against several handles do not
+// thrash), re-ranked only when that handle's statistics version moved —
+// churn past the drift threshold rebuilt them.
+func (pq *PreparedQuery) planOn(id uint64, st *plan.Stats, ver uint64) Plan {
 	pq.mu.Lock()
 	defer pq.mu.Unlock()
-	s, ok := pq.sels[l.id]
+	s, ok := pq.sels[id]
 	if !ok || s.ver != ver {
 		if !ok && len(pq.sels) >= maxLiveSelections {
-			for id := range pq.sels {
-				delete(pq.sels, id)
+			for sid := range pq.sels {
+				delete(pq.sels, sid)
 				break
 			}
 		}
 		s.sel, s.cost = bestCandidate(pq.cands, st)
 		s.ver = ver
-		pq.sels[l.id] = s
+		pq.sels[id] = s
 	}
 	return pq.cands[s.sel].Plan
 }
@@ -182,5 +182,14 @@ func (pq *PreparedQuery) planFor(l *Live) Plan {
 // indices. Returns the answer rows and the tuples this call fetched from
 // the underlying database.
 func (pq *PreparedQuery) Execute(l *Live) ([][]string, int, error) {
-	return l.Execute(pq.planFor(l))
+	st, ver := l.Stats()
+	return l.Execute(pq.planOn(l.id, st, ver))
+}
+
+// ExecuteSharded serves the query against a sharded handle: the min-cost
+// candidate under the merged per-shard statistics runs scatter-gather
+// over the partitions.
+func (pq *PreparedQuery) ExecuteSharded(l *LiveSharded) ([][]string, int, error) {
+	st, ver := l.Stats()
+	return l.Execute(pq.planOn(l.id, st, ver))
 }

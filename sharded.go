@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/shard"
+)
+
+// LiveSharded is the shard-aware Live handle: the database is
+// hash-partitioned into P shards (by the partition key derived from the
+// access schema), each owning its own fetch indices, join indexes,
+// materialized-view partitions and statistics. Plan execution is
+// scatter-gather — fetches whose constraint binds the partition key are
+// single-shard point reads, everything else gathers across shards — and
+// ApplyDelta routes ops per shard and maintains the shards concurrently,
+// so a writer patching one partition never stalls readers on the others.
+//
+// Semantics match Live exactly on results and fetch accounting (the
+// differential harness in sharded_test.go pins this), with one
+// concurrency difference: there is no cross-shard snapshot. A read
+// overlapping ApplyDelta may see the batch applied on some shards and not
+// others; each shard is individually consistent, and reads that do not
+// overlap a delta see the fully applied state.
+type LiveSharded struct {
+	sys *System
+	id  uint64 // process-unique handle identity (see PreparedQuery selection)
+	sh  *shard.Sharded
+}
+
+// OpenLiveSharded builds the sharded live state over db, partitioned into
+// the given number of shards. The database is consumed: its rows move
+// into the partitions and the original handle must not be used afterwards
+// — route all reads and writes through the returned handle. With shards
+// == 1 the handle behaves like Live behind the same API (the degenerate
+// partition, useful as the baseline in scaling experiments).
+func (sys *System) OpenLiveSharded(db *Database, shards int) (*LiveSharded, error) {
+	sh, err := shard.Open(db, sys.Schema, sys.Access, sys.Views, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh}, nil
+}
+
+// Execute runs a plan scatter-gather against the always-fresh partitions,
+// returning the answer rows and the tuples fetched from D by this call
+// (per-call attribution is exact when calls do not overlap).
+func (l *LiveSharded) Execute(p Plan) ([][]string, int, error) { return l.sh.Execute(p) }
+
+// ApplyDelta applies a batch of mutations with Live.ApplyDelta's
+// semantics (deletes first, one occurrence per delete, absent deletes are
+// no-ops), routed per shard and maintained concurrently.
+func (l *LiveSharded) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
+	st, err := l.sh.ApplyDelta(inserts, deletes)
+	if err != nil {
+		return DeltaStats{}, err
+	}
+	return DeltaStats{
+		Inserted:       st.Inserted,
+		Deleted:        st.Deleted,
+		ViewsChanged:   st.ViewsChanged,
+		StatsRefreshed: st.StatsRefreshed,
+		MaxExclusive:   st.MaxShardHold,
+	}, nil
+}
+
+// Views returns a decoded snapshot of the gathered view extents. The
+// returned map and rows are fresh copies owned by the caller: mutating
+// them never affects what the handle serves next.
+func (l *LiveSharded) Views() map[string][][]string { return l.sh.Views() }
+
+// Size returns the current |D| across all shards.
+func (l *LiveSharded) Size() int { return l.sh.Size() }
+
+// ShardCount returns the number of partitions.
+func (l *LiveSharded) ShardCount() int { return l.sh.ShardCount() }
+
+// ShardSizes returns |D_p| for every partition.
+func (l *LiveSharded) ShardSizes() []int { return l.sh.ShardSizes() }
+
+// LocalViews reports which views are maintained shard-locally (their
+// joins are co-partitioned) and which by the cross-shard global engine.
+func (l *LiveSharded) LocalViews() (local, global []string) { return l.sh.LocalViews() }
+
+// Stats returns the merged per-shard cost-model statistics and their
+// version. The returned Stats is shared and immutable: rebuilds install a
+// fresh value, so treat it as read-only.
+func (l *LiveSharded) Stats() (*plan.Stats, uint64) { return l.sh.Stats() }
+
+// FetchedTuples returns the handle-lifetime count of tuples fetched from
+// the partitions (the |Dξ| accounting; deduplicated across shards exactly
+// like the unsharded index's).
+func (l *LiveSharded) FetchedTuples() int { return l.sh.FetchedTuples() }
+
+// LockStall returns the cumulative time readers spent actually blocked
+// behind writer locks — the serving-stall metric the scaling experiment
+// tracks (partitioning shrinks the exclusive window a point read can
+// collide with from the whole batch to one shard's slice).
+func (l *LiveSharded) LockStall() time.Duration { return l.sh.LockStall() }
