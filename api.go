@@ -22,10 +22,8 @@ package repro
 
 import (
 	"fmt"
-	"reflect"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/access"
 	"repro/internal/boundedness"
@@ -33,7 +31,6 @@ import (
 	"repro/internal/eval"
 	"repro/internal/fo"
 	"repro/internal/instance"
-	"repro/internal/intern"
 	"repro/internal/parse"
 	"repro/internal/plan"
 	"repro/internal/schema"
@@ -130,16 +127,6 @@ type System struct {
 	Access *AccessSchema
 	Views  map[string]*UCQ
 	M      int
-
-	// Execute's prepared-view cache: re-interning a large view extent on
-	// every call would defeat scale independence, so the last (ix, views)
-	// pair's interned form is kept and reused. The views map itself is
-	// retained so the identity comparison cannot alias a freed map whose
-	// address got reused.
-	prepMu    sync.Mutex
-	prepIx    *Indexed
-	prepViews map[string][][]string // the views map the cache was built from
-	prepared  *plan.PreparedViews
 
 	// Prepared-query cache (see Prepare): canonical query key -> the
 	// VBRP search result, so renamed/reordered variants of one query
@@ -265,232 +252,42 @@ func (sys *System) NewMaintainer(db *Database) (*Maintainer, error) {
 	return eval.NewMaintainer(db, sys.Views)
 }
 
-// Execute runs a plan over the indexed instance with the materialized
-// views, returning the answer rows and the number of tuples fetched from
-// the underlying database (|Dξ|).
-//
-// The interned form of the view extents is cached on the System, keyed by
-// the identity of (ix, views): repeated Execute calls with the same pair
-// never re-intern the extents. Pass a NEW views map (or use a Live handle)
-// when the extents change — mutating a map already handed to Execute is
-// not observed. The cache retains the last pair (including ix's database)
-// until the next Execute with a different one; long-lived Systems that
-// are done with a database should let the System go or Execute against
-// the successor pair.
-func (sys *System) Execute(p Plan, ix *Indexed, views map[string][][]string) ([][]string, int, error) {
-	pv := sys.prepareCached(ix, views)
-	ix.ResetCounters()
+// PreparedViewSet is the interned (ID-encoded) form of a set of
+// materialized view extents, bound to one indexed instance — the explicit
+// replacement for the old map-identity Execute cache. Prepare once, run
+// many plans; when the extents change, prepare again (or, for churning
+// databases, use Open and serve from epochs instead).
+type PreparedViewSet = plan.PreparedViews
+
+// PrepareViews interns the view extents against ix's database dictionary
+// for repeated ExecutePrepared calls. The rows are captured at call time:
+// later mutations of the views map are not observed (prepare again after
+// changing them — the explicit contract that replaces the old "pass a NEW
+// map" identity-cache footgun).
+func (sys *System) PrepareViews(ix *Indexed, views map[string][][]string) *PreparedViewSet {
+	return plan.PrepareViews(ix, views)
+}
+
+// ExecutePrepared runs a plan over the indexed instance with views
+// prepared by PrepareViews, returning the answer rows and the number of
+// tuples fetched from the underlying database by this call (|Dξ|).
+func (sys *System) ExecutePrepared(p Plan, ix *Indexed, pv *PreparedViewSet) ([][]string, int, error) {
+	before := ix.FetchedTuples()
 	rows, err := plan.RunPrepared(p, ix, pv)
 	if err != nil {
 		return nil, 0, err
 	}
-	return rows, ix.FetchedTuples(), nil
+	return rows, ix.FetchedTuples() - before, nil
 }
 
-// prepareCached returns the interned form of views for ix, reusing the
-// cached one when both identities match. Comparing against the RETAINED
-// map is sound: as long as the cache holds it, its address cannot be
-// recycled for a different map.
-func (sys *System) prepareCached(ix *Indexed, views map[string][][]string) *plan.PreparedViews {
-	sys.prepMu.Lock()
-	defer sys.prepMu.Unlock()
-	same := sys.prepared != nil && sys.prepIx == ix &&
-		(views == nil) == (sys.prepViews == nil) &&
-		(views == nil || reflect.ValueOf(views).Pointer() == reflect.ValueOf(sys.prepViews).Pointer())
-	if !same {
-		sys.prepIx, sys.prepViews = ix, views
-		sys.prepared = plan.PrepareViews(ix, views)
-	}
-	return sys.prepared
+// Execute runs a plan over the indexed instance with the materialized
+// views. The extents are interned on every call: for repeated execution
+// against unchanged views use PrepareViews + ExecutePrepared, and for a
+// churning database use Open — both make the caching explicit instead of
+// keying on map identity.
+func (sys *System) Execute(p Plan, ix *Indexed, views map[string][][]string) ([][]string, int, error) {
+	return sys.ExecutePrepared(p, ix, plan.PrepareViews(ix, views))
 }
-
-// Live is a churn-capable serving handle over one database: the fetch
-// indices, the counting-based view maintenance engine and the interned
-// plan inputs are all kept incrementally consistent as batched deltas
-// arrive, so Execute always answers against fresh V(D) and fresh indices
-// without ever recomputing or re-interning them.
-//
-// Concurrency: any number of Execute/Views/Size calls may run in
-// parallel; ApplyDelta serializes against them with a write lock (the
-// engine's structures are patched in place). Fetch accounting stays exact
-// under concurrent readers (atomic counters), but per-call attribution of
-// fetched-tuple counts is only exact when calls do not overlap.
-type Live struct {
-	sys *System
-	id  uint64 // process-unique handle identity (see PreparedQuery selection)
-
-	mu  sync.RWMutex
-	db  *Database
-	ix  *Indexed
-	eng *eval.DeltaEngine
-	pv  *plan.PreparedViews
-
-	// Cost-model statistics over the current instance, rebuilt when the
-	// churn since the last build passes the drift threshold. statsVer
-	// bumps on every rebuild; PreparedQuery handles re-select their plan
-	// when they observe a new version.
-	stats      *plan.Stats
-	statsVer   uint64
-	statsChurn int // physical ops applied since stats was built
-}
-
-// DeltaStats summarizes one applied batch.
-type DeltaStats struct {
-	Inserted       int  // tuples physically inserted
-	Deleted        int  // tuples physically removed (absent deletes are no-ops)
-	ViewsChanged   int  // views whose extents were patched
-	StatsRefreshed bool // churn drift passed the threshold: statistics rebuilt
-
-	// MaxExclusive is the longest contiguous exclusive-lock window the
-	// batch imposed on readers: the whole maintenance for this handle's
-	// single write lock, one shard's slice of it for LiveSharded — the
-	// stall bound the sharded scaling experiment tracks.
-	MaxExclusive time.Duration
-}
-
-// Statistics drift policy: rebuild when the physical ops since the last
-// build exceed statsDriftFrac of the current |D| (and at least
-// statsMinChurn, so tiny instances don't rebuild per batch).
-const (
-	statsDriftFrac = 0.2
-	statsMinChurn  = 256
-)
-
-// OpenLive builds the live state over db: fetch indices for the system's
-// access schema, the delta engine for its views, and the prepared
-// (interned) view extents for plan execution. The database must not be
-// mutated behind the handle's back afterwards — route all changes through
-// ApplyDelta.
-func (sys *System) OpenLive(db *Database) (*Live, error) {
-	eng, err := eval.NewDeltaEngine(db, sys.Views)
-	if err != nil {
-		return nil, err
-	}
-	ix, err := instance.BuildIndexes(db, sys.Access)
-	if err != nil {
-		return nil, err
-	}
-	l := &Live{sys: sys, id: liveIDs.Add(1), db: db, ix: ix, eng: eng, pv: plan.PrepareIDViews(ix, eng.ExtentsIDs())}
-	l.rebuildStatsLocked()
-	return l, nil
-}
-
-// liveIDs hands every Live handle a process-unique identity, so prepared
-// queries can remember which handle they last selected a plan for without
-// retaining the handle (and its database) itself.
-var liveIDs atomic.Uint64
-
-// rebuildStatsLocked collects fresh cost-model statistics from the
-// interned table shadows and the live view extents. Callers hold the
-// write lock (or have exclusive access, as in OpenLive).
-func (l *Live) rebuildStatsLocked() {
-	rs := instance.CollectStats(l.db)
-	st := &plan.Stats{
-		RelRows:      rs.Rows,
-		RelDistinct:  make(map[string]map[string]int, len(rs.Rows)),
-		ViewRows:     make(map[string]int),
-		ViewDistinct: make(map[string][]int),
-	}
-	for name, counts := range rs.Distinct {
-		rel := l.sys.Schema.Relation(name)
-		if rel == nil {
-			continue
-		}
-		byAttr := make(map[string]int, len(counts))
-		for i, a := range rel.Attrs {
-			if i < len(counts) {
-				byAttr[a] = counts[i]
-			}
-		}
-		st.RelDistinct[name] = byAttr
-	}
-	for name, rows := range l.eng.ExtentsIDs() {
-		st.ViewRows[name] = len(rows)
-		st.ViewDistinct[name] = intern.DistinctCols(rows)
-	}
-	l.stats = st
-	l.statsVer++
-	l.statsChurn = 0
-}
-
-// Stats returns the current cost-model statistics and their version. The
-// returned Stats is SHARED, not copied: it is immutable once published
-// (rebuilds install a fresh value rather than patching in place), so
-// callers may estimate against it without holding the lock but must treat
-// it as read-only — mutating its maps corrupts every other holder.
-func (l *Live) Stats() (*plan.Stats, uint64) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.stats, l.statsVer
-}
-
-// ApplyDelta applies a batch of mutations (deletes first, then inserts;
-// each delete removes one occurrence of its row and is a no-op when
-// absent) and incrementally maintains the row shadows, the fetch indices,
-// the counted view extents and the prepared plan inputs. Per-batch cost
-// depends on the data the delta's residual joins touch, not on |D|.
-func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	t0 := time.Now()
-	a, err := l.db.ApplyDelta(inserts, deletes)
-	if err != nil {
-		return DeltaStats{}, err
-	}
-	if err := l.ix.Apply(a); err != nil {
-		return DeltaStats{}, err
-	}
-	changed, err := l.eng.Apply(a)
-	if err != nil {
-		return DeltaStats{}, err
-	}
-	for _, name := range changed {
-		l.pv.Set(name, l.eng.ExtentIDs(name))
-	}
-	st := DeltaStats{Inserted: len(a.Inserted), Deleted: len(a.Deleted), ViewsChanged: len(changed)}
-	l.statsChurn += st.Inserted + st.Deleted
-	if float64(l.statsChurn) >= statsDriftFrac*float64(l.db.Size()) && l.statsChurn >= statsMinChurn {
-		l.rebuildStatsLocked()
-		st.StatsRefreshed = true
-	}
-	st.MaxExclusive = time.Since(t0)
-	return st, nil
-}
-
-// Execute runs a plan against the always-fresh views and indices,
-// returning the answer rows and the tuples fetched from D by this call.
-func (l *Live) Execute(p Plan) ([][]string, int, error) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	before := l.ix.FetchedTuples()
-	rows, err := plan.RunPrepared(p, l.ix, l.pv)
-	if err != nil {
-		return nil, 0, err
-	}
-	return rows, l.ix.FetchedTuples() - before, nil
-}
-
-// Views returns a decoded snapshot of the current view extents. The
-// returned map and rows are fresh COPIES owned by the caller: mutating
-// them never affects the handle, and later deltas never mutate a snapshot
-// already handed out (the aliasing regression tests pin this for both
-// this handle and LiveSharded).
-func (l *Live) Views() map[string][][]string {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.eng.Views()
-}
-
-// Size returns the current |D|.
-func (l *Live) Size() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.db.Size()
-}
-
-// Indexed exposes the live fetch indices (for fetch accounting). Treat as
-// read-only; mutations go through ApplyDelta.
-func (l *Live) Indexed() *Indexed { return l.ix }
 
 // EvalDirect evaluates a UCQ by full scans (the baseline an engine without
 // access constraints performs).

@@ -606,7 +606,7 @@ func BenchmarkLive_ApplyDelta(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			l, err := sys.OpenLive(db)
+			l, err := sys.Open(db)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -647,10 +647,10 @@ func BenchmarkLive_FullRefresh(b *testing.B) {
 	}
 }
 
-// BenchmarkSystemExecuteRepeated guards the prepared-view cache on
-// System.Execute: iterations after the first must not re-intern the view
-// extents (compare allocs/op with the view size; see also
-// TestSystemExecuteCachesPreparedViews).
+// BenchmarkSystemExecuteRepeated guards the explicit prepared-view path:
+// iterations over a PreparedViewSet must not re-intern the view extents
+// (compare allocs/op with the view size; see also
+// TestSystemPreparedViewSet).
 func BenchmarkSystemExecuteRepeated(b *testing.B) {
 	m := workload.NewMovies(50)
 	db := m.Generate(workload.MoviesParams{Persons: 20000, Movies: 20000, LikesPerPerson: 5, NASAShare: 10, Seed: 7})
@@ -667,10 +667,11 @@ func BenchmarkSystemExecuteRepeated(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := m.Fig1Plan()
+	pv := sys.PrepareViews(ix, views)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sys.Execute(p, ix, views); err != nil {
+		if _, _, err := sys.ExecutePrepared(p, ix, pv); err != nil {
 			b.Fatal(err)
 		}
 	}

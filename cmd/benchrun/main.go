@@ -13,6 +13,7 @@
 //	benchrun -exp churn live updates: incremental maintenance vs full refresh
 //	benchrun -exp planpick cost-based selection over the full candidate frontier
 //	benchrun -exp shard sharded scatter-gather: partitioned maintenance + serving scaling
+//	benchrun -exp epoch epoch-pinned reads: reader tail latency under a churning writer
 //	benchrun -exp all   everything (default)
 //
 // With -json FILE, per-experiment wall-clock timings and the individual
@@ -69,10 +70,12 @@ type measurement struct {
 	Speedup        float64 `json:"speedup,omitempty"`          // churn: refresh_ns / maintain_ns; planpick: worst/chosen gap; shard: throughput vs 1 shard
 	Candidates     int     `json:"candidates,omitempty"`       // planpick: enumerated candidate plans
 	CacheHit       bool    `json:"cache_hit,omitempty"`        // planpick: renamed re-Prepare hit the cache
+	P50NS          int64   `json:"p50_ns,omitempty"`           // epoch: median reader latency
+	P99NS          int64   `json:"p99_ns,omitempty"`           // epoch: tail reader latency
+	Batches        int     `json:"batches,omitempty"`          // epoch: writer batches applied while sampling
 	Shards         int     `json:"shards,omitempty"`           // shard: partition count of this run
 	OpsPerSec      float64 `json:"ops_per_sec,omitempty"`      // shard: delta ops applied per second
 	QPS            float64 `json:"qps,omitempty"`              // shard: point queries served per second under churn
-	StallFrac      float64 `json:"stall_frac,omitempty"`       // shard: reader time spent blocked behind writer locks
 	MaxExclusiveNS int64   `json:"max_exclusive_ns,omitempty"` // shard: longest single-lock exclusive window per batch
 	ExclCut        float64 `json:"excl_window_cut,omitempty"`  // shard: exclusive-window reduction vs 1 shard
 }
@@ -90,7 +93,7 @@ var rep report
 func record(m measurement) { rep.Measurements = append(rep.Measurements, m) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, all)")
+	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, all)")
 	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file")
 	flag.Parse()
 	rep.Experiments = []expTiming{}
@@ -115,8 +118,9 @@ func main() {
 	run("churn", expChurn)
 	run("planpick", expPlanPick)
 	run("shard", expShard)
+	run("epoch", expEpoch)
 	if !matched {
-		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard or all)", *exp)
+		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch or all)", *exp)
 	}
 	if *jsonPath != "" {
 		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -529,7 +533,7 @@ func expChurn() {
 		plan.PrepareViews(ixFresh, views)
 		refresh := time.Since(t0)
 
-		l, err := sys.OpenLive(db)
+		l, err := sys.Open(db)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -606,7 +610,7 @@ func expPlanPick() {
 	fmt.Println("|---|---|---|---|---|---|---|")
 	for _, rows := range []int{500, 5000, 50000} {
 		db := pp.Generate(rows, 4, 7)
-		l, err := sys.OpenLive(db)
+		l, err := sys.Open(db)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -686,16 +690,21 @@ func expPlanPick() {
 //   - point-read serving under churn: prepared per-uid queries whose
 //     bounded plans route to a single shard, executed by concurrent
 //     readers while a writer applies large batches back-to-back. Besides
-//     raw throughput, the readers account their STALL time — latency
-//     spent blocked behind the writer's exclusive locks. Partitioning
-//     shrinks the exclusive window a reader can collide with from the
-//     whole batch to one shard's slice of it, so the stall reduction is
-//     the architectural signal and shows at any GOMAXPROCS.
+//     raw throughput, the per-batch maintenance window is tracked: epoch
+//     publication means readers never block on it, but it bounds how far
+//     the served epoch can lag the writer, and partitioning shrinks it
+//     from the whole batch to one shard's slice — the architectural
+//     signal, visible at any GOMAXPROCS.
 //
-// The wall-clock throughput ratios are a parallel scatter: they need
-// actual cores. With GOMAXPROCS >= 4 (CI and any real deployment) the run
-// FAILS unless 8-shard delta and serving throughput are both >= 2x the
-// single-shard baseline; the stall-reduction gate applies everywhere.
+// The delta-throughput ratio is a parallel scatter: it needs actual
+// cores. With GOMAXPROCS >= 4 (CI and any real deployment) the run FAILS
+// unless 8-shard delta throughput is >= 2x the single-shard baseline;
+// the window-reduction gate applies everywhere. Serving throughput is
+// gated as a NO-REGRESSION bound (8 shards >= 0.6x of 1 shard): under
+// epoch-pinned reads serving is lock-free at every shard count, so the
+// old >= 2x spread — which existed only because the RWMutex baseline
+// stalled single-shard readers behind the writer — is gone by design
+// (the epoch experiment gates the latency story directly).
 //
 // Scale independence is asserted throughout: per-query fetch volume is
 // bounded by NTxn and identical at every shard count.
@@ -730,8 +739,8 @@ func expShard() {
 
 	fmt.Printf("|D| = %d tuples, delta batches of %d ops, %d readers vs %d-op writer batches, GOMAXPROCS=%d\n\n",
 		users*(1+txnsPer), batchOps, readers, writeBatch, runtime.GOMAXPROCS(0))
-	fmt.Println("| shards | delta ops/s | vs 1 shard | excl. window (med) | stall-bound cut | serve q/s | vs 1 shard | reader stall | fetched/query |")
-	fmt.Println("|---|---|---|---|---|---|---|---|---|")
+	fmt.Println("| shards | delta ops/s | vs 1 shard | maint window (med) | window cut | serve q/s | vs 1 shard | fetched/query |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
 
 	var deltaBase, serveBase float64
 	var exclBase time.Duration
@@ -739,17 +748,18 @@ func expShard() {
 	for _, p := range []int{1, 2, 4, 8} {
 		db := w.Generate(users, txnsPer, 7)
 		mirror := db.Clone()
-		sl, err := sys.OpenLiveSharded(db, p)
+		h, err := sys.Open(db, repro.WithShards(p))
 		if err != nil {
 			log.Fatal(err)
 		}
+		sl := h.(*repro.LiveSharded)
 		ch := w.NewChurn(mirror, 11)
 
 		// Correctness preflight: served answers equal recomputation and
 		// the fetch volume is bounded and shard-count-independent.
 		fetchedPerQuery := 0
 		for i, pq := range pqs {
-			rows, fetched, err := pq.ExecuteSharded(sl)
+			rows, fetched, err := pq.Execute(sl)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -788,7 +798,7 @@ func expShard() {
 			applied += len(ins) + len(del)
 		}
 		opsPerSec := float64(applied) / time.Since(t0).Seconds()
-		// Median across batches: the typical stall bound, robust against a
+		// Median across batches: the typical window, robust against a
 		// GC pause landing inside one shard's section.
 		sort.Slice(excls, func(i, j int) bool { return excls[i] < excls[j] })
 		excl := excls[len(excls)/2]
@@ -796,7 +806,6 @@ func expShard() {
 		// Phase B: point-read serving while a writer churns back-to-back.
 		runtime.GC()
 		var served atomic.Int64
-		stall0 := sl.LockStall()
 		stop := make(chan struct{})
 		var wg sync.WaitGroup
 		for r := 0; r < readers; r++ {
@@ -809,7 +818,7 @@ func expShard() {
 						return
 					default:
 					}
-					if _, _, err := pqs[(r*5+i)%len(pqs)].ExecuteSharded(sl); err != nil {
+					if _, _, err := pqs[(r*5+i)%len(pqs)].Execute(sl); err != nil {
 						log.Fatal(err)
 					}
 					served.Add(1)
@@ -841,9 +850,6 @@ func expShard() {
 		close(stop)
 		wg.Wait()
 		qps := float64(served.Load()) / wall
-		// Stall fraction: reader-seconds spent actually blocked behind the
-		// writer's locks, per reader-second of wall time.
-		stall := (sl.LockStall() - stall0).Seconds() / (float64(readers) * wall)
 
 		if p == 1 {
 			deltaBase, serveBase, exclBase = opsPerSec, qps, excl
@@ -857,32 +863,152 @@ func expShard() {
 			DBSize: users * (1 + txnsPer), BatchOps: batchOps, OpsPerSec: opsPerSec,
 			MaxExclusiveNS: int64(excl), ExclCut: eR, Speedup: dR})
 		record(measurement{Experiment: "shard", Name: "serving", Shards: p,
-			DBSize: users * (1 + txnsPer), QPS: qps, StallFrac: stall, Speedup: sR,
+			DBSize: users * (1 + txnsPer), QPS: qps, Speedup: sR,
 			Fetched: fetchedPerQuery / len(pqs)})
-		fmt.Printf("| %d | %.0f | %.2fx | %s | %.1fx | %.0f | %.2fx | %.1f%% | %d |\n",
-			p, opsPerSec, dR, excl.Round(time.Microsecond), eR, qps, sR, 100*stall, fetchedPerQuery/len(pqs))
+		fmt.Printf("| %d | %.0f | %.2fx | %s | %.1fx | %.0f | %.2fx | %d |\n",
+			p, opsPerSec, dR, excl.Round(time.Microsecond), eR, qps, sR, fetchedPerQuery/len(pqs))
 	}
 
-	fmt.Println("\n(The exclusive window is the longest contiguous lock hold a batch imposes:")
-	fmt.Println("the whole maintenance at one shard, one shard's slice at eight — the stall")
-	fmt.Println("bound a concurrent point read can collide with, and the 'global writer")
-	fmt.Println("stall' partitioning removes. It shrinks ~P-fold at any GOMAXPROCS. The")
+	fmt.Println("\n(The maintenance window is the longest single-shard slice of a batch's")
+	fmt.Println("maintenance. Under epoch reads it blocks nobody — readers stay on the")
+	fmt.Println("previous epoch, see -exp epoch for the latency proof — but it bounds the")
+	fmt.Println("batch's publication lag and shrinks ~P-fold at any GOMAXPROCS. The")
 	fmt.Println("wall-clock delta and serving ratios are a parallel scatter: they need")
 	fmt.Println("cores, and are gated when GOMAXPROCS >= 4.)")
 	if exclRatio < 2 {
-		log.Fatalf("writer exclusive window at 8 shards shrank only %.2fx vs the single-shard baseline (< 2x)", exclRatio)
+		log.Fatalf("per-shard maintenance window at 8 shards shrank only %.2fx vs the single-shard baseline (< 2x)", exclRatio)
 	}
 	if runtime.GOMAXPROCS(0) >= 4 {
 		if deltaRatio < 2 {
 			log.Fatalf("delta throughput at 8 shards is %.2fx the single-shard baseline (< 2x with %d procs)",
 				deltaRatio, runtime.GOMAXPROCS(0))
 		}
-		if serveRatio < 2 {
-			log.Fatalf("serving throughput at 8 shards is %.2fx the single-shard baseline (< 2x with %d procs)",
+		if serveRatio < 0.6 {
+			log.Fatalf("serving throughput at 8 shards regressed to %.2fx the single-shard baseline (< 0.6x with %d procs)",
 				serveRatio, runtime.GOMAXPROCS(0))
 		}
 	} else {
 		fmt.Printf("\n(GOMAXPROCS=%d: the parallel-scatter throughput gates need >= 4 procs and were\n", runtime.GOMAXPROCS(0))
-		fmt.Println("skipped; the exclusive-window gate above ran and is the single-core signal.)")
+		fmt.Println("skipped; the maintenance-window gate above ran and is the single-core signal.)")
+	}
+}
+
+// expEpoch measures what the epoch redesign buys readers: plan latency
+// while a writer applies churn batches back-to-back. Under the old
+// RWMutex design a read colliding with a batch stalled for up to the
+// whole maintenance window (milliseconds at this size — the unbounded
+// tail); under epoch-pinned snapshots a reader loads the current epoch
+// pointer and never blocks, so its tail latency under churn must stay
+// within a small factor of the idle tail.
+//
+// Gate (GOMAXPROCS >= 2: the reader needs a core the writer is not
+// using): reader p99 under churn <= 3x max(idle p99, 250µs). The floor
+// absorbs microsecond-scale scheduler noise; an RWMutex-style stall of
+// even one maintenance window per 100 reads blows the gate by an order
+// of magnitude.
+func expEpoch() {
+	header("EXP-EPOCH — epoch-pinned snapshot reads: reader latency under a churning writer")
+	const (
+		n        = 8000
+		samples  = 4000
+		batchOps = 1500
+	)
+	m := workload.NewMovies(50)
+	db := m.Generate(workload.MoviesParams{Persons: n, Movies: n, LikesPerPerson: 5, NASAShare: 10, Seed: 7})
+	size0 := db.Size()
+	sys, err := repro.NewSystem(m.Schema, m.Access, m.Views(), 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := sys.Open(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xi0 := m.Fig1Plan()
+	ch := workload.NewChurn(m, db, workload.ChurnParams{Seed: 1})
+	// Warm-up: lazy one-time builds plus one batch so steady state rules.
+	ins, del := ch.Batch(batchOps)
+	if _, err := l.ApplyDelta(ins, del); err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := l.Execute(xi0); err != nil {
+		log.Fatal(err)
+	}
+
+	sample := func() []time.Duration {
+		lat := make([]time.Duration, samples)
+		for i := range lat {
+			t0 := time.Now()
+			if _, _, err := l.Execute(xi0); err != nil {
+				log.Fatal(err)
+			}
+			lat[i] = time.Since(t0)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat
+	}
+	pct := func(lat []time.Duration, p float64) time.Duration {
+		return lat[min(len(lat)-1, int(p*float64(len(lat))))]
+	}
+
+	runtime.GC()
+	idle := sample()
+	idleP50, idleP99 := pct(idle, 0.50), pct(idle, 0.99)
+
+	// Churn phase: a writer applies batches back-to-back while the same
+	// reader samples.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var batches atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ins, del := ch.Batch(batchOps)
+			if _, err := l.ApplyDelta(ins, del); err != nil {
+				log.Fatal(err)
+			}
+			batches.Add(1)
+		}
+	}()
+	runtime.GC()
+	churn := sample()
+	close(stop)
+	wg.Wait()
+	churnP50, churnP99 := pct(churn, 0.50), pct(churn, 0.99)
+
+	record(measurement{Experiment: "epoch", Name: "idle", DBSize: size0,
+		P50NS: int64(idleP50), P99NS: int64(idleP99)})
+	record(measurement{Experiment: "epoch", Name: "churn", DBSize: size0,
+		P50NS: int64(churnP50), P99NS: int64(churnP99), BatchOps: batchOps, Batches: int(batches.Load())})
+
+	fmt.Printf("|D| = %d tuples, %d latency samples per phase, churn batches of %d ops (%d applied while sampling), GOMAXPROCS=%d\n\n",
+		size0, samples, batchOps, batches.Load(), runtime.GOMAXPROCS(0))
+	fmt.Println("| phase | reader p50 | reader p99 |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| idle | %s | %s |\n", idleP50.Round(time.Microsecond), idleP99.Round(time.Microsecond))
+	fmt.Printf("| under churn | %s | %s |\n", churnP50.Round(time.Microsecond), churnP99.Round(time.Microsecond))
+
+	floor := 250 * time.Microsecond
+	bound := 3 * max(idleP99, floor)
+	fmt.Printf("\ngate: churn p99 %s <= 3 x max(idle p99, %s) = %s\n",
+		churnP99.Round(time.Microsecond), floor, bound.Round(time.Microsecond))
+	fmt.Println("(readers load an atomic epoch pointer and never take a lock ApplyDelta")
+	fmt.Println("holds; the RWMutex baseline stalled reads for whole maintenance windows.)")
+	if runtime.GOMAXPROCS(0) >= 2 {
+		if batches.Load() == 0 {
+			log.Fatal("the churn writer applied no batches while sampling — the gate measured nothing")
+		}
+		if churnP99 > bound {
+			log.Fatalf("reader p99 under churn %s exceeds %s — epoch reads are stalling behind the writer",
+				churnP99, bound)
+		}
+	} else {
+		fmt.Println("\n(GOMAXPROCS=1: the latency gate needs the reader and writer on separate procs; skipped.)")
 	}
 }

@@ -89,4 +89,33 @@ func main() {
 		fmt.Printf("  plan fetched %4d tuples (bound %d) in %8s; direct scan took %8s (%.1fx)\n",
 			fetched, 2*n0, planTime, directTime, float64(directTime)/float64(planTime))
 	}
+
+	// Serving under churn: Open returns the unified Handle; every
+	// ApplyDelta publishes a new epoch, and a Snapshot pins one — reads
+	// through it stay on the pre-batch state without blocking the writer.
+	db := m.Generate(workload.MoviesParams{
+		Persons: 5000, Movies: 5000, LikesPerPerson: 6, NASAShare: 10, Seed: 42,
+	})
+	h, err := sys.Open(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := h.Snapshot()
+	if _, err := h.ApplyDelta(
+		[]repro.Op{{Rel: "rating", Row: repro.Tuple{"m1", "5"}}},
+		[]repro.Op{{Rel: "rating", Row: repro.Tuple{"m0", "5"}}},
+	); err != nil {
+		log.Fatal(err)
+	}
+	pre, preFetched, err := snap.Execute(res.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	post, _, err := h.Execute(res.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive serving: snapshot pinned at epoch %d answers %d rows (fetched %d ≤ %d);\n",
+		snap.Epoch(), len(pre), preFetched, 2*n0)
+	fmt.Printf("current epoch answers %d rows after the delta — the pinned reader never blocked.\n", len(post))
 }

@@ -1,0 +1,474 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/instance"
+	"repro/internal/intern"
+	"repro/internal/plan"
+)
+
+// Handle is the unified serving interface over one live database, whether
+// it is held in a single instance (the default) or hash-partitioned
+// across shards (Open with WithShards). Both engines serve the same
+// contract:
+//
+//   - Execute answers a plan against the CURRENT epoch: the latest
+//     published immutable version of the prepared views, fetch indices
+//     and statistics. Readers never take a maintenance-scoped lock — the
+//     only synchronization they share with a writer is the value
+//     dictionary's per-operation mutex (O(1) hold per interned value) —
+//     so an overlapping ApplyDelta is invisible until its epoch is
+//     published atomically and reads are never torn (on the sharded
+//     engine the epoch is cross-shard consistent).
+//   - Snapshot pins the current epoch: every read through the snapshot
+//     sees exactly that version, no matter how many deltas land after.
+//   - ApplyDelta installs the next epoch. Writers serialize among
+//     themselves; they never wait for readers.
+//
+// Epoch lifetime and memory: consecutive epochs share all untouched
+// structure (copy-on-write at the patched-structure granularity), so an
+// epoch's marginal footprint tracks its batch's delta. A superseded epoch
+// is garbage-collected as soon as no Snapshot pins it; holding a Snapshot
+// retains its epoch's versions (not the whole history) for as long as the
+// snapshot lives. Close fences writers and releases the maintenance
+// machinery; snapshots already taken keep working.
+//
+// Handle is implemented by *Live and *LiveSharded only (the interface is
+// sealed by an unexported method).
+type Handle interface {
+	// Execute runs a plan against the current epoch, returning the answer
+	// rows and the number of tuples this call fetched from the underlying
+	// database (|Dξ|). Per-call attribution is exact even under
+	// concurrent readers and writers.
+	Execute(p Plan) ([][]string, int, error)
+	// ApplyDelta applies a batch of mutations (deletes first, then
+	// inserts; each delete removes one occurrence and is a no-op when
+	// absent) and publishes the next epoch.
+	ApplyDelta(inserts, deletes []Op) (DeltaStats, error)
+	// Snapshot pins the current epoch for isolated, repeatable reads.
+	Snapshot() *Snapshot
+	// Views returns a decoded copy of the current epoch's view extents.
+	Views() map[string][][]string
+	// Stats returns the current cost-model statistics and their version.
+	// The Stats value is immutable once published; treat it as read-only.
+	Stats() (*plan.Stats, uint64)
+	// Size returns |D| as of the current epoch.
+	Size() int
+	// FetchedTuples returns the handle-lifetime count of tuples fetched
+	// from the database across all calls and snapshots.
+	FetchedTuples() int
+	// Close fences writers: later ApplyDelta calls fail, reads keep
+	// serving the final epoch, and the writer-side maintenance machinery
+	// is released.
+	Close() error
+
+	handleID() uint64
+}
+
+// ErrClosed is returned by ApplyDelta on a closed handle.
+var ErrClosed = fmt.Errorf("repro: handle is closed")
+
+// Statistics drift defaults: rebuild when the physical ops since the last
+// build exceed the drift fraction of the current |D| (and at least the
+// minimum churn, so tiny instances don't rebuild per batch).
+const (
+	defaultStatsDrift    = 0.2
+	defaultStatsMinChurn = 256
+)
+
+// openConfig collects Open's functional options.
+type openConfig struct {
+	shards        int
+	statsDrift    float64
+	statsMinChurn int
+}
+
+// OpenOption configures Open.
+type OpenOption func(*openConfig)
+
+// WithShards hash-partitions the database into p shards (p >= 1): batched
+// deltas are routed per shard and maintained concurrently, and fetches
+// whose constraint binds the partition key become single-shard point
+// reads. WithShards(1) is the degenerate partition, useful as a scaling
+// baseline. Without this option the single-instance engine serves.
+func WithShards(p int) OpenOption { return func(c *openConfig) { c.shards = p } }
+
+// WithStatsDrift sets the churn fraction of |D| past which the cost-model
+// statistics are rebuilt (default 0.2).
+func WithStatsDrift(frac float64) OpenOption {
+	return func(c *openConfig) { c.statsDrift = frac }
+}
+
+// WithStatsMinChurn sets the minimum physical ops before a statistics
+// rebuild is considered (default 256).
+func WithStatsMinChurn(n int) OpenOption {
+	return func(c *openConfig) { c.statsMinChurn = n }
+}
+
+// Open builds a serving handle over db: fetch indices for the system's
+// access schema, incremental maintenance for its views, cost-model
+// statistics, and the epoch machinery for lock-free snapshot reads. The
+// database must not be used directly afterwards — route all reads and
+// writes through the handle (with WithShards the database is consumed:
+// its rows move into the partitions).
+func (sys *System) Open(db *Database, opts ...OpenOption) (Handle, error) {
+	cfg := openConfig{statsDrift: defaultStatsDrift, statsMinChurn: defaultStatsMinChurn}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards > 0 {
+		return sys.openSharded(db, cfg)
+	}
+	return sys.openLive(db, cfg)
+}
+
+// liveIDs hands every handle a process-unique identity, so prepared
+// queries can remember which handle they last selected a plan for without
+// retaining the handle (and its database) itself.
+var liveIDs atomic.Uint64
+
+// epochState is one published epoch: every structure a reader touches,
+// immutable once stored in the handle's atomic pointer.
+type epochState struct {
+	seq      uint64
+	src      plan.Source // accounting-free fetch source pinned to this epoch
+	pv       *plan.PreparedViews
+	dict     *intern.Dict
+	viewIDs  func() map[string][][]uint32 // interned extents (lazy on sharded epochs)
+	stats    *plan.Stats
+	statsVer uint64
+	size     int
+}
+
+// countedSource wraps an epoch's fetch source with exact accounting: one
+// counter per attribution level (call, snapshot, handle). Counters are
+// atomic because independent plan subtrees fetch concurrently.
+type countedSource struct {
+	src      plan.Source
+	counters [3]*atomic.Int64
+}
+
+func (c *countedSource) Dict() *intern.Dict { return c.src.Dict() }
+
+func (c *countedSource) FetchIDs(con *Constraint, xval []uint32) ([][]uint32, error) {
+	rows, err := c.src.FetchIDs(con, xval)
+	if err == nil {
+		n := int64(len(rows))
+		for _, ctr := range c.counters {
+			if ctr != nil {
+				ctr.Add(n)
+			}
+		}
+	}
+	return rows, err
+}
+
+// Snapshot is an epoch-pinned, immutable view of a handle's state: every
+// read through it — Execute, Views, Fetch, Size — answers against exactly
+// the epoch that was current when it was taken, no matter how many deltas
+// are applied afterwards, and never blocks on (or is blocked by) writers.
+//
+// A snapshot retains its epoch's structures; drop it to let superseded
+// epochs be garbage-collected. Snapshots are safe for concurrent use.
+type Snapshot struct {
+	hid      uint64
+	e        *epochState
+	fetched  atomic.Int64 // tuples fetched through this snapshot
+	hfetched *atomic.Int64
+}
+
+// Epoch returns the pinned epoch's sequence number (0 for the state the
+// handle was opened with, +1 per applied batch).
+func (s *Snapshot) Epoch() uint64 { return s.e.seq }
+
+// Size returns |D| as of the pinned epoch.
+func (s *Snapshot) Size() int { return s.e.size }
+
+// Stats returns the pinned epoch's cost-model statistics and version.
+func (s *Snapshot) Stats() (*plan.Stats, uint64) { return s.e.stats, s.e.statsVer }
+
+// FetchedTuples returns the tuples fetched through THIS snapshot so far —
+// the read-only fetch-accounting accessor that replaces reaching into the
+// handle's mutable index. Attribution is exact: concurrent readers on
+// other snapshots (or the handle) never inflate it.
+func (s *Snapshot) FetchedTuples() int { return int(s.fetched.Load()) }
+
+// Execute runs a plan against the pinned epoch, returning the answer rows
+// and the tuples fetched from the database by this call (exact per-call
+// attribution, also under concurrent use).
+func (s *Snapshot) Execute(p Plan) ([][]string, int, error) {
+	var call atomic.Int64
+	src := &countedSource{src: s.e.src, counters: [3]*atomic.Int64{&call, &s.fetched, s.hfetched}}
+	rows, err := plan.RunOn(p, src, s.e.pv)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, int(call.Load()), nil
+}
+
+// Views returns a decoded copy of the pinned epoch's view extents. The
+// returned map and rows are owned by the caller.
+func (s *Snapshot) Views() map[string][][]string {
+	ids := s.e.viewIDs()
+	out := make(map[string][][]string, len(ids))
+	for name, rows := range ids {
+		out[name] = s.e.dict.DecodeAll(rows)
+		if out[name] == nil {
+			out[name] = [][]string{}
+		}
+	}
+	return out
+}
+
+// Fetch performs fetch(X = xval, R, Y) for constraint c against the
+// pinned epoch, decoding the distinct XY-projections. Fetched tuples are
+// accounted to the snapshot and the handle.
+func (s *Snapshot) Fetch(c *Constraint, xval Tuple) ([]Tuple, error) {
+	if len(xval) != len(c.X) {
+		return nil, fmt.Errorf("repro: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
+	}
+	key := make([]uint32, len(xval))
+	for i, v := range xval {
+		id, ok := s.e.dict.Lookup(v)
+		if !ok {
+			return nil, nil // value never interned: no row can match
+		}
+		key[i] = id
+	}
+	src := &countedSource{src: s.e.src, counters: [3]*atomic.Int64{&s.fetched, s.hfetched, nil}}
+	idRows, err := src.FetchIDs(c, key)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Tuple, len(idRows))
+	for i, r := range idRows {
+		rows[i] = Tuple(s.e.dict.Decode(r))
+	}
+	return rows, nil
+}
+
+// DeltaStats summarizes one applied batch.
+type DeltaStats struct {
+	Inserted       int  // tuples physically inserted
+	Deleted        int  // tuples physically removed (absent deletes are no-ops)
+	ViewsChanged   int  // views whose extents changed in the new epoch
+	StatsRefreshed bool // churn drift passed the threshold: statistics rebuilt
+
+	// MaxExclusive is the longest contiguous single-structure maintenance
+	// window of the batch: the whole maintenance for the single-instance
+	// engine, the slowest shard's slice for the sharded one. Under epoch
+	// reads it no longer blocks anyone — readers stay on the previous
+	// epoch — but it still bounds the batch's publication lag, which is
+	// what the sharded scaling experiment tracks.
+	MaxExclusive time.Duration
+}
+
+// Live is the single-instance serving handle: the fetch indices, the
+// counting-based view maintenance engine and the interned plan inputs are
+// kept incrementally consistent as batched deltas arrive, and every batch
+// publishes a new immutable epoch. Readers (Execute/Views/Size/Snapshot)
+// load the current epoch from an atomic pointer and never take a lock;
+// writers (ApplyDelta) serialize among themselves only.
+type Live struct {
+	sys *System
+	id  uint64
+	cfg openConfig
+
+	mu         sync.Mutex // serializes writers; readers never take it
+	closed     bool
+	db         *Database
+	eng        *eval.DeltaEngine
+	vix        *instance.VIndex
+	statsChurn int // physical ops applied since stats was built
+	statsVer   uint64
+	seq        uint64
+
+	cur     atomic.Pointer[epochState]
+	fetched atomic.Int64 // handle-lifetime fetched tuples
+}
+
+func (sys *System) openLive(db *Database, cfg openConfig) (*Live, error) {
+	eng, err := eval.NewDeltaEngine(db, sys.Views)
+	if err != nil {
+		return nil, err
+	}
+	vix, err := instance.BuildVIndex(db, sys.Access)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{sys: sys, id: liveIDs.Add(1), cfg: cfg, db: db, eng: eng, vix: vix}
+	views := make(map[string][][]uint32, len(sys.Views))
+	for name := range sys.Views {
+		views[name] = eng.PublishExtentIDs(name)
+	}
+	l.publishLocked(views, l.collectStatsLocked())
+	return l, nil
+}
+
+// collectStatsLocked builds fresh cost-model statistics from the interned
+// table shadows and the live view extents. Callers hold the write lock
+// (or have exclusive access, as in openLive).
+func (l *Live) collectStatsLocked() *plan.Stats {
+	rs := instance.CollectStats(l.db)
+	st := &plan.Stats{
+		RelRows:      rs.Rows,
+		RelDistinct:  make(map[string]map[string]int, len(rs.Rows)),
+		ViewRows:     make(map[string]int),
+		ViewDistinct: make(map[string][]int),
+	}
+	for name, counts := range rs.Distinct {
+		rel := l.sys.Schema.Relation(name)
+		if rel == nil {
+			continue
+		}
+		byAttr := make(map[string]int, len(counts))
+		for i, a := range rel.Attrs {
+			if i < len(counts) {
+				byAttr[a] = counts[i]
+			}
+		}
+		st.RelDistinct[name] = byAttr
+	}
+	for name, rows := range l.eng.ExtentsIDs() {
+		st.ViewRows[name] = len(rows)
+		st.ViewDistinct[name] = intern.DistinctCols(rows)
+	}
+	l.statsVer++
+	l.statsChurn = 0
+	return st
+}
+
+// publishLocked installs the next epoch. stats == nil carries the
+// previous epoch's statistics forward.
+func (l *Live) publishLocked(views map[string][][]uint32, stats *plan.Stats) {
+	prev := l.cur.Load()
+	if stats == nil {
+		stats = prev.stats
+	}
+	e := &epochState{
+		seq:      l.seq,
+		src:      l.vix,
+		pv:       plan.NewPreparedViews(l.db.Dict, views),
+		dict:     l.db.Dict,
+		viewIDs:  func() map[string][][]uint32 { return views },
+		stats:    stats,
+		statsVer: l.statsVer,
+		size:     l.db.Size(),
+	}
+	l.seq++
+	l.cur.Store(e)
+}
+
+func (l *Live) handleID() uint64 { return l.id }
+
+// ApplyDelta applies a batch of mutations (deletes first, then inserts)
+// and publishes a new epoch with the incrementally maintained row
+// shadows, fetch indices, counted view extents and prepared plan inputs.
+// Per-batch cost depends on the data the delta's residual joins touch,
+// not on |D|. Readers are never blocked: they stay on the previous epoch
+// until the new one is published atomically.
+func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return DeltaStats{}, ErrClosed
+	}
+	t0 := time.Now()
+	a, err := l.db.ApplyDelta(inserts, deletes)
+	if err != nil {
+		return DeltaStats{}, err
+	}
+	vix, err := l.vix.Apply(a)
+	if err != nil {
+		return DeltaStats{}, err
+	}
+	l.vix = vix
+	changed, err := l.eng.Apply(a)
+	if err != nil {
+		return DeltaStats{}, err
+	}
+	prev := l.cur.Load().viewIDs()
+	views := make(map[string][][]uint32, len(prev))
+	for name, rows := range prev {
+		views[name] = rows
+	}
+	for _, name := range changed {
+		views[name] = l.eng.PublishExtentIDs(name)
+	}
+	st := DeltaStats{Inserted: len(a.Inserted), Deleted: len(a.Deleted), ViewsChanged: len(changed)}
+	l.statsChurn += st.Inserted + st.Deleted
+	var stats *plan.Stats
+	if float64(l.statsChurn) >= l.cfg.statsDrift*float64(l.db.Size()) && l.statsChurn >= l.cfg.statsMinChurn {
+		stats = l.collectStatsLocked()
+		st.StatsRefreshed = true
+	}
+	l.publishLocked(views, stats)
+	st.MaxExclusive = time.Since(t0)
+	return st, nil
+}
+
+// Snapshot pins the current epoch. See the type's documentation.
+func (l *Live) Snapshot() *Snapshot {
+	return &Snapshot{hid: l.id, e: l.cur.Load(), hfetched: &l.fetched}
+}
+
+// Execute runs a plan against the current epoch's views and indices,
+// returning the answer rows and the tuples fetched from D by this call
+// (exact attribution, also under concurrent readers and writers).
+func (l *Live) Execute(p Plan) ([][]string, int, error) {
+	e := l.cur.Load()
+	var call atomic.Int64
+	src := &countedSource{src: e.src, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
+	rows, err := plan.RunOn(p, src, e.pv)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, int(call.Load()), nil
+}
+
+// Views returns a decoded copy of the current epoch's view extents. The
+// returned map and rows are fresh copies owned by the caller.
+func (l *Live) Views() map[string][][]string {
+	return (&Snapshot{e: l.cur.Load()}).Views()
+}
+
+// Stats returns the current cost-model statistics and their version. The
+// returned Stats is immutable once published; treat it as read-only.
+func (l *Live) Stats() (*plan.Stats, uint64) {
+	e := l.cur.Load()
+	return e.stats, e.statsVer
+}
+
+// Size returns |D| as of the current epoch.
+func (l *Live) Size() int { return l.cur.Load().size }
+
+// FetchedTuples returns the handle-lifetime count of fetched tuples.
+func (l *Live) FetchedTuples() int { return int(l.fetched.Load()) }
+
+// Close fences writers and releases the maintenance machinery. Reads keep
+// serving the final epoch; snapshots already taken are unaffected.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.db, l.eng = nil, nil
+	return nil
+}
+
+// OpenLive builds the single-instance live state over db.
+//
+// Deprecated: use Open, which returns the unified Handle (the same engine
+// when no WithShards option is given). OpenLive remains for source
+// compatibility and forwards to Open's implementation.
+func (sys *System) OpenLive(db *Database) (*Live, error) {
+	h, err := sys.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	return h.(*Live), nil
+}

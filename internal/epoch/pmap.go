@@ -1,0 +1,217 @@
+// Package epoch provides the copy-on-write substrate for epoch-based
+// snapshot reads: persistent (immutable, path-copying) data structures a
+// writer can evolve in O(depth) per update while readers keep serving any
+// previously published version without locks.
+//
+// Map is a persistent hash-array-mapped trie keyed by uint64. The live
+// engines key it by the same 64-bit row hashes intern uses for its mutable
+// containers, so one batch's maintenance copies only the trie paths of the
+// buckets it actually touches — the "patched-structure granularity" the
+// epoch design needs: per-epoch cost tracks the delta, not |D|, and all
+// untouched structure is shared between consecutive epochs.
+package epoch
+
+import "math/bits"
+
+// fanout is the trie's branching factor: 6 bits of the key per level
+// (64-way nodes, bitmap-compressed), consuming a 64-bit key in at most 11
+// levels. In practice leaves sit at depth ~log64(n).
+const (
+	bitsPerLevel = 6
+	fanout       = 1 << bitsPerLevel
+	levelMask    = fanout - 1
+)
+
+// Map is one immutable version of a uint64-keyed map. The zero value is
+// NOT usable; start from NewMap[V](). Set and Delete return a new version
+// and never mutate the receiver, so any number of readers may use a
+// version concurrently with a writer deriving the next one. Values are
+// stored as given: a value that is itself mutated after insertion breaks
+// the immutability contract (store fresh slices, as the COW layers do).
+type Map[V any] struct {
+	root *node[V]
+	n    int
+}
+
+// node is one trie node: a bitmap-compressed array of slots. A slot is
+// either a leaf (child == nil: key/val hold an entry) or an interior
+// pointer (child != nil). Nodes are immutable once linked into a version.
+type node[V any] struct {
+	bitmap uint64
+	slots  []slot[V]
+}
+
+type slot[V any] struct {
+	child *node[V]
+	key   uint64
+	val   V
+}
+
+// NewMap returns the empty map.
+func NewMap[V any]() *Map[V] { return &Map[V]{root: &node[V]{}} }
+
+// Len returns the number of keys.
+func (m *Map[V]) Len() int { return m.n }
+
+// chunk extracts the key's slot index at the given trie depth.
+func chunk(key uint64, depth int) int {
+	return int(key >> (uint(depth) * bitsPerLevel) & levelMask)
+}
+
+// Get returns the value stored under key.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	n := m.root
+	for depth := 0; ; depth++ {
+		bit := uint64(1) << chunk(key, depth)
+		if n.bitmap&bit == 0 {
+			var zero V
+			return zero, false
+		}
+		s := &n.slots[bits.OnesCount64(n.bitmap&(bit-1))]
+		if s.child == nil {
+			if s.key == key {
+				return s.val, true
+			}
+			var zero V
+			return zero, false
+		}
+		n = s.child
+	}
+}
+
+// Set returns a new version with key bound to val, sharing all untouched
+// structure with the receiver. O(depth) node copies.
+func (m *Map[V]) Set(key uint64, val V) *Map[V] {
+	root, added := setRec(m.root, key, val, 0)
+	n := m.n
+	if added {
+		n++
+	}
+	return &Map[V]{root: root, n: n}
+}
+
+func setRec[V any](n *node[V], key uint64, val V, depth int) (*node[V], bool) {
+	bit := uint64(1) << chunk(key, depth)
+	idx := bits.OnesCount64(n.bitmap & (bit - 1))
+	if n.bitmap&bit == 0 {
+		// Free slot: insert a leaf here.
+		out := &node[V]{bitmap: n.bitmap | bit, slots: make([]slot[V], len(n.slots)+1)}
+		copy(out.slots, n.slots[:idx])
+		out.slots[idx] = slot[V]{key: key, val: val}
+		copy(out.slots[idx+1:], n.slots[idx:])
+		return out, true
+	}
+	s := n.slots[idx]
+	var ns slot[V]
+	added := false
+	switch {
+	case s.child != nil:
+		child, a := setRec(s.child, key, val, depth+1)
+		ns, added = slot[V]{child: child}, a
+	case s.key == key:
+		ns = slot[V]{key: key, val: val}
+	default:
+		// Leaf collision on this chunk: push both entries one level down.
+		// Distinct 64-bit keys always separate at some deeper chunk.
+		ns, added = slot[V]{child: split(s, key, val, depth+1)}, true
+	}
+	out := &node[V]{bitmap: n.bitmap, slots: make([]slot[V], len(n.slots))}
+	copy(out.slots, n.slots)
+	out.slots[idx] = ns
+	return out, added
+}
+
+// split builds the subtrie holding an existing leaf and a new entry whose
+// keys collide on all chunks above depth.
+func split[V any](old slot[V], key uint64, val V, depth int) *node[V] {
+	oc, nc := chunk(old.key, depth), chunk(key, depth)
+	if oc == nc {
+		return &node[V]{
+			bitmap: 1 << oc,
+			slots:  []slot[V]{{child: split(old, key, val, depth+1)}},
+		}
+	}
+	n := &node[V]{bitmap: 1<<oc | 1<<nc, slots: make([]slot[V], 2)}
+	a, b := slot[V]{key: old.key, val: old.val}, slot[V]{key: key, val: val}
+	if oc < nc {
+		n.slots[0], n.slots[1] = a, b
+	} else {
+		n.slots[0], n.slots[1] = b, a
+	}
+	return n
+}
+
+// Delete returns a new version without key (the receiver when absent).
+func (m *Map[V]) Delete(key uint64) *Map[V] {
+	root, removed := delRec(m.root, key, 0)
+	if !removed {
+		return m
+	}
+	if root == nil {
+		root = &node[V]{}
+	}
+	return &Map[V]{root: root, n: m.n - 1}
+}
+
+// delRec returns the replacement node (nil when the subtree became empty)
+// and whether the key was found. Single-leaf interior nodes are collapsed
+// so lookup depth tracks the live population, not historical peaks.
+func delRec[V any](n *node[V], key uint64, depth int) (*node[V], bool) {
+	bit := uint64(1) << chunk(key, depth)
+	if n.bitmap&bit == 0 {
+		return n, false
+	}
+	idx := bits.OnesCount64(n.bitmap & (bit - 1))
+	s := n.slots[idx]
+	if s.child == nil {
+		if s.key != key {
+			return n, false
+		}
+		if len(n.slots) == 1 {
+			return nil, true
+		}
+		out := &node[V]{bitmap: n.bitmap &^ bit, slots: make([]slot[V], len(n.slots)-1)}
+		copy(out.slots, n.slots[:idx])
+		copy(out.slots[idx:], n.slots[idx+1:])
+		return out, true
+	}
+	child, removed := delRec(s.child, key, depth+1)
+	if !removed {
+		return n, false
+	}
+	out := &node[V]{bitmap: n.bitmap, slots: make([]slot[V], len(n.slots))}
+	copy(out.slots, n.slots)
+	switch {
+	case child == nil:
+		if len(out.slots) == 1 {
+			return nil, true
+		}
+		out.bitmap &^= bit
+		out.slots = append(out.slots[:idx:idx], out.slots[idx+1:]...)
+	case len(child.slots) == 1 && child.slots[0].child == nil:
+		out.slots[idx] = child.slots[0] // collapse a single-leaf chain
+	default:
+		out.slots[idx] = slot[V]{child: child}
+	}
+	return out, true
+}
+
+// Range calls f for every entry, in unspecified order, stopping early when
+// f returns false.
+func (m *Map[V]) Range(f func(key uint64, val V) bool) {
+	var walk func(n *node[V]) bool
+	walk = func(n *node[V]) bool {
+		for i := range n.slots {
+			s := &n.slots[i]
+			if s.child != nil {
+				if !walk(s.child) {
+					return false
+				}
+			} else if !f(s.key, s.val) {
+				return false
+			}
+		}
+		return true
+	}
+	walk(m.root)
+}

@@ -1,0 +1,106 @@
+package epoch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMapDifferentialRandom drives random Set/Delete/Get traffic against a
+// plain Go map, checking every version's Len and a sample of lookups, and
+// that OLD versions stay exactly what they were (persistence).
+func TestMapDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewMap[int]()
+	oracle := map[uint64]int{}
+
+	type version struct {
+		m      *Map[int]
+		frozen map[uint64]int
+	}
+	var saved []version
+	keyPool := make([]uint64, 400)
+	for i := range keyPool {
+		// Mix of clustered keys (shared high bits, forcing deep splits) and
+		// uniform ones.
+		if i%3 == 0 {
+			keyPool[i] = uint64(i) << 58 // collide on all low chunks
+		} else {
+			keyPool[i] = rng.Uint64()
+		}
+	}
+
+	for step := 0; step < 5000; step++ {
+		k := keyPool[rng.Intn(len(keyPool))]
+		if rng.Float64() < 0.35 {
+			m = m.Delete(k)
+			delete(oracle, k)
+		} else {
+			v := rng.Int()
+			m = m.Set(k, v)
+			oracle[k] = v
+		}
+		if m.Len() != len(oracle) {
+			t.Fatalf("step %d: Len %d, oracle %d", step, m.Len(), len(oracle))
+		}
+		if step%500 == 0 {
+			frozen := make(map[uint64]int, len(oracle))
+			for k, v := range oracle {
+				frozen[k] = v
+			}
+			saved = append(saved, version{m: m, frozen: frozen})
+		}
+	}
+
+	check := func(m *Map[int], want map[uint64]int) {
+		t.Helper()
+		for _, k := range keyPool {
+			got, ok := m.Get(k)
+			wv, wok := want[k]
+			if ok != wok || (ok && got != wv) {
+				t.Fatalf("key %x: got (%d,%v) want (%d,%v)", k, got, ok, wv, wok)
+			}
+		}
+		n := 0
+		m.Range(func(k uint64, v int) bool {
+			if wv, ok := want[k]; !ok || wv != v {
+				t.Fatalf("Range surfaced (%x,%d) not in oracle", k, v)
+			}
+			n++
+			return true
+		})
+		if n != len(want) {
+			t.Fatalf("Range visited %d entries, want %d", n, len(want))
+		}
+	}
+	check(m, oracle)
+	// Every saved version must still read exactly as frozen — later churn
+	// on successor versions must not have leaked in.
+	for i, v := range saved {
+		check(v.m, v.frozen)
+		if v.m.Len() != len(v.frozen) {
+			t.Fatalf("saved version %d: Len drifted", i)
+		}
+	}
+}
+
+func TestMapDeleteAbsentReturnsReceiver(t *testing.T) {
+	m := NewMap[string]().Set(7, "a")
+	if m2 := m.Delete(99); m2 != m {
+		t.Fatal("deleting an absent key must return the receiver unchanged")
+	}
+	if m2 := m.Delete(7); m2.Len() != 0 {
+		t.Fatalf("Len after delete = %d", m2.Len())
+	}
+}
+
+func TestMapRangeEarlyStop(t *testing.T) {
+	m := NewMap[int]()
+	for i := uint64(0); i < 100; i++ {
+		m = m.Set(i*2654435761, int(i))
+	}
+	n := 0
+	m.Range(func(uint64, int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("Range visited %d entries after early stop", n)
+	}
+}

@@ -48,11 +48,19 @@ type relState struct {
 }
 
 // viewState is one view's counted extent.
+//
+// sharedLen supports epoch publication (PublishExtentIDs): row slots below
+// it belong to a published immutable header and are never overwritten —
+// the first removal that would touch the shared region copies the header
+// first (copy-on-write per view, paid at most once per epoch and only by
+// views that shrink). Appends are always safe: they write at indexes no
+// published header can see.
 type viewState struct {
-	name   string
-	arity  int
-	counts *intern.Grouper[rowStat]
-	rows   [][]uint32
+	name      string
+	arity     int
+	counts    *intern.Grouper[rowStat]
+	rows      [][]uint32
+	sharedLen int
 }
 
 type rowStat struct {
@@ -428,6 +436,13 @@ func (e *DeltaEngine) bump(v *viewState, row []uint32, sign int) error {
 		v.rows = append(v.rows, append([]uint32(nil), row...))
 	case old > 0 && st.count == 0:
 		last := len(v.rows) - 1
+		if st.pos < v.sharedLen || last < v.sharedLen {
+			// The swap-remove would overwrite a slot a published epoch
+			// header still reads: privatize the header first. Rows (the
+			// []uint32 elements) are immutable and stay shared.
+			v.rows = append(make([][]uint32, 0, len(v.rows)+8), v.rows...)
+			v.sharedLen = 0
+		}
 		moved := v.rows[last]
 		v.rows[st.pos] = moved
 		v.rows[last] = nil
@@ -525,6 +540,21 @@ func (e *DeltaEngine) ExtentIDs(name string) [][]uint32 {
 		return nil
 	}
 	return v.rows
+}
+
+// PublishExtentIDs returns an immutable header of the view's current
+// extent and marks it shared: the slice (capped at its length) is never
+// mutated by later Apply calls — maintenance copies the header on write
+// instead — so epoch-based readers may keep serving it without locks for
+// as long as they hold it. Each call publishes the CURRENT state; callers
+// snapshot once per epoch.
+func (e *DeltaEngine) PublishExtentIDs(name string) [][]uint32 {
+	v, ok := e.views[name]
+	if !ok {
+		return nil
+	}
+	v.sharedLen = len(v.rows)
+	return v.rows[:len(v.rows):len(v.rows)]
 }
 
 // ExtentsIDs returns all interned extents, keyed by view name.

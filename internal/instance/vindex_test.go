@@ -1,0 +1,197 @@
+package instance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/access"
+	"repro/internal/schema"
+)
+
+// sortedFetch canonicalizes a fetch result for comparison.
+func sortedFetch(rows [][]uint32) string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return fmt.Sprint(out)
+}
+
+// TestVIndexDifferentialRandom drives a random delta stream through both
+// the mutable Indexed and the versioned VIndex, checking after every batch
+// that every (constraint, X-value) probe agrees — and that every PINNED
+// older version still answers exactly as it did when it was current
+// (persistence: later batches never leak into published epochs).
+func TestVIndexDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	s := schema.New(
+		schema.NewRelation("R", "A", "B", "C"),
+		schema.NewRelation("S", "X", "Y"),
+	)
+	a := access.NewSchema(
+		access.NewConstraint("R", []string{"A"}, []string{"B"}, 50),
+		access.NewConstraint("R", []string{"A", "B"}, []string{"C"}, 50),
+		access.NewConstraint("R", nil, []string{"A"}, 50),
+		access.NewConstraint("S", []string{"X"}, []string{"Y"}, 50),
+	)
+	val := func() string { return fmt.Sprintf("v%d", rng.Intn(12)) }
+	db := NewDatabase(s)
+	for i := 0; i < 120; i++ {
+		if rng.Intn(2) == 0 {
+			db.MustInsert("R", val(), val(), val())
+		} else {
+			db.MustInsert("S", val(), val())
+		}
+	}
+
+	ix, err := BuildIndexes(db, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vx, err := BuildVIndex(db, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All probe keys seen in the value pool (IDs for v0..v11 plus an
+	// absent value).
+	probes := func(c *access.Constraint) [][]uint32 {
+		var keys [][]uint32
+		var rec func(prefix []uint32, k int)
+		rec = func(prefix []uint32, k int) {
+			if k == len(c.X) {
+				keys = append(keys, append([]uint32(nil), prefix...))
+				return
+			}
+			for i := 0; i < 12; i++ {
+				if id, ok := db.Dict.Lookup(fmt.Sprintf("v%d", i)); ok {
+					rec(append(prefix, id), k+1)
+				}
+			}
+		}
+		rec(nil, 0)
+		return keys
+	}
+	agree := func(step string, vx *VIndex) {
+		t.Helper()
+		for _, c := range a.Constraints {
+			for _, key := range probes(c) {
+				want, err1 := ix.FetchIDs(c, key)
+				got, err2 := vx.FetchIDs(c, key)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s: error mismatch on %s(%v): %v vs %v", step, c, key, err1, err2)
+				}
+				if sortedFetch(got) != sortedFetch(want) {
+					t.Fatalf("%s: %s(%v) diverges:\nvindex  %v\nindexed %v", step, c, key, got, want)
+				}
+			}
+		}
+	}
+	agree("initial", vx)
+
+	type pinned struct {
+		vx     *VIndex
+		answer map[string]string // constraint|key -> canonical result
+	}
+	freeze := func(vx *VIndex) pinned {
+		ans := map[string]string{}
+		for _, c := range a.Constraints {
+			for _, key := range probes(c) {
+				rows, _ := vx.FetchIDs(c, key)
+				ans[c.Key()+"|"+fmt.Sprint(key)] = sortedFetch(rows)
+			}
+		}
+		return pinned{vx: vx, answer: ans}
+	}
+	var pins []pinned
+
+	live := map[string][]Tuple{}
+	for name, tb := range db.Tables {
+		for _, tu := range tb.Tuples {
+			live[name] = append(live[name], tu.Clone())
+		}
+	}
+	for b := 0; b < 30; b++ {
+		var ins, del []Op
+		for o := 0; o < 15; o++ {
+			rel := "R"
+			if rng.Intn(2) == 0 {
+				rel = "S"
+			}
+			arity := s.Relation(rel).Arity()
+			switch {
+			case rng.Float64() < 0.45 && len(live[rel]) > 0:
+				i := rng.Intn(len(live[rel]))
+				row := live[rel][i]
+				live[rel][i] = live[rel][len(live[rel])-1]
+				live[rel] = live[rel][:len(live[rel])-1]
+				del = append(del, Op{Rel: rel, Row: row})
+			default:
+				row := make(Tuple, arity)
+				for j := range row {
+					row[j] = val()
+				}
+				live[rel] = append(live[rel], row)
+				ins = append(ins, Op{Rel: rel, Row: row.Clone()})
+			}
+		}
+		applied, err := db.ApplyDelta(ins, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Apply(applied); err != nil {
+			t.Fatal(err)
+		}
+		next, err := vx.Apply(applied)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vx = next
+		agree(fmt.Sprintf("batch %d", b), vx)
+		if b%7 == 0 {
+			pins = append(pins, freeze(vx))
+		}
+	}
+
+	// Persistence: every pinned version still answers exactly as frozen.
+	for i, p := range pins {
+		for _, c := range a.Constraints {
+			for _, key := range probes(c) {
+				rows, _ := p.vx.FetchIDs(c, key)
+				if got := sortedFetch(rows); got != p.answer[c.Key()+"|"+fmt.Sprint(key)] {
+					t.Fatalf("pin %d: %s(%v) drifted after later batches:\nnow  %s\nwas %s",
+						i, c, key, got, p.answer[c.Key()+"|"+fmt.Sprint(key)])
+				}
+			}
+		}
+	}
+}
+
+func TestVIndexFetchStrings(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "A", "B"))
+	a := access.NewSchema(access.NewConstraint("R", []string{"A"}, []string{"B"}, 3))
+	db := NewDatabase(s)
+	db.MustInsert("R", "k", "x")
+	db.MustInsert("R", "k", "y")
+	db.MustInsert("R", "k", "x") // duplicate: one distinct projection
+	vx, err := BuildVIndex(db, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := vx.Fetch(a.Constraints[0], Tuple{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("fetch returned %v, want 2 distinct projections", rows)
+	}
+	if rows, err = vx.Fetch(a.Constraints[0], Tuple{"absent"}); err != nil || rows != nil {
+		t.Fatalf("absent key: %v %v", rows, err)
+	}
+	if attrs := vx.FetchAttrs(a.Constraints[0]); fmt.Sprint(attrs) != "[A B]" {
+		t.Fatalf("FetchAttrs = %v", attrs)
+	}
+}

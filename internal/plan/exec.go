@@ -46,9 +46,27 @@ func Run(n Node, ix *instance.Indexed, views Materialized) ([][]string, error) {
 // plans against it (RunPrepared) avoids re-interning large view extents on
 // every Run — the right shape for benchmark loops and serving paths that
 // reuse a cache.
+//
+// A PreparedViews may be LAZY (NewLazyPreparedViews): a view's rows are
+// resolved by a fill function per read, so serving layers can publish an
+// epoch without eagerly materializing extents no plan may ever read.
+// There is deliberately no lock here — fill must be thread-safe and
+// memoize its own expensive work (the sharded epoch's per-view
+// sync.Once), so concurrent readers of one epoch never contend.
 type PreparedViews struct {
 	d    *intern.Dict
 	rows map[string][][]uint32
+	fill func(name string) ([][]uint32, bool)
+}
+
+// get resolves one view's rows, through fill when set. Safe for
+// concurrent use (the rows map is immutable after construction).
+func (pv *PreparedViews) get(name string) ([][]uint32, bool) {
+	if pv.fill == nil {
+		rows, ok := pv.rows[name]
+		return rows, ok
+	}
+	return pv.fill(name)
 }
 
 // PrepareViews interns the view extents against ix's database dictionary.
@@ -64,8 +82,9 @@ func PrepareViews(ix *instance.Indexed, views Materialized) *PreparedViews {
 
 // PrepareIDViews wraps already-interned view extents (e.g. the live
 // extents of eval's delta engine) as PreparedViews bound to ix's database,
-// with no re-encoding. The rows are retained by reference; use Set to
-// patch a view after its extent changes.
+// with no re-encoding. The rows are retained by reference and must not
+// change afterwards; epoch publishers build a fresh PreparedViews (or a
+// lazy one) per version instead of patching.
 func PrepareIDViews(ix *instance.Indexed, rows map[string][][]uint32) *PreparedViews {
 	return NewPreparedViews(ix.DB.Dict, rows)
 }
@@ -82,13 +101,14 @@ func NewPreparedViews(d *intern.Dict, rows map[string][][]uint32) *PreparedViews
 	return &PreparedViews{d: d, rows: m}
 }
 
-// Set replaces one view's interned extent in place — the live-update path:
-// a long-running process patches the changed views after each delta
-// instead of ever re-interning. Not safe for concurrent use with
-// RunPrepared; callers serialize (the facade's Live handle holds a write
-// lock around it).
-func (pv *PreparedViews) Set(name string, rows [][]uint32) {
-	pv.rows[name] = rows
+// NewLazyPreparedViews builds a PreparedViews whose extents are resolved
+// by fill on every read. fill must be thread-safe, pure with respect to
+// the published state it captures, and memoize its own expensive work —
+// epoch publishers pin immutable per-shard extent headers and gather
+// them once on first demand, so a writer-side batch never pays for views
+// nobody reads and concurrent readers never serialize.
+func NewLazyPreparedViews(d *intern.Dict, fill func(name string) ([][]uint32, bool)) *PreparedViews {
+	return &PreparedViews{d: d, fill: fill}
 }
 
 // RunPrepared is Run over views prepared with PrepareViews against the
@@ -96,6 +116,9 @@ func (pv *PreparedViews) Set(name string, rows [][]uint32) {
 func RunPrepared(n Node, ix *instance.Indexed, pv *PreparedViews) ([][]string, error) {
 	return RunOn(n, ix, pv)
 }
+
+// emptyPrepared serves RunOn calls with a nil view set (View nodes error).
+var emptyPrepared = &PreparedViews{rows: map[string][][]uint32{}}
 
 // RunOn executes the plan against an arbitrary Source with views prepared
 // over the same dictionary. A nil pv serves no views (View nodes error).
@@ -105,9 +128,9 @@ func RunOn(n Node, src Source, pv *PreparedViews) ([][]string, error) {
 	}
 	ctx := &execCtx{src: src, d: src.Dict()}
 	if pv != nil {
-		ctx.prepared = pv.rows
+		ctx.prepared = pv
 	} else {
-		ctx.prepared = map[string][][]uint32{}
+		ctx.prepared = emptyPrepared
 	}
 	return exec(n, ctx)
 }
@@ -134,14 +157,13 @@ type execCtx struct {
 	src      Source
 	d        *intern.Dict
 	views    Materialized
-	cache    *intern.RowCache      // lazy interning of views (Run path)
-	prepared map[string][][]uint32 // non-nil when running over PreparedViews
+	cache    *intern.RowCache // lazy interning of views (Run path)
+	prepared *PreparedViews   // non-nil when running over PreparedViews
 }
 
 func (ctx *execCtx) viewRows(name string) ([][]uint32, bool) {
 	if ctx.prepared != nil {
-		rows, ok := ctx.prepared[name]
-		return rows, ok
+		return ctx.prepared.get(name)
 	}
 	rows, ok := ctx.views[name]
 	if !ok {

@@ -2,6 +2,8 @@ package plan_test
 
 import (
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/access"
@@ -11,11 +13,8 @@ import (
 	"repro/internal/schema"
 )
 
-// TestPreparedViewsPatchInPlace covers the live-update path of prepared
-// views: PrepareIDViews wraps already-interned extents without
-// re-encoding, and Set patches one view so subsequent RunPrepared calls
-// see the new extent — no re-interning, ever.
-func TestPreparedViewsPatchInPlace(t *testing.T) {
+func preparedFixture(t *testing.T) (*instance.Database, *instance.Indexed, func(rows ...string) [][]uint32) {
+	t.Helper()
 	s := schema.New(schema.NewRelation("R", "A"))
 	db := instance.NewDatabase(s)
 	ix, err := instance.BuildIndexes(db, access.NewSchema())
@@ -29,9 +28,18 @@ func TestPreparedViewsPatchInPlace(t *testing.T) {
 		}
 		return out
 	}
-	pv := plan.PrepareIDViews(ix, map[string][][]uint32{"V": enc("a", "b")})
+	return db, ix, enc
+}
+
+// TestPreparedIDViewsServeWithoutReencoding covers the zero-copy path:
+// PrepareIDViews wraps already-interned extents (e.g. the live extents of
+// an epoch) without re-encoding, including rows over IDs interned after
+// the database was indexed.
+func TestPreparedIDViewsServeWithoutReencoding(t *testing.T) {
+	_, ix, enc := preparedFixture(t)
 	node := &plan.View{Name: "V", Cols: []string{"x"}}
 
+	pv := plan.PrepareIDViews(ix, map[string][][]uint32{"V": enc("a", "b")})
 	got, err := plan.RunPrepared(node, ix, pv)
 	if err != nil {
 		t.Fatal(err)
@@ -41,24 +49,78 @@ func TestPreparedViewsPatchInPlace(t *testing.T) {
 		t.Fatalf("initial extent: %v", got)
 	}
 
-	pv.Set("V", enc("b", "c", "d"))
-	got, err = plan.RunPrepared(node, ix, pv)
-	if err != nil {
-		t.Fatal(err)
-	}
-	eval.SortRows(got)
-	if !reflect.DeepEqual(got, [][]string{{"b"}, {"c"}, {"d"}}) {
-		t.Fatalf("patched extent: %v", got)
-	}
-
 	// A dictionary growing (new live values) must not invalidate the
-	// prepared handle: Set with rows over fresh IDs just works.
-	pv.Set("V", enc("zz-fresh"))
-	got, err = plan.RunPrepared(node, ix, pv)
+	// prepared machinery: extents over fresh IDs just work.
+	pv2 := plan.PrepareIDViews(ix, map[string][][]uint32{"V": enc("zz-fresh")})
+	got, err = plan.RunPrepared(node, ix, pv2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, [][]string{{"zz-fresh"}}) {
 		t.Fatalf("fresh-value extent: %v", got)
+	}
+}
+
+// TestLazyPreparedViewsResolveOnceUnderConcurrency covers the epoch
+// publication path: a lazy view set resolves extents through a
+// thread-safe fill whose expensive merge runs on FIRST read only (the
+// provider memoizes, mirroring the sharded epoch's per-view sync.Once),
+// and the merge never runs for views no plan reads.
+func TestLazyPreparedViewsResolveOnceUnderConcurrency(t *testing.T) {
+	db, ix, enc := preparedFixture(t)
+	var fills, untouchedFills atomic.Int64
+	memo := func(name string, counter *atomic.Int64, rows ...string) func() [][]uint32 {
+		var once sync.Once
+		var ext [][]uint32
+		return func() [][]uint32 {
+			once.Do(func() {
+				counter.Add(1)
+				ext = enc(rows...)
+			})
+			return ext
+		}
+	}
+	views := map[string]func() [][]uint32{
+		"V":         memo("V", &fills, "a", "b"),
+		"Untouched": memo("Untouched", &untouchedFills, "x"),
+	}
+	pv := plan.NewLazyPreparedViews(db.Dict, func(name string) ([][]uint32, bool) {
+		f, ok := views[name]
+		if !ok {
+			return nil, false
+		}
+		return f(), true
+	})
+	node := &plan.View{Name: "V", Cols: []string{"x"}}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				got, err := plan.RunOn(node, ix, pv)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != 2 {
+					t.Errorf("lazy extent served %d rows", len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("merge ran %d times for one view, want 1 (provider memoization)", n)
+	}
+	if n := untouchedFills.Load(); n != 0 {
+		t.Fatalf("merge ran %d times for a view no plan read, want 0", n)
+	}
+
+	// Unknown views still error like eager ones.
+	if _, err := plan.RunOn(&plan.View{Name: "Nope", Cols: []string{"x"}}, ix, pv); err == nil {
+		t.Fatal("unknown view must error")
 	}
 }

@@ -16,32 +16,29 @@ import (
 	"repro/internal/schema"
 )
 
-// state is one shard: a partition of the database with its own fetch
-// indices and its own incremental maintenance engine for the co-partitioned
-// (shard-local) views. The RWMutex serializes that shard's maintenance
-// against readers touching the shard — the whole point of partitioning is
-// that a writer patching shard i never stalls a reader served by shard j.
+// state is one shard's WRITER-SIDE machinery: its database partition, the
+// incremental maintenance engine for the co-partitioned (shard-local)
+// views, and the latest version of its fetch indices. Readers never touch
+// it — they read the immutable per-epoch versions published in Epoch.
 type state struct {
-	mu  sync.RWMutex
 	db  *instance.Database
-	ix  *instance.Indexed
 	eng *eval.DeltaEngine
+	vix *instance.VIndex
 }
 
-// globalEngine maintains the views that are NOT co-partitioned: their
-// joins cross shards, so they are fed every applied op and keep their own
-// join state, exactly like an unsharded Live would. It has its own lock,
-// ordered after all shard locks.
-type globalEngine struct {
-	mu  sync.RWMutex
-	eng *eval.DeltaEngine
+// Config tunes a sharded instance.
+type Config struct {
+	Shards         int
+	StatsDriftFrac float64 // churn fraction of |D| before a stats rebuild
+	StatsMinChurn  int     // minimum ops before a rebuild is considered
 }
 
 // DeltaStats summarizes one applied batch (mirrors the facade's).
-// MaxShardHold is the longest contiguous exclusive-lock window any single
-// shard saw while the batch was maintained — the stall bound a concurrent
-// point read can collide with. The unsharded Live handle's equivalent is
-// the whole batch's maintenance; partitioning shrinks it ~P-fold.
+// MaxShardHold is the longest single-shard maintenance window of the
+// batch. Under epoch reads it blocks nobody — readers stay on the
+// previous epoch until the new one is published — but it still bounds the
+// batch's publication lag, and its ~P-fold shrink is the per-shard
+// parallelism signal the scaling experiment gates.
 type DeltaStats struct {
 	Inserted       int
 	Deleted        int
@@ -50,81 +47,184 @@ type DeltaStats struct {
 	MaxShardHold   time.Duration
 }
 
-// Statistics drift policy, matching the facade's Live handle.
-const (
-	statsDriftFrac = 0.2
-	statsMinChurn  = 256
-)
+// Epoch is one published, immutable version of the whole sharded state:
+// every shard's fetch-index version, the gathered view extents and the
+// merged statistics, all installed by a single atomic pointer swap — so a
+// reader pinning an Epoch sees one cross-shard-consistent state and a
+// batch can never be observed applied on some shards and not others.
+//
+// Epoch implements plan.Source (accounting-free): fetches whose
+// constraint binds the partition key probe the one owning shard's index
+// version, everything else scatters over all versions and deduplicates.
+type Epoch struct {
+	seq        uint64
+	part       *Partition
+	dict       *intern.Dict
+	vixes      []*instance.VIndex
+	views      map[string]*gatheredView // per-view pinned (lazily merged) extents
+	pv         *plan.PreparedViews
+	stats      *plan.Stats
+	statsVer   uint64
+	size       int
+	shardSizes []int
+}
+
+// gatheredView is one view's extent as pinned by an epoch. Views whose
+// merged form is cheap (global engine, single shard) are published
+// eagerly; a co-partitioned view at P > 1 pins the P immutable per-shard
+// headers at publish time and merges them on FIRST read, memoized — so a
+// write-heavy epoch never pays for views nobody reads, and an unchanged
+// view shares its gatheredView (and memo) with every later epoch until
+// it next changes.
+type gatheredView struct {
+	once    sync.Once
+	rows    [][]uint32
+	compute func() [][]uint32 // nil when published eagerly
+}
+
+func (g *gatheredView) get() [][]uint32 {
+	g.once.Do(func() {
+		if g.compute != nil {
+			g.rows = g.compute()
+			g.compute = nil
+		}
+	})
+	return g.rows
+}
+
+// Seq returns the epoch's sequence number.
+func (e *Epoch) Seq() uint64 { return e.seq }
+
+// Dict returns the shared dictionary, making the epoch a plan.Source.
+func (e *Epoch) Dict() *intern.Dict { return e.dict }
+
+// ViewIDs returns one view's gathered extent as of this epoch (merging
+// lazily on first read). The rows are immutable; treat them as read-only.
+func (e *Epoch) ViewIDs(name string) ([][]uint32, bool) {
+	gv, ok := e.views[name]
+	if !ok {
+		return nil, false
+	}
+	return gv.get(), true
+}
+
+// AllViewIDs returns every view's gathered extent as of this epoch,
+// forcing any pending merges. The map is fresh; the row sets are
+// immutable.
+func (e *Epoch) AllViewIDs() map[string][][]uint32 {
+	out := make(map[string][][]uint32, len(e.views))
+	for name, gv := range e.views {
+		out[name] = gv.get()
+	}
+	return out
+}
+
+// Prepared returns the epoch's prepared plan inputs.
+func (e *Epoch) Prepared() *plan.PreparedViews { return e.pv }
+
+// Stats returns the epoch's merged statistics and their version.
+func (e *Epoch) Stats() (*plan.Stats, uint64) { return e.stats, e.statsVer }
+
+// Size returns |D| across all shards as of this epoch.
+func (e *Epoch) Size() int { return e.size }
+
+// ShardSizes returns |D_p| per shard as of this epoch.
+func (e *Epoch) ShardSizes() []int { return e.shardSizes }
+
+// FetchIDs answers a fetch against this epoch: a point read on the owning
+// shard when the constraint binds the partition key, a scatter over every
+// shard's pinned index version (deduplicated) otherwise. No accounting
+// happens here; serving layers wrap the epoch in a counting source.
+func (e *Epoch) FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error) {
+	r := e.part.Route(c)
+	if r == nil {
+		return nil, fmt.Errorf("shard: no index for constraint %s", c)
+	}
+	if len(xval) != len(c.X) {
+		return nil, fmt.Errorf("shard: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
+	}
+	if r.XPos != nil {
+		vals := make([]string, len(r.XPos))
+		for i, p := range r.XPos {
+			vals[i] = e.dict.Str(xval[p])
+		}
+		return e.vixes[hashVals(vals)%uint64(len(e.vixes))].FetchIDs(c, xval)
+	}
+	// Broadcast: gather the distinct XY-projections across all shards.
+	// Deduplication keeps the result — and the fetch accounting layered
+	// above — identical to the unsharded index's.
+	p := len(e.vixes)
+	parts := make([][][]uint32, p)
+	if err := par.ForEach(p, func(i int) error {
+		rows, err := e.vixes[i].FetchIDs(c, xval)
+		parts[i] = rows
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	nonEmpty, total := 0, 0
+	last := -1
+	for i, rows := range parts {
+		if len(rows) > 0 {
+			nonEmpty++
+			total += len(rows)
+			last = i
+		}
+	}
+	if nonEmpty == 0 {
+		return nil, nil
+	}
+	if nonEmpty == 1 {
+		return parts[last], nil
+	}
+	seen := intern.NewSet(total)
+	out := make([][]uint32, 0, total)
+	for _, rows := range parts {
+		for _, r := range rows {
+			if seen.Add(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
 
 // Sharded is a partitioned live instance: P shards, the routing metadata,
-// the global engine for non-co-partitioned views, the gathered view
-// extents served to plan execution, and merged cost-model statistics.
+// the global maintenance engine for non-co-partitioned views, and the
+// atomically published current Epoch.
 //
-// Concurrency: any number of Execute/Views/Size calls may run in parallel
-// with each other and with ApplyDelta. ApplyDelta batches serialize among
-// themselves, but inside a batch the shards are maintained concurrently,
-// each under its own write lock. A plan whose fetches all route (and that
-// reads no views) locks only the shards its probes actually hit; other
-// plans take every shard's read lock for the duration of the call. There
-// is no cross-shard snapshot: a read overlapping a delta may observe the
-// batch applied on some shards and not yet on others (each shard is
-// individually consistent). Readers that need a frozen global state must
-// not overlap ApplyDelta; see ROADMAP's snapshot-isolation item.
+// Concurrency: readers load the current epoch (Current) and serve from
+// its immutable structures — they take no locks and are never blocked by
+// ApplyDelta, which maintains the writer-side shards concurrently and
+// publishes the combined next epoch with one atomic swap. There is no
+// torn-batch window: either an epoch contains all of a batch's effects on
+// every shard (and on the global views) or none of them.
 type Sharded struct {
 	schema *schema.Schema
 	access *access.Schema
 	views  map[string]*cq.UCQ
 	part   *Partition
 	dict   *intern.Dict
+	cfg    Config
 
-	shards []*state
-	g      *globalEngine // nil when every view is co-partitioned
-	local  map[string]bool
-
-	batchMu sync.Mutex // serializes ApplyDelta batches
-
-	// Gathered extents: per view, the concatenation of the shard extents
-	// (local views) or the global engine's extent. Entries are rebuilt
-	// lazily by readers when a batch dirtied them; mergeMu orders strictly
-	// after every shard lock and the global lock.
-	mergeMu sync.Mutex
-	merged  map[string][][]uint32
-	dirty   map[string]bool
-
-	// Merged cost-model statistics over all shards.
-	statsMu    sync.RWMutex
-	stats      *plan.Stats
-	statsVer   uint64
+	batchMu    sync.Mutex // serializes ApplyDelta batches
+	shards     []*state
+	g          *eval.DeltaEngine // global engine; nil when every view is co-partitioned
+	local      map[string]bool
 	statsChurn int
+	statsVer   uint64
+	seq        uint64
 
-	fetchedTuples atomic.Int64
-	fetchCalls    atomic.Int64
-	lockStall     atomic.Int64 // ns readers spent blocked behind writer locks
+	cur atomic.Pointer[Epoch]
 }
 
-// rlockTimed takes a read lock, accounting the time spent actually
-// blocked (a free lock costs nothing). The counter is how the serving
-// experiments measure the writer-induced stall partitioning removes: at
-// P shards a point read can only collide with the one shard the writer
-// is currently patching, not with the whole batch.
-func (s *Sharded) rlockTimed(mu *sync.RWMutex) {
-	if mu.TryRLock() {
-		return
-	}
-	t0 := time.Now()
-	mu.RLock()
-	s.lockStall.Add(int64(time.Since(t0)))
-}
-
-// LockStall returns the cumulative time readers spent blocked on shard
-// (or global-engine) locks across the handle's lifetime.
-func (s *Sharded) LockStall() time.Duration { return time.Duration(s.lockStall.Load()) }
-
-// Open partitions db into p shards and builds the per-shard state. The
-// database is consumed: its rows are moved into the shard partitions and
-// its tables are emptied; route all further reads and writes through the
-// returned handle. The views must already be validated against the schema.
-func Open(db *instance.Database, s *schema.Schema, a *access.Schema, views map[string]*cq.UCQ, p int) (*Sharded, error) {
+// Open partitions db into cfg.Shards shards and builds the per-shard
+// state plus the initial epoch. The database is consumed: its rows are
+// moved into the shard partitions and its tables are emptied; route all
+// further reads and writes through the returned handle. The views must
+// already be validated against the schema.
+func Open(db *instance.Database, s *schema.Schema, a *access.Schema, views map[string]*cq.UCQ, cfg Config) (*Sharded, error) {
+	p := cfg.Shards
 	if p < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", p)
 	}
@@ -146,9 +246,8 @@ func Open(db *instance.Database, s *schema.Schema, a *access.Schema, views map[s
 		views:  views,
 		part:   pt,
 		dict:   db.Dict,
+		cfg:    cfg,
 		local:  local,
-		merged: make(map[string][][]uint32, len(views)),
-		dirty:  make(map[string]bool, len(views)),
 	}
 
 	// The global engine seeds its join state from the full instance, so it
@@ -158,7 +257,7 @@ func Open(db *instance.Database, s *schema.Schema, a *access.Schema, views map[s
 		if err != nil {
 			return nil, err
 		}
-		sh.g = &globalEngine{eng: eng}
+		sh.g = eng
 	}
 
 	// Route every row to its shard. Row slices are moved, not copied: the
@@ -179,7 +278,7 @@ func Open(db *instance.Database, s *schema.Schema, a *access.Schema, views map[s
 	// Per-shard indices and maintenance engines, built concurrently.
 	if err := par.ForEach(p, func(i int) error {
 		st := sh.shards[i]
-		ix, err := instance.BuildIndexes(st.db, a)
+		vix, err := instance.BuildVIndex(st.db, a)
 		if err != nil {
 			return err
 		}
@@ -187,16 +286,17 @@ func Open(db *instance.Database, s *schema.Schema, a *access.Schema, views map[s
 		if err != nil {
 			return err
 		}
-		st.ix, st.eng = ix, eng
+		st.vix, st.eng = vix, eng
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 
+	dirty := make(map[string]bool, len(views))
 	for name := range views {
-		sh.dirty[name] = true
+		dirty[name] = true
 	}
-	sh.rebuildStats()
+	sh.publish(nil, dirty, sh.collectStats())
 	return sh, nil
 }
 
@@ -206,8 +306,13 @@ func (s *Sharded) ShardCount() int { return len(s.shards) }
 // Partition exposes the routing metadata (read-only).
 func (s *Sharded) Partition() *Partition { return s.part }
 
-// Dict returns the shared dictionary, making the handle a plan.Source.
+// Dict returns the shared dictionary.
 func (s *Sharded) Dict() *intern.Dict { return s.dict }
+
+// Current returns the current epoch. Successive calls may return newer
+// epochs as batches land; every returned epoch stays valid (and
+// immutable) for as long as the caller holds it.
+func (s *Sharded) Current() *Epoch { return s.cur.Load() }
 
 // LocalViews reports which views are maintained shard-locally (the
 // co-partitioned ones) vs by the global engine.
@@ -222,39 +327,105 @@ func (s *Sharded) LocalViews() (local, global []string) {
 	return local, global
 }
 
-// ShardSizes returns |D_p| per shard.
-func (s *Sharded) ShardSizes() []int {
-	out := make([]int, len(s.shards))
+// publish pins the next epoch's views (re-pinning only the dirty ones,
+// reusing the rest — including their merge memo — from prev) and
+// installs it. stats == nil carries the previous epoch's statistics
+// forward. Callers hold batchMu (or have exclusive access, as in Open).
+func (s *Sharded) publish(prev *Epoch, dirty map[string]bool, stats *plan.Stats) {
+	views := make(map[string]*gatheredView, len(s.views))
+	if prev != nil {
+		for name, gv := range prev.views {
+			views[name] = gv
+		}
+		if stats == nil {
+			stats = prev.stats
+		}
+	}
+	for name := range dirty {
+		views[name] = s.pinView(name)
+	}
+	vixes := make([]*instance.VIndex, len(s.shards))
+	sizes := make([]int, len(s.shards))
+	size := 0
 	for i, st := range s.shards {
-		st.mu.RLock()
-		out[i] = st.db.Size()
-		st.mu.RUnlock()
+		vixes[i] = st.vix
+		sizes[i] = st.db.Size()
+		size += sizes[i]
 	}
-	return out
+	e := &Epoch{
+		seq:        s.seq,
+		part:       s.part,
+		dict:       s.dict,
+		vixes:      vixes,
+		views:      views,
+		stats:      stats,
+		statsVer:   s.statsVer,
+		size:       size,
+		shardSizes: sizes,
+	}
+	e.pv = plan.NewLazyPreparedViews(s.dict, e.ViewIDs)
+	s.seq++
+	s.cur.Store(e)
 }
 
-// Size returns |D| across all shards.
-func (s *Sharded) Size() int {
-	n := 0
-	for _, p := range s.ShardSizes() {
-		n += p
+// pinView pins one view's extent for the next epoch: the global engine's
+// COW header for non-co-partitioned views, the single shard's header at
+// P=1, and otherwise the P immutable per-shard COW headers with a lazy
+// deduplicating merge (shard extents of a co-partitioned view can
+// overlap when the view's head does not bind the partition key — the
+// same row derived on two shards — so the merge dedups; the merged
+// extent is exactly the set the unsharded engine would serve).
+func (s *Sharded) pinView(name string) *gatheredView {
+	if !s.local[name] {
+		return &gatheredView{rows: s.g.PublishExtentIDs(name)}
 	}
-	return n
+	if len(s.shards) == 1 {
+		return &gatheredView{rows: s.shards[0].eng.PublishExtentIDs(name)}
+	}
+	headers := make([][][]uint32, len(s.shards))
+	for i, st := range s.shards {
+		headers[i] = st.eng.PublishExtentIDs(name)
+	}
+	return &gatheredView{compute: func() [][]uint32 {
+		total := 0
+		for _, h := range headers {
+			total += len(h)
+		}
+		out := make([][]uint32, 0, total)
+		seen := intern.NewSet(total)
+		for _, h := range headers {
+			for _, r := range h {
+				if seen.Add(r) {
+					out = append(out, r)
+				}
+			}
+		}
+		return out
+	}}
 }
 
-// FetchedTuples returns the tuples fetched from the shards so far (the
-// |Dξ| accounting, deduplicated exactly like the unsharded index's).
-func (s *Sharded) FetchedTuples() int { return int(s.fetchedTuples.Load()) }
+// Size returns |D| across all shards as of the current epoch.
+func (s *Sharded) Size() int { return s.cur.Load().size }
 
-// FetchCalls returns the number of fetch probes so far.
-func (s *Sharded) FetchCalls() int { return int(s.fetchCalls.Load()) }
+// ShardSizes returns |D_p| per shard as of the current epoch.
+func (s *Sharded) ShardSizes() []int { return s.cur.Load().shardSizes }
 
-// ApplyDelta validates and routes a batch per shard, then maintains every
-// touched shard concurrently (database, fetch indices, local views) and
-// feeds the applied ops to the global engine. Semantics match the
-// unsharded path: deletes first (each removing one occurrence, absent
-// deletes are no-ops), then inserts; all copies of a row live on one
-// shard, so per-shard application preserves the batch's outcome exactly.
+// Stats returns the current epoch's merged statistics and their version.
+// The returned Stats is immutable once published; treat it as read-only.
+func (s *Sharded) Stats() (*plan.Stats, uint64) {
+	e := s.cur.Load()
+	return e.stats, e.statsVer
+}
+
+// ApplyDelta validates and routes a batch per shard, maintains every
+// touched shard concurrently (database, fetch-index versions, local
+// views), feeds the applied ops to the global engine, and publishes the
+// combined state as the next epoch. Readers are never blocked and never
+// see a torn batch: they stay on the previous epoch until the single
+// atomic publication. Semantics match the unsharded path: deletes first
+// (each removing one occurrence, absent deletes are no-ops), then
+// inserts; all copies of a row live on one shard, so per-shard
+// application preserves the batch's outcome exactly.
 func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error) {
 	s.batchMu.Lock()
 	defer s.batchMu.Unlock()
@@ -297,29 +468,21 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 			return nil
 		}
 		st := s.shards[i]
-		st.mu.Lock()
 		t0 := time.Now()
-		defer func() {
-			holds[i] = time.Since(t0)
-			st.mu.Unlock()
-		}()
+		defer func() { holds[i] = time.Since(t0) }()
 		a, err := st.db.ApplyDelta(insBy[i], delBy[i])
 		if err != nil {
 			return err
 		}
-		if err := st.ix.Apply(a); err != nil {
+		vix, err := st.vix.Apply(a)
+		if err != nil {
 			return err
 		}
+		st.vix = vix
 		ch, err := st.eng.Apply(a)
 		if err != nil {
 			return err
 		}
-		// Mark the changed views dirty while still holding this shard's
-		// write lock: the extents were just patched in place, and the
-		// merged-extent cache holds references into their old headers. A
-		// reader acquiring this shard after the unlock must already see
-		// the dirty flag, or it would serve the mutated stale cache.
-		s.markDirty(ch)
 		applied[i], changed[i] = a, ch
 		return nil
 	}); err != nil {
@@ -343,10 +506,9 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 	}
 
 	// Non-co-partitioned views see the whole batch, deletes first. Their
-	// maintenance runs after the shard scatter: a read overlapping this
-	// window sees the new base rows with the global views one batch
-	// behind — the same absence of a cross-batch snapshot documented on
-	// the type (each engine stays individually consistent throughout).
+	// maintenance lands in the SAME epoch as the base rows — the atomic
+	// publication below removes the old "global views one batch behind"
+	// read window.
 	if s.g != nil && stats.Inserted+stats.Deleted > 0 {
 		combined := &instance.Applied{}
 		for i := 0; i < p; i++ {
@@ -359,20 +521,13 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 				combined.Inserted = append(combined.Inserted, applied[i].Inserted...)
 			}
 		}
-		s.g.mu.Lock()
 		t0 := time.Now()
-		gch, err := s.g.eng.Apply(combined)
-		// Dirty-mark before releasing the engine lock, for the same
-		// in-place patching reason as the per-shard marking above.
-		s.markDirty(gch)
-		// The global engine's hold is an exclusive window readers of
-		// non-co-partitioned views block on: it counts toward the bound.
-		if hold := time.Since(t0); hold > stats.MaxShardHold {
-			stats.MaxShardHold = hold
-		}
-		s.g.mu.Unlock()
+		gch, err := s.g.Apply(combined)
 		if err != nil {
 			return DeltaStats{}, err
+		}
+		if hold := time.Since(t0); hold > stats.MaxShardHold {
+			stats.MaxShardHold = hold
 		}
 		for _, name := range gch {
 			dirty[name] = true
@@ -380,26 +535,34 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 	}
 
 	stats.ViewsChanged = len(dirty)
-
-	s.statsMu.Lock()
+	prev := s.cur.Load()
 	s.statsChurn += stats.Inserted + stats.Deleted
-	churn := s.statsChurn
-	s.statsMu.Unlock()
-	if float64(churn) >= statsDriftFrac*float64(s.Size()) && churn >= statsMinChurn {
-		s.rebuildStats()
+	var st *plan.Stats
+	if drift := s.cfg.StatsDriftFrac; float64(s.statsChurn) >= drift*float64(s.sizeNow()) && s.statsChurn >= s.cfg.StatsMinChurn {
+		st = s.collectStats()
 		stats.StatsRefreshed = true
 	}
+	s.publish(prev, dirty, st)
 	return stats, nil
 }
 
-// rebuildStats collects per-shard statistics concurrently and installs the
+// sizeNow sums the writer-side shard sizes (callers hold batchMu).
+func (s *Sharded) sizeNow() int {
+	n := 0
+	for _, st := range s.shards {
+		n += st.db.Size()
+	}
+	return n
+}
+
+// collectStats collects per-shard statistics concurrently and returns the
 // merged result. Relation row counts sum exactly; distinct counts sum
 // (exact for partition columns, whose values never repeat across shards,
 // and an upper bound the cost model clamps for the rest); view rows sum
 // per-shard extents, an upper bound when a view's head does not bind the
 // partition key (cross-shard duplicate heads). Callers must exclude
 // concurrent writers (ApplyDelta holds batchMu; Open has exclusive use).
-func (s *Sharded) rebuildStats() {
+func (s *Sharded) collectStats() *plan.Stats {
 	p := len(s.shards)
 	rels := make([]*instance.RelStats, p)
 	_ = par.ForEach(p, func(i int) error {
@@ -452,277 +615,35 @@ func (s *Sharded) rebuildStats() {
 				addView(name, sh.eng.ExtentIDs(name))
 			}
 		} else {
-			addView(name, s.g.eng.ExtentIDs(name))
+			addView(name, s.g.ExtentIDs(name))
 		}
 	}
-	s.statsMu.Lock()
-	s.stats = st
 	s.statsVer++
 	s.statsChurn = 0
-	s.statsMu.Unlock()
+	return st
 }
 
-// Stats returns the merged cost-model statistics and their version. The
-// returned Stats is immutable once published; treat it as read-only.
-func (s *Sharded) Stats() (*plan.Stats, uint64) {
-	s.statsMu.RLock()
-	defer s.statsMu.RUnlock()
-	return s.stats, s.statsVer
+// Close releases the writer-side maintenance machinery — the shard
+// databases, maintenance engines and global engine. The current epoch
+// (and any pinned one) keeps serving reads; callers must fence
+// ApplyDelta beforehand (the facade's closed flag).
+func (s *Sharded) Close() {
+	s.batchMu.Lock()
+	s.shards, s.g = nil, nil
+	s.batchMu.Unlock()
 }
 
-// routedOnly reports whether every leaf of the plan is a fetch that routes
-// to a single shard (and the plan reads no views): such plans run in
-// point-read mode, locking only the shards their probes hit.
-func (s *Sharded) routedOnly(n plan.Node) bool {
-	switch x := n.(type) {
-	case *plan.View:
-		return false
-	case *plan.Fetch:
-		r := s.part.Route(x.C)
-		if r == nil || r.XPos == nil {
-			return false
-		}
-	}
-	for _, c := range n.Children() {
-		if !s.routedOnly(c) {
-			return false
-		}
-	}
-	return true
-}
-
-// Execute runs a plan scatter-gather over the shards, returning the answer
-// rows and the tuples this call fetched from the partitions (exact when
-// calls do not overlap; the counters themselves are always exact).
-func (s *Sharded) Execute(p plan.Node) ([][]string, int, error) {
-	before := s.fetchedTuples.Load()
-	var rows [][]string
-	var err error
-	if s.routedOnly(p) {
-		// Point-read mode: no global locking at all. Each probe takes its
-		// owning shard's read lock just long enough to copy the group.
-		rows, err = plan.RunOn(p, &lockedSource{s: s}, nil)
-	} else {
-		// Gather mode: freeze every shard (readers never block readers)
-		// and serve views from the gathered extents.
-		for _, st := range s.shards {
-			s.rlockTimed(&st.mu)
-		}
-		if s.g != nil {
-			s.rlockTimed(&s.g.mu)
-		}
-		pv := s.refreshMerged()
-		rows, err = plan.RunOn(p, &frozenSource{s: s}, pv)
-		if s.g != nil {
-			s.g.mu.RUnlock()
-		}
-		for i := len(s.shards) - 1; i >= 0; i-- {
-			s.shards[i].mu.RUnlock()
-		}
-	}
-	if err != nil {
-		return nil, 0, err
-	}
-	return rows, int(s.fetchedTuples.Load() - before), nil
-}
-
-// markDirty flags views whose extents were just patched in place, so the
-// next reader rebuilds their gathered form instead of serving the stale
-// merged cache. Callers hold the lock of the engine they patched; mergeMu
-// is the leaf of the lock order, so this never deadlocks.
-func (s *Sharded) markDirty(names []string) {
-	if len(names) == 0 {
-		return
-	}
-	s.mergeMu.Lock()
-	for _, n := range names {
-		s.dirty[n] = true
-	}
-	s.mergeMu.Unlock()
-}
-
-// gatherLocked rebuilds the gathered extent of every view dirtied since
-// the last read. Callers hold mergeMu plus every shard's (and the global
-// engine's) read lock. Shard extents of a co-partitioned view can overlap
-// when the view's head does not bind the partition key (the same row
-// derived on two shards), so the gather deduplicates — the merged extent
-// is exactly the set the unsharded engine would serve.
-func (s *Sharded) gatherLocked() {
-	for name := range s.dirty {
-		delete(s.dirty, name)
-		if !s.local[name] {
-			s.merged[name] = s.g.eng.ExtentIDs(name)
-			continue
-		}
-		total := 0
-		for _, st := range s.shards {
-			total += len(st.eng.ExtentIDs(name))
-		}
-		out := make([][]uint32, 0, total)
-		seen := intern.NewSet(total)
-		for _, st := range s.shards {
-			for _, r := range st.eng.ExtentIDs(name) {
-				if seen.Add(r) {
-					out = append(out, r)
-				}
-			}
-		}
-		s.merged[name] = out
-	}
-}
-
-// refreshMerged refreshes the dirty gathered extents and returns a
-// consistent PreparedViews snapshot. Callers hold every shard's (and the
-// global engine's) read lock.
-func (s *Sharded) refreshMerged() *plan.PreparedViews {
-	s.mergeMu.Lock()
-	defer s.mergeMu.Unlock()
-	s.gatherLocked()
-	return plan.NewPreparedViews(s.dict, s.merged)
-}
-
-// fetchRouted answers a fetch whose constraint binds the partition key:
-// every matching row lives on one shard, so this is a point read and the
-// group is already the distinct XY-projection set the unsharded index
-// would return.
-func (s *Sharded) fetchRouted(c *access.Constraint, r *conRoute, xval []uint32, lock bool) ([][]uint32, error) {
-	vals := make([]string, len(r.XPos))
-	for i, p := range r.XPos {
-		vals[i] = s.dict.Str(xval[p])
-	}
-	st := s.shards[hashVals(vals)%uint64(len(s.shards))]
-	if !lock {
-		rows, err := st.ix.FetchIDs(c, xval)
-		if err == nil {
-			s.fetchedTuples.Add(int64(len(rows)))
-		}
-		return rows, err
-	}
-	s.rlockTimed(&st.mu)
-	rows, err := st.ix.FetchIDs(c, xval)
-	if err == nil && len(rows) > 0 {
-		// The group header is swap-patched in place by maintenance; copy it
-		// before releasing the shard. The rows themselves are immutable.
-		rows = append([][]uint32(nil), rows...)
-	}
-	st.mu.RUnlock()
-	if err == nil {
-		s.fetchedTuples.Add(int64(len(rows)))
-	}
-	return rows, err
-}
-
-// fetchBroadcast scatters a probe to every shard and gathers the distinct
-// XY-projections. Deduplication across shards keeps the result — and the
-// fetch accounting — identical to the unsharded index's.
-func (s *Sharded) fetchBroadcast(c *access.Constraint, xval []uint32) ([][]uint32, error) {
-	p := len(s.shards)
-	parts := make([][][]uint32, p)
-	if err := par.ForEach(p, func(i int) error {
-		rows, err := s.shards[i].ix.FetchIDs(c, xval)
-		parts[i] = rows
-		return err
-	}); err != nil {
-		return nil, err
-	}
-	nonEmpty, total := 0, 0
-	last := -1
-	for i, rows := range parts {
-		if len(rows) > 0 {
-			nonEmpty++
-			total += len(rows)
-			last = i
-		}
-	}
-	if nonEmpty == 0 {
-		return nil, nil
-	}
-	if nonEmpty == 1 {
-		s.fetchedTuples.Add(int64(len(parts[last])))
-		return parts[last], nil
-	}
-	seen := intern.NewSet(total)
-	out := make([][]uint32, 0, total)
-	for _, rows := range parts {
-		for _, r := range rows {
-			if seen.Add(r) {
-				out = append(out, r)
-			}
-		}
-	}
-	s.fetchedTuples.Add(int64(len(out)))
-	return out, nil
-}
-
-// frozenSource serves plan execution while the caller holds every shard's
-// read lock: no per-probe locking is needed.
-type frozenSource struct{ s *Sharded }
-
-func (f *frozenSource) Dict() *intern.Dict { return f.s.dict }
-
-func (f *frozenSource) FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error) {
-	s := f.s
-	r := s.part.Route(c)
-	if r == nil {
-		return nil, fmt.Errorf("shard: no index for constraint %s", c)
-	}
-	if len(xval) != len(c.X) {
-		return nil, fmt.Errorf("shard: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
-	}
-	s.fetchCalls.Add(1)
-	if r.XPos != nil {
-		return s.fetchRouted(c, r, xval, false)
-	}
-	return s.fetchBroadcast(c, xval)
-}
-
-// lockedSource serves point-read plans: each probe locks only the owning
-// shard, so readers and the per-shard maintenance workers only ever
-// collide on the one partition they share.
-type lockedSource struct{ s *Sharded }
-
-func (l *lockedSource) Dict() *intern.Dict { return l.s.dict }
-
-func (l *lockedSource) FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error) {
-	s := l.s
-	r := s.part.Route(c)
-	if r == nil || r.XPos == nil {
-		// routedOnly vetted the plan; reaching here is a bug.
-		return nil, fmt.Errorf("shard: unroutable fetch %s in point-read mode", c)
-	}
-	if len(xval) != len(c.X) {
-		return nil, fmt.Errorf("shard: fetch on %s expects %d input values, got %d", c, len(c.X), len(xval))
-	}
-	s.fetchCalls.Add(1)
-	return s.fetchRouted(c, r, xval, true)
-}
-
-// Views returns a decoded snapshot of every view's gathered extent,
-// served from the merged cache (rebuilt only for views dirtied since the
-// last read). The returned map and rows are fresh copies owned by the
-// caller.
+// Views returns a decoded snapshot of every view's gathered extent as of
+// the current epoch. The returned map and rows are fresh copies owned by
+// the caller.
 func (s *Sharded) Views() map[string][][]string {
-	for _, st := range s.shards {
-		st.mu.RLock()
-	}
-	if s.g != nil {
-		s.g.mu.RLock()
-	}
-	s.mergeMu.Lock()
-	s.gatherLocked()
-	out := make(map[string][][]string, len(s.views))
-	for name := range s.views {
-		out[name] = s.dict.DecodeAll(s.merged[name])
+	e := s.cur.Load()
+	out := make(map[string][][]string, len(e.views))
+	for name, gv := range e.views {
+		out[name] = s.dict.DecodeAll(gv.get())
 		if out[name] == nil {
 			out[name] = [][]string{}
 		}
-	}
-	s.mergeMu.Unlock()
-	if s.g != nil {
-		s.g.mu.RUnlock()
-	}
-	for i := len(s.shards) - 1; i >= 0; i-- {
-		s.shards[i].mu.RUnlock()
 	}
 	return out
 }

@@ -136,7 +136,7 @@ func TestShardedOpenAndPointReads(t *testing.T) {
 		}
 	}
 	views := map[string]*cq.UCQ{}
-	sh, err := Open(db, s, a, views, 4)
+	sh, err := Open(db, s, a, views, Config{Shards: 4, StatsDriftFrac: 0.2, StatsMinChurn: 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,11 +153,11 @@ func TestShardedOpenAndPointReads(t *testing.T) {
 	if nonEmpty < 2 {
 		t.Fatalf("hash partitioning left the data on %d shard(s): %v", nonEmpty, sizes)
 	}
-	// Routed probe per uid: exactly the 3 txns, counted once.
-	src := &frozenSource{s: sh}
+	// Routed probe per uid against the current epoch: exactly the 3 txns.
+	e := sh.Current()
 	for i := 0; i < users; i++ {
 		uid := sh.dict.ID(fmt.Sprintf("u%d", i))
-		rows, err := src.FetchIDs(a.Constraints[1], []uint32{uid})
+		rows, err := e.FetchIDs(a.Constraints[1], []uint32{uid})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,10 +165,8 @@ func TestShardedOpenAndPointReads(t *testing.T) {
 			t.Fatalf("u%d: fetched %d txns, want 3", i, len(rows))
 		}
 	}
-	if got := sh.FetchedTuples(); got != users*3 {
-		t.Fatalf("fetch accounting %d, want %d", got, users*3)
-	}
 	// Broadcast probe on misc (empty X): the gathered whole-relation scan.
+	// The pinned epoch e must NOT see the delta; the new epoch must.
 	if _, err := sh.ApplyDelta([]instance.Op{
 		{Rel: "misc", Row: instance.Tuple{"x", "y"}},
 		{Rel: "misc", Row: instance.Tuple{"p", "q"}},
@@ -176,7 +174,10 @@ func TestShardedOpenAndPointReads(t *testing.T) {
 	}, nil); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := src.FetchIDs(a.Constraints[3], nil)
+	if rows, err := e.FetchIDs(a.Constraints[3], nil); err != nil || len(rows) != 0 {
+		t.Fatalf("pinned epoch observed a later batch: %v rows, err %v", len(rows), err)
+	}
+	rows, err := sh.Current().FetchIDs(a.Constraints[3], nil)
 	if err != nil {
 		t.Fatal(err)
 	}

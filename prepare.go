@@ -177,19 +177,26 @@ func (pq *PreparedQuery) planOn(id uint64, st *plan.Stats, ver uint64) Plan {
 	return pq.cands[s.sel].Plan
 }
 
-// Execute serves the query against the live state: the min-cost candidate
-// under l's current statistics runs over the always-fresh views and
-// indices. Returns the answer rows and the tuples this call fetched from
-// the underlying database.
-func (pq *PreparedQuery) Execute(l *Live) ([][]string, int, error) {
-	st, ver := l.Stats()
-	return l.Execute(pq.planOn(l.id, st, ver))
+// Execute serves the query against any handle — single-instance or
+// sharded: the min-cost candidate under the handle's current statistics
+// runs over the current epoch's views and indices. Returns the answer
+// rows and the tuples this call fetched from the underlying database.
+func (pq *PreparedQuery) Execute(h Handle) ([][]string, int, error) {
+	st, ver := h.Stats()
+	return h.Execute(pq.planOn(h.handleID(), st, ver))
 }
 
-// ExecuteSharded serves the query against a sharded handle: the min-cost
-// candidate under the merged per-shard statistics runs scatter-gather
-// over the partitions.
+// ExecuteOn serves the query against a pinned snapshot: the min-cost
+// candidate under the snapshot's statistics runs against exactly the
+// snapshot's epoch.
+func (pq *PreparedQuery) ExecuteOn(s *Snapshot) ([][]string, int, error) {
+	st, ver := s.Stats()
+	return s.Execute(pq.planOn(s.hid, st, ver))
+}
+
+// ExecuteSharded serves the query against a sharded handle.
+//
+// Deprecated: Execute accepts any Handle, including *LiveSharded.
 func (pq *PreparedQuery) ExecuteSharded(l *LiveSharded) ([][]string, int, error) {
-	st, ver := l.Stats()
-	return l.Execute(pq.planOn(l.id, st, ver))
+	return pq.Execute(l)
 }

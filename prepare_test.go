@@ -34,7 +34,7 @@ func renamedPlanPickQuery(i int) *UCQ {
 func TestPrepareSelectsCheapPlanAndCaches(t *testing.T) {
 	sys, pp := planPickSystem(t)
 	db := pp.Generate(4000, 4, 11)
-	l, err := sys.OpenLive(db)
+	l, err := sys.Open(db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestPrepareSelectsCheapPlanAndCaches(t *testing.T) {
 func TestPreparedReselectsUnderChurnDrift(t *testing.T) {
 	sys, pp := planPickSystem(t)
 	db := pp.Generate(400, 4, 5)
-	l, err := sys.OpenLive(db)
+	l, err := sys.Open(db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestPreparedReselectsUnderChurnDrift(t *testing.T) {
 func TestPreparedConcurrentChurnMatchesLockedRecompute(t *testing.T) {
 	sys, pp := planPickSystem(t)
 	db := pp.Generate(600, 4, 23)
-	l, err := sys.OpenLive(db)
+	l, err := sys.Open(db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestPreparedConcurrentChurnMatchesLockedRecompute(t *testing.T) {
 func TestNoAliasingOfViewsAndPreparedResults(t *testing.T) {
 	sys, pp := planPickSystem(t)
 	db := pp.Generate(300, 3, 9)
-	l, err := sys.OpenLive(db)
+	l, err := sys.Open(db)
 	if err != nil {
 		t.Fatal(err)
 	}

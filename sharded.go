@@ -1,56 +1,113 @@
 package repro
 
 import (
-	"time"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
 	"repro/internal/shard"
 )
 
-// LiveSharded is the shard-aware Live handle: the database is
+// LiveSharded is the shard-aware serving handle: the database is
 // hash-partitioned into P shards (by the partition key derived from the
-// access schema), each owning its own fetch indices, join indexes,
+// access schema), each owning its own fetch-index versions, join indexes,
 // materialized-view partitions and statistics. Plan execution is
 // scatter-gather — fetches whose constraint binds the partition key are
 // single-shard point reads, everything else gathers across shards — and
-// ApplyDelta routes ops per shard and maintains the shards concurrently,
-// so a writer patching one partition never stalls readers on the others.
+// ApplyDelta routes ops per shard, maintains the shards concurrently, and
+// publishes the combined result as ONE cross-shard-consistent epoch.
 //
-// Semantics match Live exactly on results and fetch accounting (the
-// differential harness in sharded_test.go pins this), with one
-// concurrency difference: there is no cross-shard snapshot. A read
-// overlapping ApplyDelta may see the batch applied on some shards and not
-// others; each shard is individually consistent, and reads that do not
-// overlap a delta see the fully applied state.
+// Semantics match Live exactly, including the snapshot guarantees: a read
+// (or Snapshot) pins one epoch covering every shard, so an overlapping
+// ApplyDelta is either fully visible or fully invisible — the torn-batch
+// window of the lock-based sharded engine is gone, and readers never
+// block (the differential harness in snapshot_test.go pins this at
+// P ∈ {1, 2, 8}).
 type LiveSharded struct {
 	sys *System
 	id  uint64 // process-unique handle identity (see PreparedQuery selection)
 	sh  *shard.Sharded
+
+	mu      sync.Mutex // serializes Close against ApplyDelta
+	closed  bool
+	fetched atomic.Int64 // handle-lifetime fetched tuples
 }
 
-// OpenLiveSharded builds the sharded live state over db, partitioned into
-// the given number of shards. The database is consumed: its rows move
-// into the partitions and the original handle must not be used afterwards
-// — route all reads and writes through the returned handle. With shards
-// == 1 the handle behaves like Live behind the same API (the degenerate
-// partition, useful as the baseline in scaling experiments).
-func (sys *System) OpenLiveSharded(db *Database, shards int) (*LiveSharded, error) {
-	sh, err := shard.Open(db, sys.Schema, sys.Access, sys.Views, shards)
+func (sys *System) openSharded(db *Database, cfg openConfig) (*LiveSharded, error) {
+	sh, err := shard.Open(db, sys.Schema, sys.Access, sys.Views, shard.Config{
+		Shards:         cfg.shards,
+		StatsDriftFrac: cfg.statsDrift,
+		StatsMinChurn:  cfg.statsMinChurn,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh}, nil
 }
 
-// Execute runs a plan scatter-gather against the always-fresh partitions,
-// returning the answer rows and the tuples fetched from D by this call
-// (per-call attribution is exact when calls do not overlap).
-func (l *LiveSharded) Execute(p Plan) ([][]string, int, error) { return l.sh.Execute(p) }
+// OpenLiveSharded builds the sharded live state over db, partitioned into
+// the given number of shards. The database is consumed: its rows move
+// into the partitions and the original handle must not be used
+// afterwards.
+//
+// Deprecated: use Open with WithShards(shards), which returns the unified
+// Handle backed by the same engine.
+func (sys *System) OpenLiveSharded(db *Database, shards int) (*LiveSharded, error) {
+	h, err := sys.Open(db, WithShards(shards))
+	if err != nil {
+		return nil, err
+	}
+	return h.(*LiveSharded), nil
+}
+
+func (l *LiveSharded) handleID() uint64 { return l.id }
+
+// snapshotEpoch wraps one shard epoch as the facade's epoch state.
+func (l *LiveSharded) snapshotEpoch(e *shard.Epoch) *epochState {
+	st, ver := e.Stats()
+	return &epochState{
+		seq:      e.Seq(),
+		src:      e,
+		pv:       e.Prepared(),
+		dict:     e.Dict(),
+		viewIDs:  e.AllViewIDs,
+		stats:    st,
+		statsVer: ver,
+		size:     e.Size(),
+	}
+}
+
+// Snapshot pins the current cross-shard-consistent epoch: every read
+// through it sees one frozen state of ALL partitions and the gathered
+// views, regardless of concurrent deltas.
+func (l *LiveSharded) Snapshot() *Snapshot {
+	return &Snapshot{hid: l.id, e: l.snapshotEpoch(l.sh.Current()), hfetched: &l.fetched}
+}
+
+// Execute runs a plan scatter-gather against the current epoch, returning
+// the answer rows and the tuples fetched from D by this call (exact
+// attribution, also under concurrent readers and writers).
+func (l *LiveSharded) Execute(p Plan) ([][]string, int, error) {
+	e := l.sh.Current()
+	var call atomic.Int64
+	src := &countedSource{src: e, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
+	rows, err := plan.RunOn(p, src, e.Prepared())
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, int(call.Load()), nil
+}
 
 // ApplyDelta applies a batch of mutations with Live.ApplyDelta's
 // semantics (deletes first, one occurrence per delete, absent deletes are
-// no-ops), routed per shard and maintained concurrently.
+// no-ops), routed per shard, maintained concurrently and published as the
+// next epoch.
 func (l *LiveSharded) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return DeltaStats{}, ErrClosed
+	}
 	st, err := l.sh.ApplyDelta(inserts, deletes)
 	if err != nil {
 		return DeltaStats{}, err
@@ -64,9 +121,9 @@ func (l *LiveSharded) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	}, nil
 }
 
-// Views returns a decoded snapshot of the gathered view extents. The
-// returned map and rows are fresh copies owned by the caller: mutating
-// them never affects what the handle serves next.
+// Views returns a decoded copy of the current epoch's gathered view
+// extents. The returned map and rows are fresh copies owned by the
+// caller.
 func (l *LiveSharded) Views() map[string][][]string { return l.sh.Views() }
 
 // Size returns the current |D| across all shards.
@@ -90,10 +147,17 @@ func (l *LiveSharded) Stats() (*plan.Stats, uint64) { return l.sh.Stats() }
 // FetchedTuples returns the handle-lifetime count of tuples fetched from
 // the partitions (the |Dξ| accounting; deduplicated across shards exactly
 // like the unsharded index's).
-func (l *LiveSharded) FetchedTuples() int { return l.sh.FetchedTuples() }
+func (l *LiveSharded) FetchedTuples() int { return int(l.fetched.Load()) }
 
-// LockStall returns the cumulative time readers spent actually blocked
-// behind writer locks — the serving-stall metric the scaling experiment
-// tracks (partitioning shrinks the exclusive window a point read can
-// collide with from the whole batch to one shard's slice).
-func (l *LiveSharded) LockStall() time.Duration { return l.sh.LockStall() }
+// Close fences writers and releases the per-shard maintenance machinery:
+// later ApplyDelta calls fail, reads keep serving the final epoch, and
+// snapshots already taken are unaffected.
+func (l *LiveSharded) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		l.sh.Close()
+	}
+	return nil
+}

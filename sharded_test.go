@@ -179,7 +179,7 @@ func diffPlans(t *testing.T, rng *rand.Rand, sys *System) []Plan {
 // assertHandlesAgree runs every plan on the unsharded handle and each
 // sharded one, requiring identical answer rows AND identical fetch
 // totals, then compares full view snapshots.
-func assertHandlesAgree(t *testing.T, plans []Plan, l *Live, sharded map[int]*LiveSharded) {
+func assertHandlesAgree(t *testing.T, plans []Plan, l Handle, sharded map[int]*LiveSharded) {
 	t.Helper()
 	for pi, p := range plans {
 		wantRows, wantFetched, wantErr := l.Execute(p)
@@ -250,7 +250,7 @@ func TestShardedDifferentialRandom(t *testing.T) {
 			seed.MustInsert(rel.Name, row...)
 		}
 
-		l, err := sys.OpenLive(seed.Clone())
+		l, err := sys.Open(seed.Clone())
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -331,11 +331,11 @@ func shardedFixture(t *testing.T, users, txns, shards int) (*System, *workload.S
 	}
 	db := w.Generate(users, txns, 17)
 	snapshot := db.Clone()
-	sl, err := sys.OpenLiveSharded(db, shards)
+	h, err := sys.Open(db, WithShards(shards))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return sys, w, sl, snapshot
+	return sys, w, h.(*LiveSharded), snapshot
 }
 
 // TestShardedFixtureServesPointReadsAndViews checks the fixture
@@ -367,7 +367,7 @@ func TestShardedFixtureServesPointReadsAndViews(t *testing.T) {
 		if err != nil {
 			t.Fatalf("uid %s: %v", uid, err)
 		}
-		rows, fetched, err := pq.ExecuteSharded(sl)
+		rows, fetched, err := pq.Execute(sl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -439,7 +439,7 @@ func TestShardedConcurrentReadersAndWriter(t *testing.T) {
 				default:
 				}
 				pq := queries[(r+i)%len(queries)]
-				rows, fetched, err := pq.ExecuteSharded(sl)
+				rows, fetched, err := pq.Execute(sl)
 				if err != nil {
 					errCh <- err
 					return
@@ -486,7 +486,7 @@ func TestShardedNoAliasingOfViewsAndResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := pq.ExecuteSharded(sl)
+	want, _, err := pq.Execute(sl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -499,7 +499,7 @@ func TestShardedNoAliasingOfViewsAndResults(t *testing.T) {
 		}
 		snap[name] = append(rows, []string{"bogus", "bogus"})
 	}
-	got1, _, err := pq.ExecuteSharded(sl)
+	got1, _, err := pq.Execute(sl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,7 +518,7 @@ func TestShardedNoAliasingOfViewsAndResults(t *testing.T) {
 			t.Fatalf("view %s served corrupted rows after caller mutation", name)
 		}
 	}
-	got2, _, err := pq.ExecuteSharded(sl)
+	got2, _, err := pq.Execute(sl)
 	if err != nil {
 		t.Fatal(err)
 	}
