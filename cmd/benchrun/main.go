@@ -14,6 +14,7 @@
 //	benchrun -exp planpick cost-based selection over the full candidate frontier
 //	benchrun -exp shard sharded scatter-gather: partitioned maintenance + serving scaling
 //	benchrun -exp epoch epoch-pinned reads: reader tail latency under a churning writer
+//	benchrun -exp recover durable restart: checkpoint+replay recovery vs cold rebuild
 //	benchrun -exp all   everything (default)
 //
 // With -json FILE, per-experiment wall-clock timings and the individual
@@ -78,6 +79,9 @@ type measurement struct {
 	QPS            float64 `json:"qps,omitempty"`              // shard: point queries served per second under churn
 	MaxExclusiveNS int64   `json:"max_exclusive_ns,omitempty"` // shard: longest single-lock exclusive window per batch
 	ExclCut        float64 `json:"excl_window_cut,omitempty"`  // shard: exclusive-window reduction vs 1 shard
+	RecoverNS      int64   `json:"recover_ns,omitempty"`       // recover: open-to-serving wall clock of this path
+	ReplayedEpochs int     `json:"replayed_epochs,omitempty"`  // recover: journal records replayed
+	ReplayedOps    int     `json:"replayed_ops,omitempty"`     // recover: physical ops those records carried
 }
 
 // report is the -json output document.
@@ -93,7 +97,7 @@ var rep report
 func record(m measurement) { rep.Measurements = append(rep.Measurements, m) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, all)")
+	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover, all)")
 	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file")
 	flag.Parse()
 	rep.Experiments = []expTiming{}
@@ -119,8 +123,9 @@ func main() {
 	run("planpick", expPlanPick)
 	run("shard", expShard)
 	run("epoch", expEpoch)
+	run("recover", expRecover)
 	if !matched {
-		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch or all)", *exp)
+		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover or all)", *exp)
 	}
 	if *jsonPath != "" {
 		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -1010,5 +1015,188 @@ func expEpoch() {
 		}
 	} else {
 		fmt.Println("\n(GOMAXPROCS=1: the latency gate needs the reader and writer on separate procs; skipped.)")
+	}
+}
+
+// expRecover measures what the WAL + checkpoint subsystem buys a restart:
+// the time from process start (well, from sys.Open) to a serving handle,
+// three ways over the SAME final state.
+//
+//   - cold rebuild: no durability — re-enumerate every view from the base
+//     tables, rebuild indexes, recollect statistics (the pre-PR6 restart).
+//   - log replay: recover a directory whose handle was never cleanly
+//     closed — load the small opening checkpoint, replay the whole
+//     journal through the incremental maintenance path.
+//   - checkpointed restart: recover a directory that checkpointed
+//     periodically and closed cleanly — load the newest checkpoint, seed
+//     the engine's extents directly, replay (almost) nothing.
+//
+// Gate: checkpointed restart must reach serving >= 10x faster than the
+// cold rebuild (restart = load + seed instead of re-deriving the
+// quadratic VPairs join), and log replay must also beat the cold rebuild
+// — replaying the history incrementally is cheaper than recomputing the
+// final state's views from scratch.
+func expRecover() {
+	header("EXP-RECOVER — durable restart: checkpoint+replay vs cold rebuild")
+	const (
+		users    = 400
+		txnsPer  = 48
+		batches  = 40
+		batchOps = 12
+		ckptInt  = 16
+	)
+	w := workload.NewRecovery(2 * txnsPer)
+	sys, err := repro.NewSystem(w.Schema, w.Access, w.Views(), 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := w.Generate(users, txnsPer, 17)
+	size0 := db.Size()
+
+	dirReplay, err := os.MkdirTemp("", "recover-replay-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dirReplay)
+	dirCkpt, err := os.MkdirTemp("", "recover-ckpt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dirCkpt)
+
+	// Drive the identical deterministic stream into both durable dirs and
+	// a plain database that becomes the cold-rebuild input.
+	hReplay, err := sys.Open(db.Clone(), repro.WithDurability(dirReplay), repro.WithCheckpointEvery(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hCkpt, err := sys.Open(db.Clone(), repro.WithDurability(dirCkpt), repro.WithCheckpointEvery(ckptInt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := db.Clone()
+	ch := w.NewChurn(db, 5)
+	ops := 0
+	for b := 0; b < batches; b++ {
+		ins, del := ch.Batch(batchOps)
+		ops += len(ins) + len(del)
+		if _, err := hReplay.ApplyDelta(ins, del); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := hCkpt.ApplyDelta(ins, del); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := final.ApplyDelta(ins, del); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// hCkpt closes cleanly (final checkpoint); hReplay is abandoned as a
+	// crash would leave it — every batch is in the journal, none folded.
+	if err := hCkpt.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	recoverInfo := func(h repro.Handle) repro.RecoveryInfo {
+		if l, ok := h.(*repro.Live); ok {
+			return l.Recovery()
+		}
+		log.Fatalf("unexpected handle type %T", h)
+		return repro.RecoveryInfo{}
+	}
+	probe := func(h repro.Handle) {
+		rows, err := h.Snapshot().Fetch(w.Acct, repro.Tuple{w.UID(3)})
+		if err != nil || len(rows) == 0 {
+			log.Fatalf("serving probe failed: %d rows, %v", len(rows), err)
+		}
+	}
+
+	runtime.GC()
+	t0 := time.Now()
+	hCold, err := sys.Open(final)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe(hCold)
+	coldNS := time.Since(t0)
+
+	runtime.GC()
+	t0 = time.Now()
+	hR, err := sys.Open(repro.NewDatabase(sys.Schema), repro.WithDurability(dirReplay), repro.WithCheckpointEvery(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe(hR)
+	replayNS := time.Since(t0)
+	ri := recoverInfo(hR)
+	if ri.ReplayedEpochs != batches {
+		log.Fatalf("log-replay recovery replayed %d epochs, want %d", ri.ReplayedEpochs, batches)
+	}
+
+	runtime.GC()
+	t0 = time.Now()
+	hC, err := sys.Open(repro.NewDatabase(sys.Schema), repro.WithDurability(dirCkpt), repro.WithCheckpointEvery(ckptInt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe(hC)
+	ckptNS := time.Since(t0)
+	ci := recoverInfo(hC)
+	if ci.ReplayedEpochs != 0 {
+		log.Fatalf("checkpointed recovery replayed %d epochs, want 0 after a clean close", ci.ReplayedEpochs)
+	}
+
+	// The three handles must agree — recovery that is fast but wrong is
+	// worthless. Extent row order is not canonical (enumeration vs
+	// incremental arrival), so compare sorted.
+	canon := func(h repro.Handle) string {
+		views := h.Views()
+		names := make([]string, 0, len(views))
+		for name := range views {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var b []byte
+		for _, name := range names {
+			rows := make([]string, len(views[name]))
+			for i, r := range views[name] {
+				rows[i] = fmt.Sprint(r)
+			}
+			sort.Strings(rows)
+			b = fmt.Appendf(b, "%s%v\n", name, rows)
+		}
+		return string(b)
+	}
+	coldViews := canon(hCold)
+	if canon(hR) != coldViews {
+		log.Fatal("log-replay recovery diverged from the cold rebuild")
+	}
+	if canon(hC) != coldViews {
+		log.Fatal("checkpointed recovery diverged from the cold rebuild")
+	}
+
+	record(measurement{Experiment: "recover", Name: "cold", DBSize: final.Size(),
+		RecoverNS: int64(coldNS), BatchOps: batchOps, Batches: batches})
+	record(measurement{Experiment: "recover", Name: "log-replay", DBSize: final.Size(),
+		RecoverNS: int64(replayNS), ReplayedEpochs: ri.ReplayedEpochs, ReplayedOps: ri.ReplayedOps,
+		Speedup: float64(coldNS) / float64(replayNS)})
+	record(measurement{Experiment: "recover", Name: "checkpointed", DBSize: final.Size(),
+		RecoverNS: int64(ckptNS), ReplayedEpochs: ci.ReplayedEpochs, ReplayedOps: ci.ReplayedOps,
+		Speedup: float64(coldNS) / float64(ckptNS)})
+
+	replayRate := float64(ri.ReplayedOps) / replayNS.Seconds()
+	fmt.Printf("|D0| = %d, |Dfinal| = %d, %d journaled batches of %d ops (%d physical)\n\n",
+		size0, final.Size(), batches, batchOps, ops)
+	fmt.Println("| restart path | to serving | vs cold |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| cold rebuild (re-enumerate views) | %s | 1.0x |\n", coldNS.Round(time.Microsecond))
+	fmt.Printf("| log replay (%d epochs, %d ops) | %s | %.1fx |\n",
+		ri.ReplayedEpochs, ri.ReplayedOps, replayNS.Round(time.Microsecond), float64(coldNS)/float64(replayNS))
+	fmt.Printf("| checkpointed restart | %s | %.1fx |\n", ckptNS.Round(time.Microsecond), float64(coldNS)/float64(ckptNS))
+	fmt.Printf("\nreplay throughput: %.0f ops/s; gate: checkpointed >= 10x cold, log replay >= 1.5x cold\n", replayRate)
+	if got := float64(coldNS) / float64(ckptNS); got < 10 {
+		log.Fatalf("checkpointed restart is only %.1fx faster than a cold rebuild (gate: >= 10x)", got)
+	}
+	if got := float64(coldNS) / float64(replayNS); got < 1.5 {
+		log.Fatalf("log-replay recovery is only %.1fx faster than a cold rebuild (gate: >= 1.5x)", got)
 	}
 }

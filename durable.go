@@ -1,0 +1,284 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/instance"
+	"repro/internal/intern"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+// RecoveryInfo reports what opening a durable directory had to do to get
+// back to serving: the checkpoint it started from, the log suffix it
+// replayed on top, and whether an incomplete tail (a batch cut mid-write
+// by a crash) was discarded.
+type RecoveryInfo struct {
+	CheckpointSeq  uint64 // epoch the loaded checkpoint serialized
+	ReplayedEpochs int    // journal records replayed after the checkpoint
+	ReplayedOps    int    // physical ops those records carried
+	TornTail       bool   // an incomplete final record was discarded
+}
+
+// walOptions derives the log header fingerprints from the system: durable
+// state written for a different schema or view set must never be replayed
+// here — the interned IDs and plan constants would not line up.
+func (sys *System) walOptions(cfg openConfig) wal.Options {
+	names := make([]string, 0, len(sys.Views))
+	for name := range sys.Views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, n+"="+sys.Views[n].String())
+	}
+	return wal.Options{
+		SchemaFP:    wal.Fingerprint(sys.Schema.String()),
+		ViewsFP:     wal.Fingerprint(parts...),
+		GroupCommit: cfg.groupCommit,
+	}
+}
+
+// restoreCheckpointDB rebuilds the dictionary and table shadows serialized
+// in a checkpoint. The dictionary prefix restores the exact interned IDs
+// (dense, first-intern order), which is what makes log replay reassign
+// identical IDs afterwards.
+func (sys *System) restoreCheckpointDB(ck *wal.Checkpoint) (*Database, *intern.Dict, error) {
+	dict, ok := intern.FromStrings(ck.Dict)
+	if !ok {
+		return nil, nil, fmt.Errorf("repro: recover: checkpoint dictionary has duplicate strings")
+	}
+	db := instance.NewDatabaseWith(sys.Schema, dict)
+	for _, t := range ck.Tables {
+		if err := db.RestoreRows(t.Rel, t.Rows); err != nil {
+			return nil, nil, fmt.Errorf("repro: recover: %w", err)
+		}
+	}
+	if ck.Stats == nil {
+		return nil, nil, fmt.Errorf("repro: recover: checkpoint carries no statistics")
+	}
+	return db, dict, nil
+}
+
+// decodeReplayOps turns one journal record back into a facade batch. The
+// record's dictionary growth is re-interned FIRST, in journal order, and
+// each string must land on exactly the ID it had when journaled — any skew
+// means the directory does not belong to this state and replay must stop
+// rather than silently misbind rows.
+func decodeReplayOps(dict *intern.Dict, r *wal.Record) (inserts, deletes []Op, err error) {
+	for _, s := range r.Dict {
+		want := dict.Len()
+		if id := dict.ID(s); int(id) != want {
+			return nil, nil, fmt.Errorf("repro: replay epoch %d: dictionary determinism violated: %q interned as id %d, journal expects %d", r.Seq, s, id, want)
+		}
+	}
+	n := dict.Len()
+	mk := func(ops []wal.Op) ([]Op, error) {
+		out := make([]Op, len(ops))
+		for i, op := range ops {
+			for _, id := range op.Row {
+				if int(id) >= n {
+					return nil, fmt.Errorf("repro: replay epoch %d: row references id %d beyond dictionary size %d", r.Seq, id, n)
+				}
+			}
+			out[i] = Op{Rel: r.Rels[op.Rel].Name, Row: Tuple(dict.Decode(op.Row))}
+		}
+		return out, nil
+	}
+	if deletes, err = mk(r.Deletes); err != nil {
+		return nil, nil, err
+	}
+	if inserts, err = mk(r.Inserts); err != nil {
+		return nil, nil, err
+	}
+	return inserts, deletes, nil
+}
+
+// replayInto drives the recovered log suffix through a handle's normal
+// ApplyDelta (journaling still detached), validating after every record
+// that the replay applied exactly the ops the journal recorded.
+func replayInto(rec *wal.Recovered, dict *intern.Dict, apply func(inserts, deletes []Op) (DeltaStats, error)) (RecoveryInfo, error) {
+	info := RecoveryInfo{CheckpointSeq: rec.Checkpoint.Seq, TornTail: rec.TornTail}
+	for _, r := range rec.Records {
+		ins, dels, err := decodeReplayOps(dict, r)
+		if err != nil {
+			return info, err
+		}
+		st, err := apply(ins, dels)
+		if err != nil {
+			return info, fmt.Errorf("repro: replay epoch %d: %w", r.Seq, err)
+		}
+		if st.Inserted != len(r.Inserts) || st.Deleted != len(r.Deletes) {
+			return info, fmt.Errorf("repro: replay epoch %d diverged: applied %d inserts/%d deletes, journal recorded %d/%d",
+				r.Seq, st.Inserted, st.Deleted, len(r.Inserts), len(r.Deletes))
+		}
+		info.ReplayedEpochs++
+		info.ReplayedOps += len(r.Inserts) + len(r.Deletes)
+	}
+	return info, nil
+}
+
+// openLiveDurable opens (or recovers) the single-instance engine over a
+// durable directory.
+func (sys *System) openLiveDurable(db *Database, cfg openConfig) (*Live, error) {
+	log, rec, err := wal.Open(cfg.durDir, sys.walOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		// Fresh directory: serve the given database and checkpoint the
+		// opening epoch so the log has a recovery base.
+		l, err := sys.openLive(db, cfg)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		l.wal, l.ckptEvery = log, cfg.ckptEvery
+		if err := l.checkpointLocked(); err != nil {
+			l.wal = nil
+			log.Close()
+			return nil, fmt.Errorf("repro: initial checkpoint: %w", err)
+		}
+		return l, nil
+	}
+	if db.Size() != 0 || db.Dict.Len() != 0 {
+		log.Close()
+		return nil, fmt.Errorf("repro: %s holds durable state; recovery requires an empty database", cfg.durDir)
+	}
+	l, err := sys.restoreLive(rec, cfg)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	// Journaling attaches only after replay: the replayed batches are
+	// already in the log, and the counter makes them count toward the next
+	// periodic checkpoint so a crash-loop cannot replay unboundedly.
+	l.wal, l.ckptEvery, l.sinceCkpt = log, cfg.ckptEvery, len(rec.Records)
+	return l, nil
+}
+
+// restoreLive rebuilds a Live handle from a checkpoint plus log suffix.
+func (sys *System) restoreLive(rec *wal.Recovered, cfg openConfig) (*Live, error) {
+	ck := rec.Checkpoint
+	db, dict, err := sys.restoreCheckpointDB(ck)
+	if err != nil {
+		return nil, err
+	}
+	var eng *eval.DeltaEngine
+	if len(ck.Views) == 0 && len(sys.Views) > 0 {
+		// Logical checkpoint (written by the sharded engine): no extent
+		// section, so materialize the views by full enumeration.
+		eng, err = eval.NewDeltaEngine(db, sys.Views)
+	} else {
+		extents := make(map[string]eval.Extent, len(ck.Views))
+		for _, v := range ck.Views {
+			extents[v.Name] = eval.Extent{Rows: v.Rows, Counts: v.Counts}
+		}
+		eng, err = eval.NewDeltaEngineWithExtents(db, sys.Views, extents)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("repro: recover: %w", err)
+	}
+	vix, err := instance.BuildVIndex(db, sys.Access)
+	if err != nil {
+		return nil, err
+	}
+	l := &Live{
+		sys: sys, id: liveIDs.Add(1), cfg: cfg, db: db, eng: eng, vix: vix,
+		seq: ck.Seq, statsVer: ck.StatsVer, statsChurn: ck.StatsChurn,
+	}
+	views := make(map[string][][]uint32, len(sys.Views))
+	for name := range sys.Views {
+		views[name] = eng.PublishExtentIDs(name)
+	}
+	l.publishLocked(views, ck.Stats)
+	info, err := replayInto(rec, dict, l.ApplyDelta)
+	if err != nil {
+		return nil, err
+	}
+	l.recovery = info
+	return l, nil
+}
+
+// openShardedDurable opens (or recovers) the sharded engine over a durable
+// directory. One log serves all shards: the journal hook receives each
+// batch's combined physical ops (deletes then inserts, in shard order)
+// before the cross-shard epoch publishes, and replay routes them through
+// the normal per-shard paths so recovery reproduces the same epochs.
+func (sys *System) openShardedDurable(db *Database, cfg openConfig) (*LiveSharded, error) {
+	log, rec, err := wal.Open(cfg.durDir, sys.walOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		l, err := sys.openSharded(db, cfg)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		l.wal, l.ckptEvery = log, cfg.ckptEvery
+		if err := l.checkpointLocked(); err != nil {
+			l.wal = nil
+			log.Close()
+			return nil, fmt.Errorf("repro: initial checkpoint: %w", err)
+		}
+		l.attachJournal(log)
+		return l, nil
+	}
+	if db.Size() != 0 || db.Dict.Len() != 0 {
+		log.Close()
+		return nil, fmt.Errorf("repro: %s holds durable state; recovery requires an empty database", cfg.durDir)
+	}
+	l, err := sys.restoreSharded(rec, cfg)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	l.wal, l.ckptEvery, l.sinceCkpt = log, cfg.ckptEvery, len(rec.Records)
+	l.attachJournal(log)
+	return l, nil
+}
+
+// attachJournal hooks the shard engine's pre-publish journal point to the
+// log. The dictionary is the shared one all shards intern into, so each
+// record's growth section captures the realized (post-routing) intern
+// order — exactly what replay needs to reassign identical IDs.
+func (l *LiveSharded) attachJournal(log *wal.Log) {
+	dict := l.sh.Dict()
+	l.sh.SetJournal(func(seq uint64, a *instance.Applied) error {
+		return log.Append(dict, seq, a)
+	})
+}
+
+// restoreSharded rebuilds a LiveSharded handle from a logical checkpoint
+// plus log suffix. The checkpoint's tables are the per-shard shadows
+// concatenated in shard order; re-routing them by the same hash reproduces
+// each shard's contents and row order, and the restored statistics plus
+// churn counter make every replayed drift decision identical too.
+func (sys *System) restoreSharded(rec *wal.Recovered, cfg openConfig) (*LiveSharded, error) {
+	ck := rec.Checkpoint
+	db, dict, err := sys.restoreCheckpointDB(ck)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := shard.Open(db, sys.Schema, sys.Access, sys.Views, shard.Config{
+		Shards:         cfg.shards,
+		StatsDriftFrac: cfg.statsDrift,
+		StatsMinChurn:  cfg.statsMinChurn,
+		InitialSeq:     ck.Seq,
+		Restored:       &shard.RestoredStats{Stats: ck.Stats, StatsVer: ck.StatsVer, StatsChurn: ck.StatsChurn},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: recover: %w", err)
+	}
+	l := &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh}
+	info, err := replayInto(rec, dict, l.ApplyDelta)
+	if err != nil {
+		return nil, err
+	}
+	l.recovery = info
+	return l, nil
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/intern"
 	"repro/internal/plan"
+	"repro/internal/wal"
 )
 
 // Handle is the unified serving interface over one live database, whether
@@ -81,11 +82,18 @@ const (
 	defaultStatsMinChurn = 256
 )
 
+// defaultCheckpointEvery is the periodic-checkpoint interval (in applied
+// batches) when WithDurability is given without WithCheckpointEvery.
+const defaultCheckpointEvery = 256
+
 // openConfig collects Open's functional options.
 type openConfig struct {
 	shards        int
 	statsDrift    float64
 	statsMinChurn int
+	durDir        string
+	ckptEvery     int
+	groupCommit   time.Duration
 }
 
 // OpenOption configures Open.
@@ -110,6 +118,44 @@ func WithStatsMinChurn(n int) OpenOption {
 	return func(c *openConfig) { c.statsMinChurn = n }
 }
 
+// WithDurability makes the handle durable: every accepted ApplyDelta batch
+// is journaled to a write-ahead log in dir before its epoch is published,
+// and checkpoints periodically fold the log into a serialized epoch so a
+// restart is "load latest checkpoint + replay the log suffix".
+//
+// Opening an EMPTY dir seeds it: the opening epoch is checkpointed and the
+// given database becomes the durable state. Opening a dir that already
+// holds durable state RECOVERS it — the database argument must then be a
+// fresh empty one (the recovered rows replace it); a schema or view-set
+// mismatch with the writer of the directory is an error. See the Recovery
+// method on Live and LiveSharded for what a recovery replayed.
+//
+// If a journal or checkpoint write ever fails the handle is fenced exactly
+// like Close: later ApplyDelta calls fail, reads keep serving the last
+// published epoch.
+func WithDurability(dir string) OpenOption {
+	return func(c *openConfig) { c.durDir = dir }
+}
+
+// WithCheckpointEvery sets the periodic-checkpoint interval: a checkpoint
+// is written after every n applied batches (default 256). n <= 0 disables
+// periodic checkpoints — only the opening checkpoint and the final one on
+// Close are written, so recovery replays the whole log. Only meaningful
+// with WithDurability.
+func WithCheckpointEvery(n int) OpenOption {
+	return func(c *openConfig) { c.ckptEvery = n }
+}
+
+// WithGroupCommit sets the fsync batching window of the write-ahead log.
+// Zero (the default) fsyncs inline on every ApplyDelta — each acked batch
+// is durable. A positive window acks after the buffered write and fsyncs
+// at most once per window: a crash may lose up to the last window of acked
+// batches, but recovery still lands on a consistent epoch prefix (never a
+// torn batch). Only meaningful with WithDurability.
+func WithGroupCommit(d time.Duration) OpenOption {
+	return func(c *openConfig) { c.groupCommit = d }
+}
+
 // Open builds a serving handle over db: fetch indices for the system's
 // access schema, incremental maintenance for its views, cost-model
 // statistics, and the epoch machinery for lock-free snapshot reads. The
@@ -117,9 +163,19 @@ func WithStatsMinChurn(n int) OpenOption {
 // writes through the handle (with WithShards the database is consumed:
 // its rows move into the partitions).
 func (sys *System) Open(db *Database, opts ...OpenOption) (Handle, error) {
-	cfg := openConfig{statsDrift: defaultStatsDrift, statsMinChurn: defaultStatsMinChurn}
+	cfg := openConfig{
+		statsDrift:    defaultStatsDrift,
+		statsMinChurn: defaultStatsMinChurn,
+		ckptEvery:     defaultCheckpointEvery,
+	}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.durDir != "" {
+		if cfg.shards > 0 {
+			return sys.openShardedDurable(db, cfg)
+		}
+		return sys.openLiveDurable(db, cfg)
 	}
 	if cfg.shards > 0 {
 		return sys.openSharded(db, cfg)
@@ -288,6 +344,14 @@ type Live struct {
 	statsVer   uint64
 	seq        uint64
 
+	// Durability (nil wal on non-durable handles). Each accepted batch is
+	// journaled BEFORE its epoch is published; sinceCkpt batches after the
+	// last checkpoint trigger the next one (when ckptEvery > 0).
+	wal       *wal.Log
+	ckptEvery int
+	sinceCkpt int
+	recovery  RecoveryInfo
+
 	cur     atomic.Pointer[epochState]
 	fetched atomic.Int64 // handle-lifetime fetched tuples
 }
@@ -407,10 +471,59 @@ func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 		stats = l.collectStatsLocked()
 		st.StatsRefreshed = true
 	}
+	// Journal before publication: an epoch is never visible to readers
+	// unless its batch reached the log. EVERY accepted batch journals, even
+	// an all-no-op one — the epoch number advances unconditionally and
+	// replay must reproduce the exact numbering. A journal failure fences
+	// the handle (reads keep serving the last published epoch).
+	if l.wal != nil {
+		if err := l.wal.Append(l.db.Dict, l.seq, a); err != nil {
+			l.closed = true
+			return DeltaStats{}, fmt.Errorf("repro: journal: %w", err)
+		}
+	}
 	l.publishLocked(views, stats)
+	if l.wal != nil {
+		l.sinceCkpt++
+		if l.ckptEvery > 0 && l.sinceCkpt >= l.ckptEvery {
+			if err := l.checkpointLocked(); err != nil {
+				// The batch itself is durable and published; only the fold
+				// failed. Fence so no later batch outruns a broken log.
+				l.closed = true
+				return DeltaStats{}, fmt.Errorf("repro: checkpoint: %w", err)
+			}
+		}
+	}
 	st.MaxExclusive = time.Since(t0)
 	return st, nil
 }
+
+// checkpointLocked serializes the CURRENT epoch into the log: the tables'
+// ID shadows (in schema order), the engine's counted view extents, and the
+// cost-model statistics with their drift state. Callers hold l.mu.
+func (l *Live) checkpointLocked() error {
+	ck := &wal.Checkpoint{
+		Seq:        l.seq - 1,
+		StatsVer:   l.statsVer,
+		StatsChurn: l.statsChurn,
+		Stats:      l.cur.Load().stats,
+	}
+	for _, rel := range l.sys.Schema.Relations {
+		ck.Tables = append(ck.Tables, wal.TableRows{Rel: rel.Name, Rows: l.db.Table(rel.Name).IDRows()})
+	}
+	for name, ext := range l.eng.CheckpointExtents() {
+		ck.Views = append(ck.Views, wal.ViewExtent{Name: name, Rows: ext.Rows, Counts: ext.Counts})
+	}
+	if err := l.wal.WriteCheckpoint(l.db.Dict, ck); err != nil {
+		return err
+	}
+	l.sinceCkpt = 0
+	return nil
+}
+
+// Recovery reports what opening this handle's durable directory replayed.
+// The zero value means the handle was opened fresh (or is not durable).
+func (l *Live) Recovery() RecoveryInfo { return l.recovery }
 
 // Snapshot pins the current epoch. See the type's documentation.
 func (l *Live) Snapshot() *Snapshot {
@@ -451,13 +564,26 @@ func (l *Live) Size() int { return l.cur.Load().size }
 func (l *Live) FetchedTuples() int { return int(l.fetched.Load()) }
 
 // Close fences writers and releases the maintenance machinery. Reads keep
-// serving the final epoch; snapshots already taken are unaffected.
+// serving the final epoch; snapshots already taken are unaffected. On a
+// durable handle Close first writes a clean final checkpoint (unless the
+// handle was already fenced by a journal failure) and closes the log, so
+// the next open recovers without replay.
 func (l *Live) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var err error
+	if l.wal != nil {
+		if !l.closed && l.sinceCkpt > 0 {
+			err = l.checkpointLocked()
+		}
+		if cerr := l.wal.Close(); err == nil {
+			err = cerr
+		}
+		l.wal = nil
+	}
 	l.closed = true
 	l.db, l.eng = nil, nil
-	return nil
+	return err
 }
 
 // OpenLive builds the single-instance live state over db.

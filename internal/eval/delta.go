@@ -125,6 +125,98 @@ type valSrc struct {
 // dropped; unsafe disjuncts (unbound head variable) and atoms over unknown
 // relations are errors, mirroring UCQOnDB.
 func NewDeltaEngine(db *instance.Database, views map[string]*cq.UCQ) (*DeltaEngine, error) {
+	e, inits, err := newEngine(db, views, true)
+	if err != nil {
+		return nil, err
+	}
+	// Initial extents: enumerate every derivation through the full plans.
+	for _, p := range inits {
+		if err := e.enumerate(p, nil, +1); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Extent is one view's checkpointed counted extent: the extent rows in
+// publication order, each paired with its derivation count. It is the unit
+// the write-ahead log's checkpointer serializes and the restore path
+// (NewDeltaEngineWithExtents) seeds from, skipping the initial full-plan
+// enumeration.
+type Extent struct {
+	Rows   [][]uint32
+	Counts []int
+}
+
+// CheckpointExtents returns every view's current counted extent. Row
+// slices are shared (rows are immutable); the outer slices are fresh
+// copies, so the result stays valid across later Apply calls. Call with
+// the same exclusion Apply requires (the facade's write lock).
+func (e *DeltaEngine) CheckpointExtents() map[string]Extent {
+	out := make(map[string]Extent, len(e.views))
+	for name, v := range e.views {
+		ext := Extent{
+			Rows:   append([][]uint32(nil), v.rows...),
+			Counts: make([]int, len(v.rows)),
+		}
+		for i, r := range ext.Rows {
+			ext.Counts[i] = v.counts.At(r).count
+		}
+		out[name] = ext
+	}
+	return out
+}
+
+// NewDeltaEngineWithExtents builds an engine whose counted extents are
+// seeded from a checkpoint instead of enumerated from scratch: delta plans
+// are compiled and the join indexes / support counts are rebuilt by a
+// linear scan of db's tables (deterministic from the rows), but the
+// expensive initial full-plan enumeration is skipped entirely — the
+// recovery fast path. The extents MUST be the ones a CheckpointExtents
+// call produced against the same database state and view set; mismatches
+// that are cheap to detect (unknown view, arity, duplicate or non-positive
+// counts) are errors.
+func NewDeltaEngineWithExtents(db *instance.Database, views map[string]*cq.UCQ, extents map[string]Extent) (*DeltaEngine, error) {
+	e, _, err := newEngine(db, views, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range e.names {
+		v := e.views[name]
+		ext, ok := extents[name]
+		if !ok {
+			return nil, fmt.Errorf("eval: restore: no checkpointed extent for view %s", name)
+		}
+		if len(ext.Rows) != len(ext.Counts) {
+			return nil, fmt.Errorf("eval: restore: view %s has %d rows but %d counts", name, len(ext.Rows), len(ext.Counts))
+		}
+		v.rows = make([][]uint32, len(ext.Rows))
+		for i, r := range ext.Rows {
+			if len(r) != v.arity {
+				return nil, fmt.Errorf("eval: restore: view %s row has arity %d, want %d", name, len(r), v.arity)
+			}
+			if ext.Counts[i] <= 0 {
+				return nil, fmt.Errorf("eval: restore: view %s row with non-positive derivation count %d", name, ext.Counts[i])
+			}
+			row := append([]uint32(nil), r...)
+			v.rows[i] = row
+			st := v.counts.At(row)
+			if st.count != 0 {
+				return nil, fmt.Errorf("eval: restore: view %s extent repeats a row", name)
+			}
+			st.count = ext.Counts[i]
+			st.pos = i
+		}
+	}
+	return e, nil
+}
+
+// newEngine compiles the views over db and rebuilds the join indexes and
+// support counts from the current tables. With withInits it also compiles
+// one full plan per disjunct (for NewDeltaEngine's initial enumeration);
+// the restore path skips them — their indexes and enumeration are exactly
+// the work a checkpoint avoids.
+func newEngine(db *instance.Database, views map[string]*cq.UCQ, withInits bool) (*DeltaEngine, []*deltaPlan, error) {
 	e := &DeltaEngine{
 		db:    db,
 		dict:  db.Dict,
@@ -136,11 +228,9 @@ func NewDeltaEngine(db *instance.Database, views map[string]*cq.UCQ) (*DeltaEngi
 	}
 	sort.Strings(e.names)
 
-	// Compile: one full plan per disjunct (for the initial extent) and one
-	// delta plan per (disjunct, atom occurrence). Compilation registers the
-	// DynIndexes the steps probe.
-	type initPlan struct{ p *deltaPlan }
-	var inits []initPlan
+	// Compile one delta plan per (disjunct, atom occurrence); compilation
+	// registers the DynIndexes the steps probe.
+	var inits []*deltaPlan
 	for _, name := range e.names {
 		def := views[name]
 		v := &viewState{name: name, arity: ucqArity(def)}
@@ -155,15 +245,17 @@ func NewDeltaEngine(db *instance.Database, views map[string]*cq.UCQ) (*DeltaEngi
 			if err != nil {
 				continue // unsatisfiable: contributes nothing, ever
 			}
-			full, err := e.compile(v, n, -1)
-			if err != nil {
-				return nil, fmt.Errorf("eval: view %s: %w", name, err)
+			if withInits {
+				full, err := e.compile(v, n, -1)
+				if err != nil {
+					return nil, nil, fmt.Errorf("eval: view %s: %w", name, err)
+				}
+				inits = append(inits, full)
 			}
-			inits = append(inits, initPlan{full})
 			for i := range n.Atoms {
 				p, err := e.compile(v, n, i)
 				if err != nil {
-					return nil, fmt.Errorf("eval: view %s: %w", name, err)
+					return nil, nil, fmt.Errorf("eval: view %s: %w", name, err)
 				}
 				e.rels[n.Atoms[i].Rel].plans = append(e.rels[n.Atoms[i].Rel].plans, p)
 			}
@@ -183,14 +275,7 @@ func NewDeltaEngine(db *instance.Database, views map[string]*cq.UCQ) (*DeltaEngi
 			}
 		}
 	}
-
-	// Initial extents: enumerate every derivation through the full plans.
-	for _, ip := range inits {
-		if err := e.enumerate(ip.p, nil, +1); err != nil {
-			return nil, err
-		}
-	}
-	return e, nil
+	return e, inits, nil
 }
 
 // relFor returns (creating on first use) the live state of a relation,

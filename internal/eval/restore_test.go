@@ -1,0 +1,178 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/intern"
+)
+
+// TestDeltaEngineRestoreDifferential is the checkpoint/restore harness for
+// the engine's recovery fast path: build an engine, churn it, serialize
+// exactly what a WAL checkpoint stores (dictionary strings, table ID
+// shadows, counted extents), rebuild a second engine from that alone via
+// NewDeltaEngineWithExtents, then drive BOTH engines with the identical
+// remaining op stream — extents must agree batch for batch, and the
+// restored engine must also agree with full recomputation at the end.
+func TestDeltaEngineRestoreDifferential(t *testing.T) {
+	const pool = 9
+	for trial := 0; trial < 3; trial++ {
+		rng := rand.New(rand.NewSource(int64(7700 + trial)))
+		s := randViewSchema(rng)
+		views := map[string]*cq.UCQ{}
+		for v := 0; v < 2+rng.Intn(2); v++ {
+			name := fmt.Sprintf("W%d", v)
+			views[name] = randView(rng, s, name, pool)
+		}
+		db := instance.NewDatabase(s)
+		for i := 0; i < 80; i++ {
+			rel := s.Relations[rng.Intn(len(s.Relations))]
+			db.MustInsert(rel.Name, randRow(rng, rel.Arity(), pool)...)
+		}
+		e, err := NewDeltaEngine(db, views)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Pre-generate the whole op stream so the two engines can replay
+		// the identical suffix after the checkpoint.
+		type batch struct{ ins, del []instance.Op }
+		live := map[string][]instance.Tuple{}
+		for _, rel := range s.Relations {
+			for _, tu := range db.Table(rel.Name).Tuples {
+				live[rel.Name] = append(live[rel.Name], tu.Clone())
+			}
+		}
+		var batches []batch
+		for op := 0; op < 600; op++ {
+			rel := s.Relations[rng.Intn(len(s.Relations))]
+			var b batch
+			wantDelete := rng.Float64() < 0.45 || len(live[rel.Name]) > 160
+			switch {
+			case wantDelete && len(live[rel.Name]) > 0 && rng.Float64() < 0.9:
+				i := rng.Intn(len(live[rel.Name]))
+				row := live[rel.Name][i]
+				live[rel.Name][i] = live[rel.Name][len(live[rel.Name])-1]
+				live[rel.Name] = live[rel.Name][:len(live[rel.Name])-1]
+				b.del = append(b.del, instance.Op{Rel: rel.Name, Row: row})
+			case wantDelete:
+				b.del = append(b.del, instance.Op{Rel: rel.Name, Row: randRow(rng, rel.Arity(), pool)})
+			default:
+				row := instance.Tuple(randRow(rng, rel.Arity(), pool))
+				live[rel.Name] = append(live[rel.Name], row)
+				b.ins = append(b.ins, instance.Op{Rel: rel.Name, Row: row})
+			}
+			batches = append(batches, b)
+		}
+		apply := func(db *instance.Database, e *DeltaEngine, b batch) {
+			t.Helper()
+			a, err := db.ApplyDelta(b.ins, b.del)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if _, err := e.Apply(a); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		half := len(batches) / 2
+		for _, b := range batches[:half] {
+			apply(db, e, b)
+		}
+
+		// Checkpoint: dictionary prefix, ID shadows, counted extents — and
+		// restore into a fresh database sharing nothing with the original.
+		dict2, ok := intern.FromStrings(db.Dict.StringsRange(0, db.Dict.Len()))
+		if !ok {
+			t.Fatalf("trial %d: dictionary serialization has duplicates", trial)
+		}
+		db2 := instance.NewDatabaseWith(s, dict2)
+		for _, rel := range s.Relations {
+			if err := db2.RestoreRows(rel.Name, db.Table(rel.Name).IDRows()); err != nil {
+				t.Fatalf("trial %d: restore %s: %v", trial, rel.Name, err)
+			}
+		}
+		e2, err := NewDeltaEngineWithExtents(db2, views, e.CheckpointExtents())
+		if err != nil {
+			t.Fatalf("trial %d: restore engine: %v", trial, err)
+		}
+		if db2.Size() != db.Size() {
+			t.Fatalf("trial %d: restored |D| = %d, want %d", trial, db2.Size(), db.Size())
+		}
+		compare := func(when string) {
+			t.Helper()
+			got, want := e2.Views(), e.Views()
+			for name := range views {
+				if !cq.RowsEqual(got[name], want[name]) {
+					t.Fatalf("trial %d %s: view %s diverged: restored %d rows, original %d",
+						trial, when, name, len(got[name]), len(want[name]))
+				}
+			}
+		}
+		compare("after restore")
+
+		// Identical suffix into both engines: divergence anywhere means the
+		// restored join state (indexes, supports, counts) is not equivalent.
+		for i, b := range batches[half:] {
+			apply(db, e, b)
+			apply(db2, e2, b)
+			if i%50 == 0 || i == len(batches[half:])-1 {
+				compare(fmt.Sprintf("suffix batch %d", i))
+			}
+		}
+		assertEngineFresh(t, e2, db2, views, true)
+	}
+}
+
+// TestDeltaEngineRestoreRejectsCorruptExtents pins the cheap validation of
+// the restore constructor: missing views, row/count length skew, arity
+// drift, non-positive counts and repeated rows are all hard errors, never
+// a silently wrong engine.
+func TestDeltaEngineRestoreRejectsCorruptExtents(t *testing.T) {
+	s := randViewSchema(rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	views := map[string]*cq.UCQ{"W0": randView(rng, s, "W0", 4)}
+	db := instance.NewDatabase(s)
+	for i := 0; i < 40; i++ {
+		rel := s.Relations[rng.Intn(len(s.Relations))]
+		db.MustInsert(rel.Name, randRow(rng, rel.Arity(), 4)...)
+	}
+	e, err := NewDeltaEngine(db, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := e.CheckpointExtents()
+	if len(good["W0"].Rows) == 0 {
+		t.Skip("extent empty for this seed; corruption cases need rows")
+	}
+	mutate := func(name string, f func(ext *Extent)) map[string]Extent {
+		out := make(map[string]Extent)
+		for n, ext := range good {
+			c := Extent{Rows: append([][]uint32(nil), ext.Rows...), Counts: append([]int(nil), ext.Counts...)}
+			out[n] = c
+		}
+		ext := out[name]
+		f(&ext)
+		out[name] = ext
+		return out
+	}
+	cases := map[string]map[string]Extent{
+		"missing view": {},
+		"count skew":   mutate("W0", func(x *Extent) { x.Counts = x.Counts[:len(x.Counts)-1] }),
+		"zero count":   mutate("W0", func(x *Extent) { x.Counts[0] = 0 }),
+		"arity drift":  mutate("W0", func(x *Extent) { x.Rows[0] = x.Rows[0][:0] }),
+	}
+	if len(good["W0"].Rows) > 1 {
+		cases["repeated row"] = mutate("W0", func(x *Extent) {
+			x.Rows[len(x.Rows)-1] = x.Rows[0]
+			x.Counts[len(x.Counts)-1] = 1
+		})
+	}
+	for what, ext := range cases {
+		if _, err := NewDeltaEngineWithExtents(db, views, ext); err == nil {
+			t.Errorf("%s: restore accepted a corrupt checkpoint", what)
+		}
+	}
+}

@@ -358,6 +358,45 @@ func (db *Database) ApplyDelta(inserts, deletes []Op) (*Applied, error) {
 	return a, nil
 }
 
+// RestoreRows bulk-loads ID-encoded rows into the named (empty) relation,
+// building the string tuples and the ID shadow in lockstep — the recovery
+// path for checkpointed restarts, which skips per-value re-interning: every
+// ID must already be present in the database's dictionary. Row order is
+// preserved, so a restored table is bit-identical (modulo lazy indexes) to
+// the table the checkpoint serialized.
+func (db *Database) RestoreRows(rel string, idRows [][]uint32) error {
+	t := db.Table(rel)
+	if t == nil {
+		return fmt.Errorf("instance: restore into unknown relation %s", rel)
+	}
+	if len(t.Tuples) != 0 {
+		return fmt.Errorf("instance: restore into non-empty relation %s", rel)
+	}
+	arity := t.Rel.Arity()
+	n := db.Dict.Len()
+	for _, r := range idRows {
+		if len(r) != arity {
+			return fmt.Errorf("instance: restore %s expects arity %d, got %d", rel, arity, len(r))
+		}
+		for _, id := range r {
+			if int(id) >= n {
+				return fmt.Errorf("instance: restore %s references ID %d beyond dictionary length %d", rel, id, n)
+			}
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Tuples = make([]Tuple, len(idRows))
+	t.idRows = make([][]uint32, len(idRows))
+	for i, r := range idRows {
+		row := append([]uint32(nil), r...)
+		t.idRows[i] = row
+		t.Tuples[i] = Tuple(db.Dict.Decode(row))
+	}
+	t.pos, t.posN = nil, 0
+	return nil
+}
+
 // Size returns |D|: the total number of tuples across all relations.
 func (db *Database) Size() int {
 	n := 0

@@ -68,6 +68,41 @@ func (d *Dict) Len() int {
 	return n
 }
 
+// StringsRange returns a copy of the strings with IDs in [lo, hi), in ID
+// order. IDs are dense and assignment is append-only, so the slice is a
+// stable prefix delta: the write-ahead log uses it to journal dictionary
+// growth per batch, and checkpoints use [0, hwm) to serialize the part of
+// the dictionary the durable state may reference.
+func (d *Dict) StringsRange(lo, hi int) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(d.strs) {
+		hi = len(d.strs)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return append([]string(nil), d.strs[lo:hi]...)
+}
+
+// FromStrings rebuilds a dictionary whose IDs are exactly the positions of
+// strs — the recovery inverse of StringsRange(0, n). Duplicate strings are
+// rejected by returning false (a corrupt serialization: dense IDs are
+// assigned to distinct strings only).
+func FromStrings(strs []string) (*Dict, bool) {
+	d := &Dict{ids: make(map[string]uint32, len(strs)), strs: append([]string(nil), strs...)}
+	for i, s := range d.strs {
+		if _, dup := d.ids[s]; dup {
+			return nil, false
+		}
+		d.ids[s] = uint32(i)
+	}
+	return d, true
+}
+
 // Encode interns every value of row and returns the ID-encoded row.
 func (d *Dict) Encode(row []string) []uint32 {
 	out := make([]uint32, len(row))

@@ -137,3 +137,44 @@ func TestHashAtMatchesHash(t *testing.T) {
 		t.Fatal("nil and empty rows must hash alike")
 	}
 }
+
+func TestDictStringsRangeFromStrings(t *testing.T) {
+	d := NewDict()
+	words := []string{"a", "b", "", "c d", "\x00weird"}
+	for _, w := range words {
+		d.ID(w)
+	}
+	if got := d.StringsRange(0, d.Len()); len(got) != len(words) {
+		t.Fatalf("full range has %d strings, want %d", len(got), len(words))
+	}
+	if got := d.StringsRange(2, 4); len(got) != 2 || got[0] != "" || got[1] != "c d" {
+		t.Fatalf("StringsRange(2,4) = %q", got)
+	}
+	// Out-of-bounds and inverted ranges clamp to nil/shorter, never panic.
+	if d.StringsRange(4, 2) != nil || d.StringsRange(-3, -1) != nil {
+		t.Fatal("degenerate ranges must be empty")
+	}
+	if got := d.StringsRange(3, 99); len(got) != 2 {
+		t.Fatalf("clamped range has %d strings, want 2", len(got))
+	}
+	// The recovery inverse: FromStrings assigns ID i to the i-th string.
+	r, ok := FromStrings(d.StringsRange(0, d.Len()))
+	if !ok {
+		t.Fatal("FromStrings rejected a valid serialization")
+	}
+	for i, w := range words {
+		if id := r.ID(w); id != uint32(i) {
+			t.Fatalf("restored ID(%q) = %d, want %d", w, id, i)
+		}
+	}
+	if r.Len() != len(words) {
+		t.Fatalf("restored Len = %d, want %d", r.Len(), len(words))
+	}
+	// New interning continues past the restored prefix.
+	if id := r.ID("fresh"); id != uint32(len(words)) {
+		t.Fatalf("post-restore intern got ID %d, want %d", id, len(words))
+	}
+	if _, ok := FromStrings([]string{"x", "y", "x"}); ok {
+		t.Fatal("FromStrings must reject duplicates")
+	}
+}

@@ -31,6 +31,22 @@ type Config struct {
 	Shards         int
 	StatsDriftFrac float64 // churn fraction of |D| before a stats rebuild
 	StatsMinChurn  int     // minimum ops before a rebuild is considered
+
+	// Restart state, set by the durability layer when reopening a
+	// journaled directory: the initial epoch sequence number (the restored
+	// checkpoint's, so replayed batches publish the same epochs they did
+	// originally) and the checkpointed statistics trajectory (skipping the
+	// open-time stats collection AND making later drift decisions replay
+	// identically to the original run).
+	InitialSeq uint64
+	Restored   *RestoredStats
+}
+
+// RestoredStats is a checkpointed statistics trajectory.
+type RestoredStats struct {
+	Stats      *plan.Stats
+	StatsVer   uint64
+	StatsChurn int
 }
 
 // DeltaStats summarizes one applied batch (mirrors the facade's).
@@ -215,6 +231,13 @@ type Sharded struct {
 	statsVer   uint64
 	seq        uint64
 
+	// journal, when set (SetJournal), receives every accepted batch — its
+	// epoch sequence number and the combined physically applied ops across
+	// all shards, deletes then inserts in shard order — BEFORE the epoch
+	// publishes. A journal error aborts publication (the writer-side state
+	// is already mutated; the caller must fence further writes).
+	journal func(seq uint64, a *instance.Applied) error
+
 	cur atomic.Pointer[Epoch]
 }
 
@@ -296,8 +319,53 @@ func Open(db *instance.Database, s *schema.Schema, a *access.Schema, views map[s
 	for name := range views {
 		dirty[name] = true
 	}
-	sh.publish(nil, dirty, sh.collectStats())
+	sh.seq = cfg.InitialSeq
+	if cfg.Restored != nil {
+		sh.statsVer = cfg.Restored.StatsVer
+		sh.statsChurn = cfg.Restored.StatsChurn
+		sh.publish(nil, dirty, cfg.Restored.Stats)
+	} else {
+		sh.publish(nil, dirty, sh.collectStats())
+	}
 	return sh, nil
+}
+
+// SetJournal installs (or clears) the batch journal hook. The durability
+// layer sets it AFTER any recovery replay, so replayed batches are not
+// re-journaled.
+func (s *Sharded) SetJournal(fn func(seq uint64, a *instance.Applied) error) {
+	s.batchMu.Lock()
+	s.journal = fn
+	s.batchMu.Unlock()
+}
+
+// Seq returns the current epoch's sequence number.
+func (s *Sharded) Seq() uint64 { return s.cur.Load().seq }
+
+// StatsState returns the writer-side statistics trajectory — the current
+// merged statistics, their version and the churn since the last rebuild —
+// for checkpointing. Callers must exclude writers.
+func (s *Sharded) StatsState() (*plan.Stats, uint64, int) {
+	e := s.cur.Load()
+	return e.stats, s.statsVer, s.statsChurn
+}
+
+// CheckpointTables returns every relation's ID shadow, concatenated in
+// shard order — the logical table serialization a checkpoint stores.
+// Restoring the rows into one database and re-opening with the same
+// partition function reproduces the same per-shard contents in the same
+// per-shard order (all copies of a row hash to one shard). Callers must
+// exclude writers.
+func (s *Sharded) CheckpointTables() map[string][][]uint32 {
+	out := make(map[string][][]uint32, len(s.schema.Relations))
+	for _, rel := range s.schema.Relations {
+		rows := [][]uint32{}
+		for _, st := range s.shards {
+			rows = append(rows, st.db.Table(rel.Name).IDRows()...)
+		}
+		out[rel.Name] = rows
+	}
+	return out
 }
 
 // ShardCount returns P.
@@ -505,12 +573,12 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 		}
 	}
 
-	// Non-co-partitioned views see the whole batch, deletes first. Their
-	// maintenance lands in the SAME epoch as the base rows — the atomic
-	// publication below removes the old "global views one batch behind"
-	// read window.
-	if s.g != nil && stats.Inserted+stats.Deleted > 0 {
-		combined := &instance.Applied{}
+	// The combined physical batch (deletes first, then inserts, each in
+	// shard order) feeds both the global engine and the journal; build it
+	// once when either needs it.
+	var combined *instance.Applied
+	if (s.g != nil && stats.Inserted+stats.Deleted > 0) || s.journal != nil {
+		combined = &instance.Applied{}
 		for i := 0; i < p; i++ {
 			if applied[i] != nil {
 				combined.Deleted = append(combined.Deleted, applied[i].Deleted...)
@@ -521,6 +589,13 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 				combined.Inserted = append(combined.Inserted, applied[i].Inserted...)
 			}
 		}
+	}
+
+	// Non-co-partitioned views see the whole batch, deletes first. Their
+	// maintenance lands in the SAME epoch as the base rows — the atomic
+	// publication below removes the old "global views one batch behind"
+	// read window.
+	if s.g != nil && stats.Inserted+stats.Deleted > 0 {
 		t0 := time.Now()
 		gch, err := s.g.Apply(combined)
 		if err != nil {
@@ -541,6 +616,15 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 	if drift := s.cfg.StatsDriftFrac; float64(s.statsChurn) >= drift*float64(s.sizeNow()) && s.statsChurn >= s.cfg.StatsMinChurn {
 		st = s.collectStats()
 		stats.StatsRefreshed = true
+	}
+	// Journal before publication: an epoch is never visible to readers
+	// unless its batch reached the log. EVERY accepted batch journals,
+	// even an all-no-op one — the epoch number advances unconditionally,
+	// and replay must reproduce the exact numbering.
+	if s.journal != nil {
+		if err := s.journal(s.seq, combined); err != nil {
+			return DeltaStats{}, fmt.Errorf("shard: journal: %w", err)
+		}
 	}
 	s.publish(prev, dirty, st)
 	return stats, nil

@@ -1,0 +1,257 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record is one journaled ApplyDelta batch: the epoch sequence number it
+// published, the dictionary growth since the previous record (strings whose
+// IDs are implicitly [hwm, hwm+len) in journal order — see Log), and the
+// PHYSICALLY applied operations in application order (deletes first), each
+// row already interned. Replaying records through the normal apply path in
+// sequence order reproduces the exact same epochs, IDs included.
+type Record struct {
+	Seq     uint64
+	Dict    []string // dictionary growth, IDs assigned densely from the journal hwm
+	Rels    []RelMeta
+	Deletes []Op
+	Inserts []Op
+}
+
+// RelMeta names a relation referenced by this record's ops, with its arity
+// (rows of the relation carry exactly Arity IDs).
+type RelMeta struct {
+	Name  string
+	Arity int
+}
+
+// Op is one applied operation: Rel indexes the record's Rels table.
+type Op struct {
+	Rel int
+	Row []uint32
+}
+
+// Record framing: each record is length-prefixed and CRC-guarded so a torn
+// or corrupted tail is detected, never silently half-applied.
+//
+//	magic u16 | payloadLen u32 | crc32(payload) u32 | payload
+const (
+	frameMagic  = 0x57A1
+	frameHeader = 2 + 4 + 4
+	// maxPayload bounds a single record frame (and therefore the allocation
+	// a hostile length prefix can demand). A batch journals its ops and
+	// dictionary growth only, so even huge batches sit far below this.
+	maxPayload = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendUvarint / appendString are the payload primitives: uvarints for
+// all counts and IDs, length-prefixed bytes for strings.
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// EncodeRecord appends r's payload (unframed) to dst.
+func EncodeRecord(dst []byte, r *Record) []byte {
+	dst = appendUvarint(dst, r.Seq)
+	dst = appendUvarint(dst, uint64(len(r.Dict)))
+	for _, s := range r.Dict {
+		dst = appendString(dst, s)
+	}
+	dst = appendUvarint(dst, uint64(len(r.Rels)))
+	for _, rm := range r.Rels {
+		dst = appendString(dst, rm.Name)
+		dst = appendUvarint(dst, uint64(rm.Arity))
+	}
+	for _, ops := range [2][]Op{r.Deletes, r.Inserts} {
+		dst = appendUvarint(dst, uint64(len(ops)))
+		for _, op := range ops {
+			dst = appendUvarint(dst, uint64(op.Rel))
+			for _, id := range op.Row {
+				dst = appendUvarint(dst, uint64(id))
+			}
+		}
+	}
+	return dst
+}
+
+// payloadReader decodes a record payload with strict bounds: every read is
+// validated against the remaining bytes, so corrupt frames produce errors,
+// never panics or oversized allocations.
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated uvarint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) count(elemMin int) (int, error) {
+	v, err := p.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if v > uint64((len(p.b)-p.off)/elemMin) {
+		return 0, fmt.Errorf("wal: count %d exceeds remaining payload", v)
+	}
+	return int(v), nil
+}
+
+func (p *payloadReader) str() (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(p.b)-p.off) {
+		return "", fmt.Errorf("wal: string length %d exceeds remaining payload", n)
+	}
+	s := string(p.b[p.off : p.off+int(n)])
+	p.off += int(n)
+	return s, nil
+}
+
+// DecodeRecord parses one record payload. It is strict: every field is
+// bounds-checked, relation indexes must resolve, arities bound the row
+// reads, and trailing garbage is an error — a successfully decoded record
+// is exactly what EncodeRecord wrote.
+func DecodeRecord(payload []byte) (*Record, error) {
+	p := &payloadReader{b: payload}
+	r := &Record{}
+	var err error
+	if r.Seq, err = p.uvarint(); err != nil {
+		return nil, err
+	}
+	nd, err := p.count(1)
+	if err != nil {
+		return nil, err
+	}
+	r.Dict = make([]string, nd)
+	for i := range r.Dict {
+		if r.Dict[i], err = p.str(); err != nil {
+			return nil, err
+		}
+	}
+	nr, err := p.count(2)
+	if err != nil {
+		return nil, err
+	}
+	r.Rels = make([]RelMeta, nr)
+	for i := range r.Rels {
+		if r.Rels[i].Name, err = p.str(); err != nil {
+			return nil, err
+		}
+		a, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if a > 1<<16 {
+			return nil, fmt.Errorf("wal: implausible arity %d", a)
+		}
+		r.Rels[i].Arity = int(a)
+	}
+	for k := 0; k < 2; k++ {
+		n, err := p.count(1)
+		if err != nil {
+			return nil, err
+		}
+		ops := make([]Op, n)
+		for i := range ops {
+			rel, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if rel >= uint64(len(r.Rels)) {
+				return nil, fmt.Errorf("wal: op references relation %d of %d", rel, len(r.Rels))
+			}
+			ops[i].Rel = int(rel)
+			arity := r.Rels[rel].Arity
+			ops[i].Row = make([]uint32, arity)
+			for j := 0; j < arity; j++ {
+				id, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if id > 1<<32-1 {
+					return nil, fmt.Errorf("wal: ID %d overflows uint32", id)
+				}
+				ops[i].Row[j] = uint32(id)
+			}
+		}
+		if k == 0 {
+			r.Deletes = ops
+		} else {
+			r.Inserts = ops
+		}
+	}
+	if p.off != len(payload) {
+		return nil, fmt.Errorf("wal: %d trailing bytes after record", len(payload)-p.off)
+	}
+	return r, nil
+}
+
+// AppendFrame frames a payload for the log: magic, length, CRC, payload.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint16(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[6:], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// nextFrame extracts the first framed payload of data. ok=false means data
+// holds no complete valid frame at offset 0 (torn or corrupt).
+func nextFrame(data []byte) (payload []byte, advance int, ok bool) {
+	if len(data) < frameHeader {
+		return nil, 0, false
+	}
+	if binary.LittleEndian.Uint16(data[0:]) != frameMagic {
+		return nil, 0, false
+	}
+	n := binary.LittleEndian.Uint32(data[2:])
+	if n > maxPayload || int(n) > len(data)-frameHeader {
+		return nil, 0, false
+	}
+	payload = data[frameHeader : frameHeader+int(n)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[6:]) {
+		return nil, 0, false
+	}
+	return payload, frameHeader + int(n), true
+}
+
+// ScanRecords decodes consecutive framed records from data, stopping at
+// the first torn or corrupt frame. goodLen is the byte offset just past
+// the last fully valid record: recovery truncates the segment there. A
+// frame whose payload fails record decoding also stops the scan — a CRC
+// collision or a record from a newer writer — the suffix is discarded the
+// same way a torn tail is.
+func ScanRecords(data []byte) (recs []*Record, goodLen int) {
+	off := 0
+	for {
+		payload, adv, ok := nextFrame(data[off:])
+		if !ok {
+			return recs, off
+		}
+		r, err := DecodeRecord(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, r)
+		off += adv
+	}
+}

@@ -1,11 +1,13 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/plan"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // LiveSharded is the shard-aware serving handle: the database is
@@ -31,6 +33,16 @@ type LiveSharded struct {
 	mu      sync.Mutex // serializes Close against ApplyDelta
 	closed  bool
 	fetched atomic.Int64 // handle-lifetime fetched tuples
+
+	// Durability (nil wal on non-durable handles). The journal hook on the
+	// sharded engine appends each batch's combined physical ops BEFORE the
+	// cross-shard epoch is published; periodic checkpoints here are
+	// LOGICAL: the concatenated per-shard table shadows plus statistics,
+	// with the view extents rebuilt from them on recovery.
+	wal       *wal.Log
+	ckptEvery int
+	sinceCkpt int
+	recovery  RecoveryInfo
 }
 
 func (sys *System) openSharded(db *Database, cfg openConfig) (*LiveSharded, error) {
@@ -110,7 +122,21 @@ func (l *LiveSharded) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	}
 	st, err := l.sh.ApplyDelta(inserts, deletes)
 	if err != nil {
+		if l.wal != nil && l.wal.Err() != nil {
+			l.closed = true // journal failure: fence like Close
+		}
 		return DeltaStats{}, err
+	}
+	if l.wal != nil {
+		l.sinceCkpt++
+		if l.ckptEvery > 0 && l.sinceCkpt >= l.ckptEvery {
+			if cerr := l.checkpointLocked(); cerr != nil {
+				// The batch itself is durable and published; only the fold
+				// failed. Fence so no later batch outruns a broken log.
+				l.closed = true
+				return DeltaStats{}, fmt.Errorf("repro: checkpoint: %w", cerr)
+			}
+		}
 	}
 	return DeltaStats{
 		Inserted:       st.Inserted,
@@ -120,6 +146,34 @@ func (l *LiveSharded) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 		MaxExclusive:   st.MaxShardHold,
 	}, nil
 }
+
+// checkpointLocked serializes the current cross-shard epoch into the log:
+// the concatenated per-shard ID shadows (schema order) plus the merged
+// statistics with their drift state. No view extents are stored — the
+// sharded engine's are per-shard partitions, rebuilt from the restored
+// tables on recovery. Callers hold l.mu.
+func (l *LiveSharded) checkpointLocked() error {
+	stats, ver, churn := l.sh.StatsState()
+	ck := &wal.Checkpoint{
+		Seq:        l.sh.Seq(),
+		StatsVer:   ver,
+		StatsChurn: churn,
+		Stats:      stats,
+	}
+	tables := l.sh.CheckpointTables()
+	for _, rel := range l.sys.Schema.Relations {
+		ck.Tables = append(ck.Tables, wal.TableRows{Rel: rel.Name, Rows: tables[rel.Name]})
+	}
+	if err := l.wal.WriteCheckpoint(l.sh.Dict(), ck); err != nil {
+		return err
+	}
+	l.sinceCkpt = 0
+	return nil
+}
+
+// Recovery reports what opening this handle's durable directory replayed.
+// The zero value means the handle was opened fresh (or is not durable).
+func (l *LiveSharded) Recovery() RecoveryInfo { return l.recovery }
 
 // Views returns a decoded copy of the current epoch's gathered view
 // extents. The returned map and rows are fresh copies owned by the
@@ -151,13 +205,25 @@ func (l *LiveSharded) FetchedTuples() int { return int(l.fetched.Load()) }
 
 // Close fences writers and releases the per-shard maintenance machinery:
 // later ApplyDelta calls fail, reads keep serving the final epoch, and
-// snapshots already taken are unaffected.
+// snapshots already taken are unaffected. On a durable handle Close first
+// writes a clean final checkpoint (unless already fenced by a journal
+// failure) and closes the log, so the next open recovers without replay.
 func (l *LiveSharded) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var err error
+	if l.wal != nil {
+		if !l.closed && l.sinceCkpt > 0 {
+			err = l.checkpointLocked()
+		}
+		if cerr := l.wal.Close(); err == nil {
+			err = cerr
+		}
+		l.wal = nil
+	}
 	if !l.closed {
 		l.closed = true
 		l.sh.Close()
 	}
-	return nil
+	return err
 }
