@@ -15,6 +15,7 @@
 //	benchrun -exp shard sharded scatter-gather: partitioned maintenance + serving scaling
 //	benchrun -exp epoch epoch-pinned reads: reader tail latency under a churning writer
 //	benchrun -exp recover durable restart: checkpoint+replay recovery vs cold rebuild
+//	benchrun -exp churnmem bounded memory: steady-state heap under sustained swap churn
 //	benchrun -exp all   everything (default)
 //
 // With -json FILE, per-experiment wall-clock timings and the individual
@@ -30,6 +31,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,30 +60,34 @@ type expTiming struct {
 
 // measurement is one plan-vs-scan data point inside an experiment.
 type measurement struct {
-	Experiment     string  `json:"experiment"`
-	Name           string  `json:"name"`
-	DBSize         int     `json:"db_size,omitempty"`
-	PlanNS         int64   `json:"plan_ns,omitempty"`
-	ScanNS         int64   `json:"scan_ns,omitempty"`
-	Fetched        int     `json:"fetched_tuples,omitempty"`
-	Rows           int     `json:"rows,omitempty"`
-	BatchOps       int     `json:"batch_ops,omitempty"`        // churn: ops per applied batch
-	MaintainNS     int64   `json:"maintain_ns,omitempty"`      // churn: incremental maintenance per batch
-	RefreshNS      int64   `json:"refresh_ns,omitempty"`       // churn: full refresh (materialize+indexes+prepare)
-	Speedup        float64 `json:"speedup,omitempty"`          // churn: refresh_ns / maintain_ns; planpick: worst/chosen gap; shard: throughput vs 1 shard
-	Candidates     int     `json:"candidates,omitempty"`       // planpick: enumerated candidate plans
-	CacheHit       bool    `json:"cache_hit,omitempty"`        // planpick: renamed re-Prepare hit the cache
-	P50NS          int64   `json:"p50_ns,omitempty"`           // epoch: median reader latency
-	P99NS          int64   `json:"p99_ns,omitempty"`           // epoch: tail reader latency
-	Batches        int     `json:"batches,omitempty"`          // epoch: writer batches applied while sampling
-	Shards         int     `json:"shards,omitempty"`           // shard: partition count of this run
-	OpsPerSec      float64 `json:"ops_per_sec,omitempty"`      // shard: delta ops applied per second
-	QPS            float64 `json:"qps,omitempty"`              // shard: point queries served per second under churn
-	MaxExclusiveNS int64   `json:"max_exclusive_ns,omitempty"` // shard: longest single-lock exclusive window per batch
-	ExclCut        float64 `json:"excl_window_cut,omitempty"`  // shard: exclusive-window reduction vs 1 shard
-	RecoverNS      int64   `json:"recover_ns,omitempty"`       // recover: open-to-serving wall clock of this path
-	ReplayedEpochs int     `json:"replayed_epochs,omitempty"`  // recover: journal records replayed
-	ReplayedOps    int     `json:"replayed_ops,omitempty"`     // recover: physical ops those records carried
+	Experiment      string  `json:"experiment"`
+	Name            string  `json:"name"`
+	DBSize          int     `json:"db_size,omitempty"`
+	PlanNS          int64   `json:"plan_ns,omitempty"`
+	ScanNS          int64   `json:"scan_ns,omitempty"`
+	Fetched         int     `json:"fetched_tuples,omitempty"`
+	Rows            int     `json:"rows,omitempty"`
+	BatchOps        int     `json:"batch_ops,omitempty"`         // churn: ops per applied batch
+	MaintainNS      int64   `json:"maintain_ns,omitempty"`       // churn: incremental maintenance per batch
+	RefreshNS       int64   `json:"refresh_ns,omitempty"`        // churn: full refresh (materialize+indexes+prepare)
+	Speedup         float64 `json:"speedup,omitempty"`           // churn: refresh_ns / maintain_ns; planpick: worst/chosen gap; shard: throughput vs 1 shard
+	Candidates      int     `json:"candidates,omitempty"`        // planpick: enumerated candidate plans
+	CacheHit        bool    `json:"cache_hit,omitempty"`         // planpick: renamed re-Prepare hit the cache
+	P50NS           int64   `json:"p50_ns,omitempty"`            // epoch: median reader latency
+	P99NS           int64   `json:"p99_ns,omitempty"`            // epoch: tail reader latency
+	Batches         int     `json:"batches,omitempty"`           // epoch: writer batches applied while sampling
+	Shards          int     `json:"shards,omitempty"`            // shard: partition count of this run
+	OpsPerSec       float64 `json:"ops_per_sec,omitempty"`       // shard: delta ops applied per second
+	QPS             float64 `json:"qps,omitempty"`               // shard: point queries served per second under churn
+	MaxExclusiveNS  int64   `json:"max_exclusive_ns,omitempty"`  // shard: longest single-lock exclusive window per batch
+	ExclCut         float64 `json:"excl_window_cut,omitempty"`   // shard: exclusive-window reduction vs 1 shard
+	RecoverNS       int64   `json:"recover_ns,omitempty"`        // recover: open-to-serving wall clock of this path
+	ReplayedEpochs  int     `json:"replayed_epochs,omitempty"`   // recover: journal records replayed
+	ReplayedOps     int     `json:"replayed_ops,omitempty"`      // recover: physical ops those records carried
+	HeapFloorBytes  int64   `json:"heap_floor_bytes,omitempty"`  // churnmem: live heap after warmup
+	HeapSteadyBytes int64   `json:"heap_steady_bytes,omitempty"` // churnmem: max live heap over the run
+	HeapRatio       float64 `json:"heap_ratio,omitempty"`        // churnmem: steady / floor (gated <= 1.5)
+	Reclaimed       int64   `json:"reclaimed_epochs,omitempty"`  // churnmem: epochs whose last pin dropped
 }
 
 // report is the -json output document.
@@ -97,7 +103,7 @@ var rep report
 func record(m measurement) { rep.Measurements = append(rep.Measurements, m) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover, all)")
+	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover, churnmem, all)")
 	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file")
 	flag.Parse()
 	rep.Experiments = []expTiming{}
@@ -124,8 +130,9 @@ func main() {
 	run("shard", expShard)
 	run("epoch", expEpoch)
 	run("recover", expRecover)
+	run("churnmem", expChurnMem)
 	if !matched {
-		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover or all)", *exp)
+		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover, churnmem or all)", *exp)
 	}
 	if *jsonPath != "" {
 		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -1199,4 +1206,145 @@ func expRecover() {
 	if got := float64(coldNS) / float64(replayNS); got < 1.5 {
 		log.Fatalf("log-replay recovery is only %.1fx faster than a cold rebuild (gate: >= 1.5x)", got)
 	}
+}
+
+// liveHeap returns the live heap after forcing collection twice (the
+// first cycle runs queued finalizers — the snapshot backstop among them —
+// the second collects what they released).
+func liveHeap() int64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// expChurnMem measures steady-state memory under sustained bounded-domain
+// churn: SwapChurn swaps rows in and out of a CLOSED universe (|D| and
+// the dictionary plateau), every batch publishes an epoch, snapshots are
+// taken and closed along the way — so any heap growth past the warmup
+// floor is retained epoch state. The gate fails the run when the maximal
+// post-warmup live heap exceeds 1.5x the floor: that is the bounded-memory
+// property the epoch lifecycle layer (refcounted retention ring + COW
+// compaction) exists to provide; before it, heap grew linearly with
+// batches applied.
+func expChurnMem() {
+	header("EXP-CHURNMEM — bounded memory: steady-state heap under sustained swap churn")
+	batches := 10000
+	if s := os.Getenv("CHURNMEM_BATCHES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 200 {
+			log.Fatalf("CHURNMEM_BATCHES must be an integer >= 200, got %q", s)
+		}
+		batches = n
+	}
+	const retain = 8
+	configs := []struct {
+		name    string
+		shards  int
+		batches int
+	}{
+		{"unsharded", 0, batches},
+		{"sharded-4", 4, batches / 4},
+	}
+	fmt.Println("| engine | batches | batch ops | heap floor | heap steady | ratio | reclaimed epochs | compaction passes |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, cfg := range configs {
+		m := workload.NewMovies(50)
+		db := m.Generate(workload.MoviesParams{Persons: 4000, Movies: 4000, LikesPerPerson: 5, NASAShare: 10, Seed: 7})
+		sys, err := repro.NewSystem(m.Schema, m.Access, m.Views(), 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The generator clones its pools BEFORE Open: the sharded engine
+		// consumes the database's row storage.
+		ch := workload.NewSwapChurn(m, db, workload.SwapChurnParams{Seed: 1})
+		batch := db.Size() / 100
+		opts := []repro.OpenOption{repro.WithRetainEpochs(retain)}
+		if cfg.shards > 0 {
+			opts = append(opts, repro.WithShards(cfg.shards))
+		}
+		h, err := sys.Open(db, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		xi0 := m.Fig1Plan()
+
+		apply := func() {
+			ins, del := ch.Batch(batch)
+			if _, err := h.ApplyDelta(ins, del); err != nil {
+				log.Fatal(err)
+			}
+		}
+		warmup := cfg.batches / 10
+		for b := 0; b < warmup; b++ {
+			apply()
+		}
+		floor := liveHeap()
+
+		applied := warmup
+		steady := floor
+		sampleEvery := cfg.batches / 20
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+		for b := warmup; b < cfg.batches; b++ {
+			apply()
+			applied++
+			if b%16 == 0 {
+				// Reader traffic: pin the current epoch, read, release.
+				s := h.Snapshot()
+				if _, _, err := s.Execute(xi0); err != nil {
+					log.Fatal(err)
+				}
+				if err := s.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if b%64 == 0 && applied > retain {
+				// Point-in-time traffic through the retention ring.
+				s, err := h.At(uint64(applied) - retain/2)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if s.Size() == 0 {
+					log.Fatal("retained epoch serves an empty instance")
+				}
+				if err := s.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if b%sampleEvery == 0 {
+				if hp := liveHeap(); hp > steady {
+					steady = hp
+				}
+			}
+		}
+		if hp := liveHeap(); hp > steady {
+			steady = hp
+		}
+		ratio := float64(steady) / float64(floor)
+		lc := h.Lifecycle()
+		fmt.Printf("| %s | %d | %d | %.1f MB | %.1f MB | %.2fx | %d | %d |\n",
+			cfg.name, cfg.batches, batch,
+			float64(floor)/(1<<20), float64(steady)/(1<<20), ratio,
+			lc.ReclaimedEpochs, lc.CompactionPasses)
+		record(measurement{Experiment: "churnmem", Name: cfg.name,
+			Shards: cfg.shards, Batches: cfg.batches, BatchOps: batch,
+			HeapFloorBytes: floor, HeapSteadyBytes: steady, HeapRatio: ratio,
+			Reclaimed: lc.ReclaimedEpochs})
+		if lc.LiveSnapshots != 0 {
+			log.Fatalf("%s: %d snapshots still pinned after the run (all were closed)", cfg.name, lc.LiveSnapshots)
+		}
+		if lc.ReclaimedEpochs == 0 {
+			log.Fatalf("%s: no epoch was ever reclaimed — the retention ring is not releasing", cfg.name)
+		}
+		if ratio > 1.5 {
+			log.Fatalf("%s: steady-state heap is %.2fx the post-warmup floor (gate: <= 1.5x) — epoch state is leaking", cfg.name, ratio)
+		}
+		if err := h.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\ngate: max post-warmup live heap <= 1.5x the warmup floor (retain = %d epochs)\n", retain)
 }

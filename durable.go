@@ -189,6 +189,7 @@ func (sys *System) restoreLive(rec *wal.Recovered, cfg openConfig) (*Live, error
 	l := &Live{
 		sys: sys, id: liveIDs.Add(1), cfg: cfg, db: db, eng: eng, vix: vix,
 		seq: ck.Seq, statsVer: ck.StatsVer, statsChurn: ck.StatsChurn,
+		lc: newLifecycle(cfg.retainEpochs),
 	}
 	views := make(map[string][][]uint32, len(sys.Views))
 	for name := range sys.Views {
@@ -274,7 +275,10 @@ func (sys *System) restoreSharded(rec *wal.Recovered, cfg openConfig) (*LiveShar
 	if err != nil {
 		return nil, fmt.Errorf("repro: recover: %w", err)
 	}
-	l := &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh}
+	l := &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh, lc: newLifecycle(cfg.retainEpochs)}
+	// The checkpoint's epoch enters the ring before replay, so the replayed
+	// batches retire it through the normal eviction path.
+	l.publishEpoch()
 	info, err := replayInto(rec, dict, l.ApplyDelta)
 	if err != nil {
 		return nil, err

@@ -33,10 +33,20 @@ import (
 //
 // Epoch lifetime and memory: consecutive epochs share all untouched
 // structure (copy-on-write at the patched-structure granularity), so an
-// epoch's marginal footprint tracks its batch's delta. A superseded epoch
-// is garbage-collected as soon as no Snapshot pins it; holding a Snapshot
-// retains its epoch's versions (not the whole history) for as long as the
-// snapshot lives. Close fences writers and releases the maintenance
+// epoch's marginal footprint tracks its batch's delta. Epoch death is
+// explicit, not aspirational: the handle keeps the last n published
+// epochs (WithRetainEpochs, default 1 — just the current one) in a
+// retention ring addressable through At, and every Snapshot holds a
+// refcount on its epoch, released by Snapshot.Close or — best-effort —
+// by a GC finalizer backstop when a snapshot is dropped unclosed. An
+// epoch is reclaimable once it has left the ring and no snapshot pins
+// it; its unshared structures become garbage, and the writer reacts to
+// such deaths by compacting copy-on-write storage whose live fraction
+// fell below the thresholds in lifecycle.go (Lifecycle reports the
+// counters; the README's "Memory & retention" section has the full
+// story). Holding a Snapshot retains its epoch's versions (not the whole
+// history) for as long as the snapshot lives — or until Close releases
+// it. Handle.Close fences writers and releases the maintenance
 // machinery; snapshots already taken keep working.
 //
 // Handle is implemented by *Live and *LiveSharded only (the interface is
@@ -52,7 +62,18 @@ type Handle interface {
 	// absent) and publishes the next epoch.
 	ApplyDelta(inserts, deletes []Op) (DeltaStats, error)
 	// Snapshot pins the current epoch for isolated, repeatable reads.
+	// Close the snapshot when done: it releases the epoch's refcount so
+	// superseded epochs can be reclaimed (a GC finalizer backstops
+	// forgotten Closes, best-effort).
 	Snapshot() *Snapshot
+	// At returns a snapshot pinned to a RETAINED epoch by sequence
+	// number: the retention ring (WithRetainEpochs) keeps the last n
+	// published epochs addressable for point-in-time reads. Requests
+	// outside the ring fail with an error wrapping ErrEpochRetired.
+	At(seq uint64) (*Snapshot, error)
+	// Lifecycle reports the handle's epoch-retention and compaction
+	// counters.
+	Lifecycle() LifecycleStats
 	// Views returns a decoded copy of the current epoch's view extents.
 	Views() map[string][][]string
 	// Stats returns the current cost-model statistics and their version.
@@ -65,7 +86,8 @@ type Handle interface {
 	FetchedTuples() int
 	// Close fences writers: later ApplyDelta calls fail, reads keep
 	// serving the final epoch, and the writer-side maintenance machinery
-	// is released.
+	// is released. Close is idempotent — the second and later calls are
+	// no-ops returning nil.
 	Close() error
 
 	handleID() uint64
@@ -91,6 +113,7 @@ type openConfig struct {
 	shards        int
 	statsDrift    float64
 	statsMinChurn int
+	retainEpochs  int
 	durDir        string
 	ckptEvery     int
 	groupCommit   time.Duration
@@ -116,6 +139,19 @@ func WithStatsDrift(frac float64) OpenOption {
 // rebuild is considered (default 256).
 func WithStatsMinChurn(n int) OpenOption {
 	return func(c *openConfig) { c.statsMinChurn = n }
+}
+
+// WithRetainEpochs bounds the handle's retention ring: the last n
+// published epochs (including the current one) stay addressable for
+// point-in-time reads through Handle.At. n <= 1 (the default) retains
+// only the current epoch. Retention is a memory bound, not a history
+// log: each retained epoch pins its versions of the fetch indices and
+// view extents — shared copy-on-write with its neighbours, so the
+// marginal cost per retained epoch tracks the batch deltas between them.
+// Epochs evicted from the ring are reclaimed as soon as no Snapshot pins
+// them.
+func WithRetainEpochs(n int) OpenOption {
+	return func(c *openConfig) { c.retainEpochs = n }
 }
 
 // WithDurability makes the handle durable: every accepted ApplyDelta batch
@@ -189,7 +225,10 @@ func (sys *System) Open(db *Database, opts ...OpenOption) (Handle, error) {
 var liveIDs atomic.Uint64
 
 // epochState is one published epoch: every structure a reader touches,
-// immutable once stored in the handle's atomic pointer.
+// immutable once stored in the handle's atomic pointer. The lifecycle
+// fields at the bottom are the only mutable ones — advisory refcounting
+// that informs compaction and never gates reads (immutability plus the
+// garbage collector keep pinned structures valid without it).
 type epochState struct {
 	seq      uint64
 	src      plan.Source // accounting-free fetch source pinned to this epoch
@@ -199,6 +238,10 @@ type epochState struct {
 	stats    *plan.Stats
 	statsVer uint64
 	size     int
+
+	refs    atomic.Int64 // pins: retention ring + open snapshots
+	retired atomic.Bool  // evicted from the ring (no longer current)
+	lc      *lifecycle
 }
 
 // countedSource wraps an epoch's fetch source with exact accounting: one
@@ -229,13 +272,17 @@ func (c *countedSource) FetchIDs(con *Constraint, xval []uint32) ([][]uint32, er
 // the epoch that was current when it was taken, no matter how many deltas
 // are applied afterwards, and never blocks on (or is blocked by) writers.
 //
-// A snapshot retains its epoch's structures; drop it to let superseded
-// epochs be garbage-collected. Snapshots are safe for concurrent use.
+// A snapshot retains its epoch's structures; Close it when done so
+// superseded epochs can be reclaimed promptly (a GC finalizer backstops
+// forgotten Closes, best-effort). Snapshots are safe for concurrent use.
 type Snapshot struct {
 	hid      uint64
 	e        *epochState
 	fetched  atomic.Int64 // tuples fetched through this snapshot
 	hfetched *atomic.Int64
+
+	lc     *lifecycle  // nil on transient internal snapshots (never pinned)
+	closed atomic.Bool // Close/finalizer ran; the epoch pin is released
 }
 
 // Epoch returns the pinned epoch's sequence number (0 for the state the
@@ -336,13 +383,17 @@ type Live struct {
 	cfg openConfig
 
 	mu         sync.Mutex // serializes writers; readers never take it
-	closed     bool
+	closed     bool       // writers fenced (Close, or a torn/journal failure)
+	sealed     bool       // Close ran; teardown done, later Closes are no-ops
 	db         *Database
 	eng        *eval.DeltaEngine
 	vix        *instance.VIndex
 	statsChurn int // physical ops applied since stats was built
 	statsVer   uint64
 	seq        uint64
+
+	lc    *lifecycle
+	repub []string // views repacked by compaction, to re-publish next epoch
 
 	// Durability (nil wal on non-durable handles). Each accepted batch is
 	// journaled BEFORE its epoch is published; sinceCkpt batches after the
@@ -365,7 +416,7 @@ func (sys *System) openLive(db *Database, cfg openConfig) (*Live, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Live{sys: sys, id: liveIDs.Add(1), cfg: cfg, db: db, eng: eng, vix: vix}
+	l := &Live{sys: sys, id: liveIDs.Add(1), cfg: cfg, db: db, eng: eng, vix: vix, lc: newLifecycle(cfg.retainEpochs)}
 	views := make(map[string][][]uint32, len(sys.Views))
 	for name := range sys.Views {
 		views[name] = eng.PublishExtentIDs(name)
@@ -425,6 +476,9 @@ func (l *Live) publishLocked(views map[string][][]uint32, stats *plan.Stats) {
 		size:     l.db.Size(),
 	}
 	l.seq++
+	// Ring first, pointer second: an epoch is addressable through At by
+	// the time Snapshot can observe it as current.
+	l.lc.push(e)
 	l.cur.Store(e)
 }
 
@@ -445,16 +499,24 @@ func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	t0 := time.Now()
 	a, err := l.db.ApplyDelta(inserts, deletes)
 	if err != nil {
+		// The database validates the WHOLE batch before mutating anything,
+		// so this failure leaves the handle consistent and open.
 		return DeltaStats{}, err
 	}
 	vix, err := l.vix.Apply(a)
 	if err != nil {
-		return DeltaStats{}, err
+		// The database already mutated: db, fetch indices and maintenance
+		// engine no longer describe one state. Fence exactly like the
+		// journal-failure path — reads keep serving the last published
+		// epoch, later writes fail.
+		l.closed = true
+		return DeltaStats{}, fmt.Errorf("repro: partial apply, handle fenced: %w", err)
 	}
 	l.vix = vix
 	changed, err := l.eng.Apply(a)
 	if err != nil {
-		return DeltaStats{}, err
+		l.closed = true
+		return DeltaStats{}, fmt.Errorf("repro: partial apply, handle fenced: %w", err)
 	}
 	prev := l.cur.Load().viewIDs()
 	views := make(map[string][][]uint32, len(prev))
@@ -464,13 +526,24 @@ func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	for _, name := range changed {
 		views[name] = l.eng.PublishExtentIDs(name)
 	}
-	st := DeltaStats{Inserted: len(a.Inserted), Deleted: len(a.Deleted), ViewsChanged: len(changed)}
-	l.statsChurn += st.Inserted + st.Deleted
-	var stats *plan.Stats
-	if float64(l.statsChurn) >= l.cfg.statsDrift*float64(l.db.Size()) && l.statsChurn >= l.cfg.statsMinChurn {
-		stats = l.collectStatsLocked()
-		st.StatsRefreshed = true
+	// Views the last compaction repacked re-publish here even when their
+	// contents did not change: an epoch header pins its WHOLE backing
+	// array, so only a fresh header moves later epochs onto the compact
+	// one.
+	for _, name := range l.repub {
+		views[name] = l.eng.PublishExtentIDs(name)
 	}
+	l.repub = nil
+	st := DeltaStats{Inserted: len(a.Inserted), Deleted: len(a.Deleted), ViewsChanged: len(changed)}
+	// The drift decision is COMPUTED before the journal append but ACTED ON
+	// only after it succeeds: a journal failure must fence the handle with
+	// the stats trajectory (version, churn counter) untouched, or a later
+	// checkpoint could disagree with the last durable epoch. The decision
+	// itself is a pure read, so recovery — which replays with the wal
+	// detached — reproduces it identically.
+	batch := st.Inserted + st.Deleted
+	needStats := float64(l.statsChurn+batch) >= l.cfg.statsDrift*float64(l.db.Size()) &&
+		l.statsChurn+batch >= l.cfg.statsMinChurn
 	// Journal before publication: an epoch is never visible to readers
 	// unless its batch reached the log. EVERY accepted batch journals, even
 	// an all-no-op one — the epoch number advances unconditionally and
@@ -482,7 +555,14 @@ func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 			return DeltaStats{}, fmt.Errorf("repro: journal: %w", err)
 		}
 	}
+	l.statsChurn += batch
+	var stats *plan.Stats
+	if needStats {
+		stats = l.collectStatsLocked()
+		st.StatsRefreshed = true
+	}
 	l.publishLocked(views, stats)
+	l.maybeCompactLocked()
 	if l.wal != nil {
 		l.sinceCkpt++
 		if l.ckptEvery > 0 && l.sinceCkpt >= l.ckptEvery {
@@ -496,6 +576,33 @@ func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	}
 	st.MaxExclusive = time.Since(t0)
 	return st, nil
+}
+
+// maybeCompactLocked runs one compaction scan when at least one retired
+// epoch died (last pin dropped) since the previous scan. Extent repacking
+// copies only arrays whose live fraction fell below extentCompactFrac;
+// the repacked views are queued on l.repub so the NEXT publish pins fresh
+// headers (a published header keeps its whole old backing array alive).
+// The fetch-index repack is coarser (it walks the whole trie), so it runs
+// every vindexCompactEvery scans. Callers hold l.mu.
+func (l *Live) maybeCompactLocked() {
+	if l.lc.dead.Swap(0) == 0 {
+		return
+	}
+	l.lc.passes.Add(1)
+	if names := l.eng.CompactExtents(extentCompactMinCap, extentCompactFrac); len(names) > 0 {
+		l.repub = append(l.repub, names...)
+		l.lc.extents.Add(int64(len(names)))
+	}
+	l.lc.scans++
+	if l.lc.scans >= vindexCompactEvery {
+		l.lc.scans = 0
+		vix, n := l.vix.Compact()
+		l.vix = vix
+		if n > 0 {
+			l.lc.groups.Add(int64(n))
+		}
+	}
 }
 
 // checkpointLocked serializes the CURRENT epoch into the log: the tables'
@@ -527,8 +634,17 @@ func (l *Live) Recovery() RecoveryInfo { return l.recovery }
 
 // Snapshot pins the current epoch. See the type's documentation.
 func (l *Live) Snapshot() *Snapshot {
-	return &Snapshot{hid: l.id, e: l.cur.Load(), hfetched: &l.fetched}
+	return l.lc.snapshotCur(l.id, l.cur.Load(), &l.fetched)
 }
+
+// At returns a snapshot pinned to a retained epoch by sequence number.
+// See Handle.At.
+func (l *Live) At(seq uint64) (*Snapshot, error) {
+	return l.lc.snapshotAt(l.id, seq, &l.fetched)
+}
+
+// Lifecycle reports the handle's epoch-retention and compaction counters.
+func (l *Live) Lifecycle() LifecycleStats { return l.lc.stats() }
 
 // Execute runs a plan against the current epoch's views and indices,
 // returning the answer rows and the tuples fetched from D by this call
@@ -571,8 +687,18 @@ func (l *Live) FetchedTuples() int { return int(l.fetched.Load()) }
 func (l *Live) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.sealed {
+		// Close already ran (sealed is set by Close only, never by a
+		// fence): the second call is a no-op.
+		return nil
+	}
+	l.sealed = true
 	var err error
 	if l.wal != nil {
+		// A fenced handle (torn apply, journal or checkpoint failure)
+		// skips the final checkpoint: its in-memory state may be ahead of
+		// — or inconsistent with — the last durable epoch, and a stale
+		// "clean" checkpoint would mask the journal's truth on recovery.
 		if !l.closed && l.sinceCkpt > 0 {
 			err = l.checkpointLocked()
 		}

@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/instance"
+	"repro/internal/schema"
+)
+
+// TestCompactExtents pins the repack contract: a view that grew large and
+// then shrank gets its backing array repacked to ~live size, the content
+// is untouched, published headers keep serving their old (fat) arrays,
+// and views above the live-fraction threshold or below the size floor are
+// left alone.
+func TestCompactExtents(t *testing.T) {
+	s := schema.New(schema.NewRelation("R", "A", "B"))
+	db := instance.NewDatabase(s)
+	views := map[string]*cq.UCQ{
+		"V": cq.NewUCQ(cq.NewCQ([]cq.Term{cq.Var("x")}, []cq.Atom{cq.NewAtom("R", cq.Var("x"), cq.Var("y"))})),
+	}
+	eng, err := NewDeltaEngine(db, views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := func(ins, del []instance.Op) {
+		t.Helper()
+		a, err := db.ApplyDelta(ins, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Apply(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	row := func(i int) instance.Tuple { return instance.Tuple{fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)} }
+
+	const n = 4096
+	var ins []instance.Op
+	for i := 0; i < n; i++ {
+		ins = append(ins, instance.Op{Rel: "R", Row: row(i)})
+	}
+	apply(ins, nil)
+	pub := eng.PublishExtentIDs("V")
+	pubWant := fmt.Sprint(pub)
+
+	// Below-threshold state: live fraction is 1, nothing to do.
+	if names := eng.CompactExtents(1024, 0.5); len(names) != 0 {
+		t.Fatalf("compacted a full extent: %v", names)
+	}
+
+	// Shrink to an eighth; the engine's array keeps its old capacity.
+	var del []instance.Op
+	for i := n / 8; i < n; i++ {
+		del = append(del, instance.Op{Rel: "R", Row: row(i)})
+	}
+	apply(nil, del)
+	v := eng.views["V"]
+	if cap(v.rows) < n/2 {
+		t.Fatalf("precondition: expected stranded capacity, have cap %d for len %d", cap(v.rows), len(v.rows))
+	}
+	liveWant := fmt.Sprint(eng.ExtentIDs("V"))
+
+	names := eng.CompactExtents(1024, 0.5)
+	if len(names) != 1 || names[0] != "V" {
+		t.Fatalf("CompactExtents = %v, want [V]", names)
+	}
+	if got := cap(eng.views["V"].rows); got >= n/2 {
+		t.Fatalf("repack kept cap %d for %d live rows", got, n/8)
+	}
+	if got := fmt.Sprint(eng.ExtentIDs("V")); got != liveWant {
+		t.Fatal("repack changed the extent's content")
+	}
+	if got := fmt.Sprint(pub); got != pubWant {
+		t.Fatal("repack mutated a published header")
+	}
+
+	// The repacked state is compact: a second pass is a no-op, and churn
+	// through it stays consistent.
+	if names := eng.CompactExtents(1024, 0.5); len(names) != 0 {
+		t.Fatalf("second compaction repacked again: %v", names)
+	}
+	apply([]instance.Op{{Rel: "R", Row: row(n)}}, []instance.Op{{Rel: "R", Row: row(0)}})
+	if got := len(eng.ExtentIDs("V")); got != n/8 {
+		t.Fatalf("extent has %d rows after churn, want %d", got, n/8)
+	}
+
+	// Tiny extents never repack, whatever their live fraction.
+	var del2 []instance.Op
+	for i := 1; i < n/8; i++ {
+		del2 = append(del2, instance.Op{Rel: "R", Row: row(i)})
+	}
+	apply(nil, del2)
+	if names := eng.CompactExtents(1024, 0.5); len(names) != 0 {
+		t.Fatalf("repacked below the minCap floor: %v", names)
+	}
+}

@@ -642,6 +642,33 @@ func (e *DeltaEngine) PublishExtentIDs(name string) [][]uint32 {
 	return v.rows[:len(v.rows):len(v.rows)]
 }
 
+// CompactExtents repacks the backing arrays of views whose live fraction
+// dropped below frac: swap-remove deletions shrink an extent's length but
+// never its capacity, and the copy-on-write privatization in bump sizes
+// its copy for the then-current length — so a view that grew large and
+// then shrank strands the difference until repacked. Arrays below minCap
+// are skipped (the copy costs more than the slack is worth).
+//
+// Repacking only replaces the engine's PRIVATE header; any published
+// headers keep aliasing the old array, which stays alive as long as an
+// epoch pins it. The caller must therefore re-publish the returned views
+// on its next epoch, or all later epochs keep pinning the fat array
+// through their inherited headers.
+func (e *DeltaEngine) CompactExtents(minCap int, frac float64) []string {
+	var repacked []string
+	for _, name := range e.names {
+		v := e.views[name]
+		if cap(v.rows) < minCap || float64(len(v.rows)) >= frac*float64(cap(v.rows)) {
+			continue
+		}
+		fresh := make([][]uint32, len(v.rows), len(v.rows)+len(v.rows)/8+8)
+		copy(fresh, v.rows)
+		v.rows, v.sharedLen = fresh, 0
+		repacked = append(repacked, name)
+	}
+	return repacked
+}
+
 // ExtentsIDs returns all interned extents, keyed by view name.
 func (e *DeltaEngine) ExtentsIDs() map[string][][]uint32 {
 	out := make(map[string][][]uint32, len(e.views))

@@ -217,6 +217,61 @@ func removeFromBucket(b []vgroup, r []uint32, vc *vcon) ([]vgroup, error) {
 	return nil, fmt.Errorf("instance: versioned index %s out of sync: deleted row not indexed", vc.c)
 }
 
+// Compact returns a version identical in content whose slack buckets are
+// repacked to exact capacity, plus the number of buckets repacked. Apply
+// privatizes touched buckets with exact-size clones, so most of the index
+// is self-compacting — the slack Compact reclaims is the append headroom
+// addToBucket's grows leave behind (bucket slices and group rows/counts
+// whose capacity outran their length on insert-heavy hashes).
+//
+// The receiver — and every older version snapshots still pin — is left
+// untouched; untouched trie paths are shared with the result. This walk
+// is O(index), so callers run it on a coarse cadence (see the facade's
+// vindexCompactEvery), not per batch.
+func (vx *VIndex) Compact() (*VIndex, int) {
+	out := &VIndex{access: vx.access, dict: vx.dict, cons: make(map[string]*vcon, len(vx.cons))}
+	repacked := 0
+	for k, vc := range vx.cons {
+		type repack struct {
+			h uint64
+			b []vgroup
+		}
+		var todo []repack
+		vc.groups.Range(func(h uint64, b []vgroup) bool {
+			slack := cap(b) > len(b)
+			for i := range b {
+				if !slack && (cap(b[i].rows) > len(b[i].rows) || cap(b[i].counts) > len(b[i].counts)) {
+					slack = true
+				}
+			}
+			if !slack {
+				return true
+			}
+			nb := make([]vgroup, len(b))
+			for i, g := range b {
+				rows := make([][]uint32, len(g.rows))
+				copy(rows, g.rows)
+				counts := make([]int, len(g.counts))
+				copy(counts, g.counts)
+				nb[i] = vgroup{x: g.x, rows: rows, counts: counts}
+			}
+			todo = append(todo, repack{h, nb})
+			return true
+		})
+		if len(todo) == 0 {
+			out.cons[k] = vc // fully compact already: share the version
+			continue
+		}
+		nvc := &vcon{c: vc.c, xpos: vc.xpos, xypos: vc.xypos, xyAttrs: vc.xyAttrs, groups: vc.groups}
+		for _, r := range todo {
+			nvc.groups = nvc.groups.Set(r.h, r.b)
+		}
+		out.cons[k] = nvc
+		repacked += len(todo)
+	}
+	return out, repacked
+}
+
 // Dict returns the dictionary rows are interned against, making VIndex a
 // plan.Source (an accounting-free one; serving layers wrap it).
 func (vx *VIndex) Dict() *intern.Dict { return vx.dict }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,15 @@ import (
 	"repro/internal/plan"
 	"repro/internal/schema"
 )
+
+// ErrTorn wraps every ApplyDelta error raised AFTER some shard may have
+// mutated its writer-side state: the per-shard maintenance runs
+// concurrently, so a mid-batch failure leaves the batch applied on some
+// shards and not others (the published epoch is untouched — readers never
+// see the tear — but the writer-side state no longer matches it). Callers
+// must fence further writes on it. Errors raised by the pre-mutation
+// validation pass are NOT wrapped: they leave every shard intact.
+var ErrTorn = errors.New("shard: writer state torn by a partial apply")
 
 // state is one shard's WRITER-SIDE machinery: its database partition, the
 // incremental maintenance engine for the co-partitioned (shard-local)
@@ -227,6 +237,7 @@ type Sharded struct {
 	shards     []*state
 	g          *eval.DeltaEngine // global engine; nil when every view is co-partitioned
 	local      map[string]bool
+	repub      map[string]bool // views repacked by Compact, to re-pin next publish
 	statsChurn int
 	statsVer   uint64
 	seq        uint64
@@ -554,7 +565,9 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 		applied[i], changed[i] = a, ch
 		return nil
 	}); err != nil {
-		return DeltaStats{}, err
+		// Even a per-shard validation failure is torn here: the other
+		// shards ran concurrently and may have applied their slices.
+		return DeltaStats{}, fmt.Errorf("%w: %w", ErrTorn, err)
 	}
 
 	stats := DeltaStats{}
@@ -599,7 +612,7 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 		t0 := time.Now()
 		gch, err := s.g.Apply(combined)
 		if err != nil {
-			return DeltaStats{}, err
+			return DeltaStats{}, fmt.Errorf("%w: %w", ErrTorn, err)
 		}
 		if hold := time.Since(t0); hold > stats.MaxShardHold {
 			stats.MaxShardHold = hold
@@ -610,24 +623,80 @@ func (s *Sharded) ApplyDelta(inserts, deletes []instance.Op) (DeltaStats, error)
 	}
 
 	stats.ViewsChanged = len(dirty)
-	prev := s.cur.Load()
-	s.statsChurn += stats.Inserted + stats.Deleted
-	var st *plan.Stats
-	if drift := s.cfg.StatsDriftFrac; float64(s.statsChurn) >= drift*float64(s.sizeNow()) && s.statsChurn >= s.cfg.StatsMinChurn {
-		st = s.collectStats()
-		stats.StatsRefreshed = true
+	// Views a compaction repacked since the last batch re-pin even when
+	// unchanged: a published header pins its whole pre-repack backing
+	// array, so only a fresh header moves later epochs off it. They do not
+	// count toward ViewsChanged — their contents are identical.
+	for name := range s.repub {
+		dirty[name] = true
 	}
+	s.repub = nil
+	prev := s.cur.Load()
+	// The drift decision is COMPUTED before the journal append but ACTED
+	// ON only after it succeeds: a journal failure must leave the stats
+	// trajectory (version, churn counter) exactly as the last durable
+	// epoch knew it, or a checkpoint written later could disagree with the
+	// log. The decision is a pure read, so recovery — replaying with the
+	// journal detached — reproduces it identically.
+	batch := stats.Inserted + stats.Deleted
+	needStats := float64(s.statsChurn+batch) >= s.cfg.StatsDriftFrac*float64(s.sizeNow()) &&
+		s.statsChurn+batch >= s.cfg.StatsMinChurn
 	// Journal before publication: an epoch is never visible to readers
 	// unless its batch reached the log. EVERY accepted batch journals,
 	// even an all-no-op one — the epoch number advances unconditionally,
 	// and replay must reproduce the exact numbering.
 	if s.journal != nil {
 		if err := s.journal(s.seq, combined); err != nil {
-			return DeltaStats{}, fmt.Errorf("shard: journal: %w", err)
+			return DeltaStats{}, fmt.Errorf("%w: journal: %w", ErrTorn, err)
 		}
+	}
+	s.statsChurn += batch
+	var st *plan.Stats
+	if needStats {
+		st = s.collectStats()
+		stats.StatsRefreshed = true
 	}
 	s.publish(prev, dirty, st)
 	return stats, nil
+}
+
+// Compact repacks writer-side copy-on-write storage whose live fraction
+// dropped: every shard's view extents (plus the global engine's) below
+// the (minCap, frac) thresholds, and — when repackIndexes is set — each
+// shard's fetch-index slack buckets. It returns the repacked extent and
+// bucket counts and queues the repacked views for re-pinning on the next
+// publish (see the repub merge in ApplyDelta). Safe to call between
+// batches; a no-op after Close.
+func (s *Sharded) Compact(minCap int, frac float64, repackIndexes bool) (extents, groups int) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if s.shards == nil {
+		return 0, 0
+	}
+	mark := func(names []string) {
+		for _, n := range names {
+			if s.repub == nil {
+				s.repub = make(map[string]bool)
+			}
+			s.repub[n] = true
+		}
+	}
+	for _, st := range s.shards {
+		names := st.eng.CompactExtents(minCap, frac)
+		extents += len(names)
+		mark(names)
+		if repackIndexes {
+			vix, n := st.vix.Compact()
+			st.vix = vix
+			groups += n
+		}
+	}
+	if s.g != nil {
+		names := s.g.CompactExtents(minCap, frac)
+		extents += len(names)
+		mark(names)
+	}
+	return extents, groups
 }
 
 // sizeNow sums the writer-side shard sizes (callers hold batchMu).

@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestSwapChurnClosedUniverse drives many swap-churn batches into a
+// Movies instance and checks the properties the memory experiments rely
+// on: every delete retracts a row actually in D and every insert adds an
+// absent one (no intra-batch inversions), the value dictionary plateaus
+// (the universe is closed — no fresh strings, ever), |D| stays within
+// the fixed universe bounds, and A0 keeps holding.
+func TestSwapChurnClosedUniverse(t *testing.T) {
+	m := NewMovies(20)
+	db := m.Generate(MoviesParams{Persons: 300, Movies: 300, LikesPerPerson: 4, NASAShare: 10, Seed: 3})
+	ch := NewSwapChurn(m, db, SwapChurnParams{Seed: 11})
+	persons, likes := ch.UniverseSize()
+	maxSize := db.Size() - db.Table("person").Len() - db.Table("like").Len() + persons + likes
+
+	// NewSwapChurn interns the whole universe up front, so the dictionary
+	// must not grow by even one string from here on.
+	dictLen := db.Dict.Len()
+
+	insTotal, delTotal := 0, 0
+	for b := 0; b < 60; b++ {
+		ins, del := ch.Batch(200)
+		applied, err := db.ApplyDelta(ins, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(applied.Deleted) != len(del) {
+			t.Fatalf("batch %d: %d of %d deletes hit nothing (generator out of sync)", b, len(del)-len(applied.Deleted), len(del))
+		}
+		if len(applied.Inserted) != len(ins) {
+			t.Fatalf("batch %d: %d of %d inserts rejected", b, len(ins)-len(applied.Inserted), len(ins))
+		}
+		insTotal += len(ins)
+		delTotal += len(del)
+		if db.Size() > maxSize {
+			t.Fatalf("batch %d: |D| = %d exceeds the closed universe bound %d", b, db.Size(), maxSize)
+		}
+	}
+	if got := db.Dict.Len(); got != dictLen {
+		t.Fatalf("dictionary grew from %d to %d — the universe is not closed", dictLen, got)
+	}
+	if delTotal == 0 || insTotal == 0 {
+		t.Fatalf("stream must mix inserts and deletes: %d ins, %d del", insTotal, delTotal)
+	}
+	ok, err := db.SatisfiesAll(m.Access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("churned instance violates A0: %v", db.Violations(m.Access))
+	}
+}

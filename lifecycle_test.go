@@ -1,0 +1,569 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/instance"
+	"repro/internal/shard"
+	"repro/internal/workload"
+)
+
+// desyncLive makes the handle's internal components disagree by slipping a
+// row into the database behind the maintenance machinery's back: the next
+// facade delete of that row is accepted by the database but detected as
+// an out-of-sync retraction by the component named in which ("eng" —
+// person rows are view inputs but not constraint keys, so the maintenance
+// engine trips; "vix" — movie rows are ϕ1 keys and the versioned index
+// trips first).
+func desyncLive(t *testing.T, l *Live, which string) Op {
+	t.Helper()
+	var op Op
+	switch which {
+	case "eng":
+		op = Op{Rel: "person", Row: Tuple{"ghost-p", "Ghost Person", "NASA"}}
+	case "vix":
+		op = Op{Rel: "movie", Row: Tuple{"ghost-m", "Ghost Movie", "MGM", "2001"}}
+	default:
+		t.Fatalf("unknown desync target %q", which)
+	}
+	if _, err := l.db.ApplyDelta([]Op{op}, nil); err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// TestPartialApplyFencesLive proves the single-instance fence: when a
+// batch fails AFTER the database mutated (maintenance engine or fetch
+// index rejects the delta), the handle must fence — later writes fail
+// with ErrClosed while reads keep serving the last published epoch —
+// because the writer-side components no longer describe one state.
+func TestPartialApplyFencesLive(t *testing.T) {
+	for _, which := range []string{"eng", "vix"} {
+		t.Run(which, func(t *testing.T) {
+			sys, m := movieSystem(t)
+			db := m.Generate(workload.MoviesParams{Persons: 120, Movies: 120, LikesPerPerson: 4, NASAShare: 8, Seed: 2})
+			h, err := sys.Open(db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := h.(*Live)
+			p := m.Fig1Plan()
+			wantRows, _, err := l.Execute(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantViews := viewFingerprint(l.Views())
+			wantSize := l.Size()
+
+			op := desyncLive(t, l, which)
+			_, err = l.ApplyDelta(nil, []Op{op})
+			if err == nil {
+				t.Fatal("deleting the desynced row must fail")
+			}
+			if !strings.Contains(err.Error(), "partial apply, handle fenced") {
+				t.Fatalf("partial-apply error not marked as fencing: %v", err)
+			}
+
+			// Fenced: writes fail, including pure no-op batches.
+			if _, err := l.ApplyDelta([]Op{{Rel: "person", Row: Tuple{"p-new", "New", "ESA"}}}, nil); !errors.Is(err, ErrClosed) {
+				t.Fatalf("write after fence: got %v, want ErrClosed", err)
+			}
+			// Reads keep serving the last published epoch, untouched by the
+			// torn batch.
+			rows, _, err := l.Execute(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(rows) != fmt.Sprint(wantRows) {
+				t.Fatal("fenced handle's answers drifted from the last published epoch")
+			}
+			if got := viewFingerprint(l.Views()); got != wantViews {
+				t.Fatal("fenced handle's views drifted from the last published epoch")
+			}
+			if l.Size() != wantSize {
+				t.Fatalf("fenced handle reports size %d, want the published %d", l.Size(), wantSize)
+			}
+			s := l.Snapshot()
+			if got := viewFingerprint(s.Views()); got != wantViews {
+				t.Fatal("snapshot after fence drifted")
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Close on a fenced handle is clean and idempotent.
+			if err := l.Close(); err != nil {
+				t.Fatalf("first Close: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("second Close must be a no-op nil, got %v", err)
+			}
+		})
+	}
+}
+
+// TestValidationErrorDoesNotFence: a batch the database REJECTS before
+// mutating anything (unknown relation, wrong arity) leaves the handle
+// open — only post-mutation failures fence.
+func TestValidationErrorDoesNotFence(t *testing.T) {
+	for _, opts := range [][]OpenOption{nil, {WithShards(2)}} {
+		t.Run(fmt.Sprintf("shards=%d", len(opts)*2), func(t *testing.T) {
+			sys, m := movieSystem(t)
+			db := m.Generate(workload.MoviesParams{Persons: 80, Movies: 80, LikesPerPerson: 3, NASAShare: 8, Seed: 4})
+			h, err := sys.Open(db, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			if _, err := h.ApplyDelta([]Op{{Rel: "nosuch", Row: Tuple{"x"}}}, nil); err == nil {
+				t.Fatal("unknown relation must be rejected")
+			}
+			if _, err := h.ApplyDelta([]Op{{Rel: "person", Row: Tuple{"short"}}}, nil); err == nil {
+				t.Fatal("arity mismatch must be rejected")
+			}
+			// Still open: a valid batch lands and publishes.
+			st, err := h.ApplyDelta([]Op{{Rel: "person", Row: Tuple{"p-ok", "Still Open", "NASA"}}}, nil)
+			if err != nil {
+				t.Fatalf("handle fenced by a pure validation error: %v", err)
+			}
+			if st.Inserted != 1 {
+				t.Fatalf("post-validation batch inserted %d rows, want 1", st.Inserted)
+			}
+		})
+	}
+}
+
+// TestPartialApplyFencesSharded proves the sharded fence: any
+// post-mutation failure surfaces wrapping shard.ErrTorn (here injected
+// through the journal hook, which runs after every shard mutated) and
+// fences the facade exactly like Close.
+func TestPartialApplyFencesSharded(t *testing.T) {
+	sys, m := movieSystem(t)
+	db := m.Generate(workload.MoviesParams{Persons: 120, Movies: 120, LikesPerPerson: 4, NASAShare: 8, Seed: 6})
+	h, err := sys.Open(db, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := h.(*LiveSharded)
+	p := m.Fig1Plan()
+	wantRows, _, err := l.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantViews := viewFingerprint(l.Views())
+
+	// The handle is non-durable, so the journal hook is free for fault
+	// injection: it runs only after every shard applied its slice.
+	boom := errors.New("boom")
+	l.sh.SetJournal(func(uint64, *instance.Applied) error { return boom })
+	_, err = l.ApplyDelta([]Op{{Rel: "person", Row: Tuple{"p-torn", "Torn", "NASA"}}}, nil)
+	if err == nil {
+		t.Fatal("journal failure must surface")
+	}
+	if !errors.Is(err, shard.ErrTorn) {
+		t.Fatalf("post-mutation failure must wrap shard.ErrTorn, got: %v", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("cause lost from the torn error chain: %v", err)
+	}
+
+	if _, err := l.ApplyDelta([]Op{{Rel: "person", Row: Tuple{"p-after", "After", "ESA"}}}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after torn fence: got %v, want ErrClosed", err)
+	}
+	rows, _, err := l.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rows) != fmt.Sprint(wantRows) {
+		t.Fatal("fenced sharded handle's answers drifted")
+	}
+	if got := viewFingerprint(l.Views()); got != wantViews {
+		t.Fatal("fenced sharded handle's views drifted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close on fenced sharded handle: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op nil, got %v", err)
+	}
+}
+
+// TestCloseIdempotent pins Handle.Close's contract on both engines,
+// durable or not: the first call tears down, every later call is a no-op
+// returning nil, and writes after Close fail with ErrClosed.
+func TestCloseIdempotent(t *testing.T) {
+	cases := []struct {
+		name    string
+		shards  int
+		durable bool
+	}{
+		{"live", 0, false},
+		{"sharded", 2, false},
+		{"live-durable", 0, true},
+		{"sharded-durable", 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, m := movieSystem(t)
+			db := m.Generate(workload.MoviesParams{Persons: 60, Movies: 60, LikesPerPerson: 3, NASAShare: 8, Seed: 8})
+			var opts []OpenOption
+			if tc.shards > 0 {
+				opts = append(opts, WithShards(tc.shards))
+			}
+			if tc.durable {
+				opts = append(opts, WithDurability(t.TempDir()))
+			}
+			h, err := sys.Open(db, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.ApplyDelta([]Op{{Rel: "person", Row: Tuple{"p-x", "X", "NASA"}}}, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Close(); err != nil {
+				t.Fatalf("first Close: %v", err)
+			}
+			for i := 0; i < 3; i++ {
+				if err := h.Close(); err != nil {
+					t.Fatalf("Close #%d must be a no-op nil, got %v", i+2, err)
+				}
+			}
+			if _, err := h.ApplyDelta([]Op{{Rel: "person", Row: Tuple{"p-y", "Y", "ESA"}}}, nil); !errors.Is(err, ErrClosed) {
+				t.Fatalf("write after Close: got %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestCloseAfterFenceSkipsFinalCheckpoint: a fenced durable handle's
+// in-memory state is AHEAD of the journal (the torn batch mutated the
+// database but never reached the log), so Close must not write its usual
+// final checkpoint — recovery must come from the journal's truth. The
+// checkpoint interval is disabled, so a recovery that replays exactly the
+// k accepted batches proves no stale checkpoint was folded; the clean
+// control handle shows the contrast (final checkpoint written, zero
+// replay).
+func TestCloseAfterFenceSkipsFinalCheckpoint(t *testing.T) {
+	const k = 5
+	seed := func(t *testing.T, dir string) (*System, string, int) {
+		t.Helper()
+		sys, m := movieSystem(t)
+		db := m.Generate(workload.MoviesParams{Persons: 80, Movies: 80, LikesPerPerson: 3, NASAShare: 8, Seed: 10})
+		h, err := sys.Open(db, WithDurability(dir), WithCheckpointEvery(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := h.(*Live)
+		for i := 0; i < k; i++ {
+			if _, err := l.ApplyDelta([]Op{{Rel: "person", Row: Tuple{fmt.Sprintf("d%d", i), "Durable", "NASA"}}}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := viewFingerprint(l.Views())
+		size := l.Size()
+
+		op := desyncLive(t, l, "eng")
+		if _, err := l.ApplyDelta(nil, []Op{op}); err == nil {
+			t.Fatal("desynced delete must fence")
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close on the fenced handle: %v", err)
+		}
+		return sys, want, size
+	}
+
+	dir := t.TempDir()
+	sys, want, size := seed(t, dir)
+	h2, err := sys.Open(NewDatabase(sys.Schema), WithDurability(dir), WithCheckpointEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	l2 := h2.(*Live)
+	if got := l2.Recovery().ReplayedEpochs; got != k {
+		t.Fatalf("recovery replayed %d epochs, want %d — a final checkpoint was written despite the fence", got, k)
+	}
+	// The recovered state is the last PUBLISHED epoch: the fenced batch's
+	// database mutations (the ghost insert and its delete) never reached
+	// the journal and must be gone.
+	if got := viewFingerprint(l2.Views()); got != want {
+		t.Fatal("recovered views differ from the last published epoch")
+	}
+	if l2.Size() != size {
+		t.Fatalf("recovered size %d, want %d (torn batch leaked into recovery)", l2.Size(), size)
+	}
+
+	// Contrast: a handle closed CLEANLY folds a final checkpoint, so the
+	// next open replays nothing.
+	dir2 := t.TempDir()
+	sys2, m2 := movieSystem(t)
+	db2 := m2.Generate(workload.MoviesParams{Persons: 80, Movies: 80, LikesPerPerson: 3, NASAShare: 8, Seed: 10})
+	hc, err := sys2.Open(db2, WithDurability(dir2), WithCheckpointEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := hc.ApplyDelta([]Op{{Rel: "person", Row: Tuple{fmt.Sprintf("d%d", i), "Durable", "NASA"}}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	hr, err := sys2.Open(NewDatabase(sys2.Schema), WithDurability(dir2), WithCheckpointEvery(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Close()
+	if got := hr.(*Live).Recovery().ReplayedEpochs; got != 0 {
+		t.Fatalf("clean close must fold a final checkpoint; recovery replayed %d epochs", got)
+	}
+}
+
+// TestAtDifferential drives bounded churn while recording every published
+// epoch's fingerprint, then checks the retention ring's contract on both
+// engines: At(seq) inside the window answers EXACTLY as epoch seq did
+// when it was current; outside the window it fails wrapping
+// ErrEpochRetired; and concurrent At readers racing the writer see either
+// a historical match or that error, never a torn state.
+func TestAtDifferential(t *testing.T) {
+	const retain = 6
+	for _, shards := range []int{0, 1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			sys, m := movieSystem(t)
+			db := m.Generate(workload.MoviesParams{Persons: 200, Movies: 200, LikesPerPerson: 4, NASAShare: 8, Seed: 5})
+			ch := workload.NewSwapChurn(m, db, workload.SwapChurnParams{Seed: 13})
+			opts := []OpenOption{WithRetainEpochs(retain)}
+			if shards > 0 {
+				opts = append(opts, WithShards(shards))
+			}
+			h, err := sys.Open(db, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+
+			var mu sync.Mutex
+			history := map[uint64]string{}
+			var latest uint64
+			fingerprint := func(s *Snapshot) string {
+				return fmt.Sprintf("%s|%d", viewFingerprint(s.Views()), s.Size())
+			}
+			record := func() {
+				s := h.Snapshot()
+				defer s.Close()
+				mu.Lock()
+				history[s.Epoch()] = fingerprint(s)
+				latest = s.Epoch()
+				mu.Unlock()
+			}
+			record()
+
+			// Phase 1: sequential differential. After every batch the whole
+			// retained window must match history and the epoch just beyond it
+			// must be gone.
+			const batches = 3 * retain
+			for b := 0; b < batches; b++ {
+				ins, del := ch.Batch(25)
+				if _, err := h.ApplyDelta(ins, del); err != nil {
+					t.Fatal(err)
+				}
+				record()
+				cur := latest
+				lo := uint64(0)
+				if cur+1 >= retain {
+					lo = cur + 1 - retain
+				}
+				for seq := lo; seq <= cur; seq++ {
+					s, err := h.At(seq)
+					if err != nil {
+						t.Fatalf("batch %d: At(%d) in window [%d,%d]: %v", b, seq, lo, cur, err)
+					}
+					if got := fingerprint(s); got != history[seq] {
+						t.Fatalf("batch %d: At(%d) diverges from epoch %d's recorded state", b, seq, seq)
+					}
+					s.Close()
+				}
+				if lo > 0 {
+					if _, err := h.At(lo - 1); !errors.Is(err, ErrEpochRetired) {
+						t.Fatalf("batch %d: At(%d) outside the window: got %v, want ErrEpochRetired", b, lo-1, err)
+					}
+				}
+			}
+
+			// Phase 2: concurrent point-in-time readers racing the writer.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						mu.Lock()
+						cur := latest
+						mu.Unlock()
+						span := uint64(2 * retain)
+						var seq uint64
+						if cur > span {
+							seq = cur - span + uint64(rng.Intn(int(span)+1))
+						} else {
+							seq = uint64(rng.Intn(int(cur) + 1))
+						}
+						s, err := h.At(seq)
+						if err != nil {
+							if !errors.Is(err, ErrEpochRetired) {
+								t.Errorf("At(%d): %v", seq, err)
+								return
+							}
+							continue
+						}
+						got := fingerprint(s)
+						s.Close()
+						mu.Lock()
+						want := history[seq]
+						mu.Unlock()
+						if got != want {
+							t.Errorf("concurrent At(%d) diverges from recorded history", seq)
+							return
+						}
+					}
+				}(int64(100 + r))
+			}
+			for b := 0; b < batches; b++ {
+				ins, del := ch.Batch(25)
+				if _, err := h.ApplyDelta(ins, del); err != nil {
+					t.Fatal(err)
+				}
+				record()
+			}
+			close(stop)
+			wg.Wait()
+
+			lc := h.Lifecycle()
+			if lc.LiveSnapshots != 0 {
+				t.Fatalf("%d snapshots leaked", lc.LiveSnapshots)
+			}
+			if lc.RetainedEpochs != retain {
+				t.Fatalf("ring holds %d epochs, want %d", lc.RetainedEpochs, retain)
+			}
+			if lc.ReclaimedEpochs == 0 {
+				t.Fatal("no epoch was ever reclaimed despite churn far past the retention bound")
+			}
+		})
+	}
+}
+
+// TestChurnMemoryBounded is the in-tree leak regression behind the
+// benchrun churnmem gate: under closed-universe swap churn (|D| and the
+// dictionary plateau by construction) with snapshots taken and closed
+// along the way, live heap after thousands of epochs must stay near the
+// post-warmup floor. Before the lifecycle layer, superseded epochs and
+// their COW slack accumulated without bound.
+func TestChurnMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap-plateau measurement: skipped in -short")
+	}
+	sys, m := movieSystem(t)
+	db := m.Generate(workload.MoviesParams{Persons: 1200, Movies: 1200, LikesPerPerson: 4, NASAShare: 10, Seed: 9})
+	ch := workload.NewSwapChurn(m, db, workload.SwapChurnParams{Seed: 17})
+	h, err := sys.Open(db, WithRetainEpochs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	p := m.Fig1Plan()
+
+	step := func(b int) {
+		ins, del := ch.Batch(40)
+		if _, err := h.ApplyDelta(ins, del); err != nil {
+			t.Fatal(err)
+		}
+		if b%8 == 0 {
+			s := h.Snapshot()
+			if _, _, err := s.Execute(p); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+		}
+	}
+	liveHeap := func() int64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	}
+
+	const warmup, main = 150, 1200
+	for b := 0; b < warmup; b++ {
+		step(b)
+	}
+	floor := liveHeap()
+	for b := 0; b < main; b++ {
+		step(b)
+	}
+	steady := liveHeap()
+
+	// Generous bound (the race detector and test-process noise inflate
+	// absolute heap): catching the pre-lifecycle LINEAR growth, which at
+	// 1200 epochs past warmup overshoots any constant slack.
+	limit := 2*floor + 32<<20
+	if steady > limit {
+		t.Fatalf("heap grew from %d to %d after %d churn epochs (limit %d): epoch state is leaking", floor, steady, main, limit)
+	}
+	lc := h.Lifecycle()
+	if lc.LiveSnapshots != 0 {
+		t.Fatalf("%d snapshots leaked", lc.LiveSnapshots)
+	}
+	if lc.ReclaimedEpochs == 0 {
+		t.Fatal("no epochs reclaimed: the retention ring is not releasing")
+	}
+	if lc.CompactionPasses == 0 {
+		t.Fatal("no compaction pass ran despite reclaimed epochs")
+	}
+}
+
+// TestSnapshotFinalizerBackstop: snapshots dropped without Close are
+// released by the GC finalizer — best-effort, but it must eventually fire
+// and both release the epoch pins and count itself, so leaks are
+// observable and superseded epochs still die.
+func TestSnapshotFinalizerBackstop(t *testing.T) {
+	sys, m := movieSystem(t)
+	db := m.Generate(workload.MoviesParams{Persons: 60, Movies: 60, LikesPerPerson: 3, NASAShare: 8, Seed: 12})
+	h, err := sys.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	const dropped = 8
+	func() {
+		for i := 0; i < dropped; i++ {
+			_ = h.Snapshot() // deliberately not closed
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		lc := h.Lifecycle()
+		if lc.FinalizedSnapshots >= dropped && lc.LiveSnapshots == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("finalizer backstop never caught up: %+v", lc)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

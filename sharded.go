@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,9 +31,16 @@ type LiveSharded struct {
 	id  uint64 // process-unique handle identity (see PreparedQuery selection)
 	sh  *shard.Sharded
 
-	mu      sync.Mutex // serializes Close against ApplyDelta
-	closed  bool
+	mu      sync.Mutex   // serializes Close against ApplyDelta
+	closed  bool         // writers fenced (Close, or a torn/journal failure)
+	sealed  bool         // Close ran; teardown done, later Closes are no-ops
 	fetched atomic.Int64 // handle-lifetime fetched tuples
+
+	lc *lifecycle
+	// cur caches ONE epochState wrapper per published shard epoch, so
+	// every Snapshot of an epoch pins the same refcounted state (the
+	// lifecycle needs identity, which wrapping per call would break).
+	cur atomic.Pointer[epochState]
 
 	// Durability (nil wal on non-durable handles). The journal hook on the
 	// sharded engine appends each batch's combined physical ops BEFORE the
@@ -54,7 +62,20 @@ func (sys *System) openSharded(db *Database, cfg openConfig) (*LiveSharded, erro
 	if err != nil {
 		return nil, err
 	}
-	return &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh}, nil
+	l := &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh, lc: newLifecycle(cfg.retainEpochs)}
+	l.publishEpoch()
+	return l, nil
+}
+
+// publishEpoch wraps the shard engine's freshly published epoch as the
+// facade's refcounted epoch state and installs it: ring first, pointer
+// second, so an epoch is addressable through At by the time Snapshot can
+// observe it as current. Called with the writer lock held (or exclusive
+// access, as in openSharded).
+func (l *LiveSharded) publishEpoch() {
+	e := l.snapshotEpoch(l.sh.Current())
+	l.lc.push(e)
+	l.cur.Store(e)
 }
 
 // OpenLiveSharded builds the sharded live state over db, partitioned into
@@ -93,17 +114,26 @@ func (l *LiveSharded) snapshotEpoch(e *shard.Epoch) *epochState {
 // through it sees one frozen state of ALL partitions and the gathered
 // views, regardless of concurrent deltas.
 func (l *LiveSharded) Snapshot() *Snapshot {
-	return &Snapshot{hid: l.id, e: l.snapshotEpoch(l.sh.Current()), hfetched: &l.fetched}
+	return l.lc.snapshotCur(l.id, l.cur.Load(), &l.fetched)
 }
+
+// At returns a snapshot pinned to a retained epoch by sequence number.
+// See Handle.At.
+func (l *LiveSharded) At(seq uint64) (*Snapshot, error) {
+	return l.lc.snapshotAt(l.id, seq, &l.fetched)
+}
+
+// Lifecycle reports the handle's epoch-retention and compaction counters.
+func (l *LiveSharded) Lifecycle() LifecycleStats { return l.lc.stats() }
 
 // Execute runs a plan scatter-gather against the current epoch, returning
 // the answer rows and the tuples fetched from D by this call (exact
 // attribution, also under concurrent readers and writers).
 func (l *LiveSharded) Execute(p Plan) ([][]string, int, error) {
-	e := l.sh.Current()
+	e := l.cur.Load()
 	var call atomic.Int64
-	src := &countedSource{src: e, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
-	rows, err := plan.RunOn(p, src, e.Prepared())
+	src := &countedSource{src: e.src, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
+	rows, err := plan.RunOn(p, src, e.pv)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -122,11 +152,17 @@ func (l *LiveSharded) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	}
 	st, err := l.sh.ApplyDelta(inserts, deletes)
 	if err != nil {
-		if l.wal != nil && l.wal.Err() != nil {
-			l.closed = true // journal failure: fence like Close
+		// ErrTorn covers every post-mutation failure (a mid-batch shard
+		// error, the global engine, the journal): the writer-side state no
+		// longer matches the published epoch, so fence like Close. Pure
+		// validation errors leave every shard intact and the handle open.
+		if errors.Is(err, shard.ErrTorn) || (l.wal != nil && l.wal.Err() != nil) {
+			l.closed = true
 		}
 		return DeltaStats{}, err
 	}
+	l.publishEpoch()
+	l.maybeCompactLocked()
 	if l.wal != nil {
 		l.sinceCkpt++
 		if l.ckptEvery > 0 && l.sinceCkpt >= l.ckptEvery {
@@ -171,6 +207,30 @@ func (l *LiveSharded) checkpointLocked() error {
 	return nil
 }
 
+// maybeCompactLocked runs one compaction scan when at least one retired
+// epoch died since the previous scan (see Live.maybeCompactLocked; here
+// the repacked-view re-pinning lives inside the shard engine's Compact).
+// Callers hold l.mu.
+func (l *LiveSharded) maybeCompactLocked() {
+	if l.lc.dead.Swap(0) == 0 {
+		return
+	}
+	l.lc.passes.Add(1)
+	repackIx := false
+	l.lc.scans++
+	if l.lc.scans >= vindexCompactEvery {
+		l.lc.scans = 0
+		repackIx = true
+	}
+	ext, grp := l.sh.Compact(extentCompactMinCap, extentCompactFrac, repackIx)
+	if ext > 0 {
+		l.lc.extents.Add(int64(ext))
+	}
+	if grp > 0 {
+		l.lc.groups.Add(int64(grp))
+	}
+}
+
 // Recovery reports what opening this handle's durable directory replayed.
 // The zero value means the handle was opened fresh (or is not durable).
 func (l *LiveSharded) Recovery() RecoveryInfo { return l.recovery }
@@ -178,10 +238,12 @@ func (l *LiveSharded) Recovery() RecoveryInfo { return l.recovery }
 // Views returns a decoded copy of the current epoch's gathered view
 // extents. The returned map and rows are fresh copies owned by the
 // caller.
-func (l *LiveSharded) Views() map[string][][]string { return l.sh.Views() }
+func (l *LiveSharded) Views() map[string][][]string {
+	return (&Snapshot{e: l.cur.Load()}).Views()
+}
 
 // Size returns the current |D| across all shards.
-func (l *LiveSharded) Size() int { return l.sh.Size() }
+func (l *LiveSharded) Size() int { return l.cur.Load().size }
 
 // ShardCount returns the number of partitions.
 func (l *LiveSharded) ShardCount() int { return l.sh.ShardCount() }
@@ -196,7 +258,10 @@ func (l *LiveSharded) LocalViews() (local, global []string) { return l.sh.LocalV
 // Stats returns the merged per-shard cost-model statistics and their
 // version. The returned Stats is shared and immutable: rebuilds install a
 // fresh value, so treat it as read-only.
-func (l *LiveSharded) Stats() (*plan.Stats, uint64) { return l.sh.Stats() }
+func (l *LiveSharded) Stats() (*plan.Stats, uint64) {
+	e := l.cur.Load()
+	return e.stats, e.statsVer
+}
 
 // FetchedTuples returns the handle-lifetime count of tuples fetched from
 // the partitions (the |Dξ| accounting; deduplicated across shards exactly
@@ -211,8 +276,18 @@ func (l *LiveSharded) FetchedTuples() int { return int(l.fetched.Load()) }
 func (l *LiveSharded) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.sealed {
+		// Close already ran (sealed is set by Close only, never by a
+		// fence): the second call is a no-op.
+		return nil
+	}
+	l.sealed = true
 	var err error
 	if l.wal != nil {
+		// A fenced handle (torn apply, journal or checkpoint failure)
+		// skips the final checkpoint: its writer-side state may be ahead
+		// of — or inconsistent with — the last durable epoch, and a stale
+		// "clean" checkpoint would mask the journal's truth on recovery.
 		if !l.closed && l.sinceCkpt > 0 {
 			err = l.checkpointLocked()
 		}
@@ -221,9 +296,7 @@ func (l *LiveSharded) Close() error {
 		}
 		l.wal = nil
 	}
-	if !l.closed {
-		l.closed = true
-		l.sh.Close()
-	}
+	l.closed = true
+	l.sh.Close()
 	return err
 }
