@@ -137,6 +137,27 @@ type System struct {
 	prepQ        map[string]*prepEntry
 	prepSearches atomic.Int64 // VBRP searches actually run
 	prepHits     atomic.Int64 // Prepare calls answered from the cache
+	prepEvicts   atomic.Int64 // cache entries evicted by the bound
+
+	// prepCacheBound overrides prepCacheMax when positive (test seam).
+	prepCacheBound int
+}
+
+// releaseHandle clears a closed handle's per-query selection state from
+// every cached prepared query, so dead handle ids stop occupying the
+// bounded selection slots. Called by Handle.Close.
+func (sys *System) releaseHandle(id uint64) {
+	sys.prepQMu.Lock()
+	pqs := make([]*PreparedQuery, 0, len(sys.prepQ))
+	for _, e := range sys.prepQ {
+		if e.done.Load() && e.pq != nil {
+			pqs = append(pqs, e.pq)
+		}
+	}
+	sys.prepQMu.Unlock()
+	for _, pq := range pqs {
+		pq.dropHandle(id)
+	}
 }
 
 // NewSystem builds a System after validating the constraints and views

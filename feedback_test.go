@@ -1,0 +1,280 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/workload"
+)
+
+func feedbackSystem(t *testing.T) (*System, *workload.PlanFeedback) {
+	t.Helper()
+	fx := workload.NewPlanFeedback()
+	sys, err := NewSystem(fx.Schema, fx.Access, fx.Views(), fx.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, fx
+}
+
+// realizedFetches executes every candidate directly (outside the feedback
+// loop) and returns the per-candidate |Dξ| plus the minimum.
+func realizedFetches(t *testing.T, pq *PreparedQuery, h Handle) ([]int, int) {
+	t.Helper()
+	cands := pq.Candidates()
+	out := make([]int, len(cands))
+	minF := -1
+	for i, c := range cands {
+		_, f, err := h.Execute(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = f
+		if minF < 0 || f < minF {
+			minF = f
+		}
+	}
+	return out, minF
+}
+
+// Convergence differential: on the adversarial skew fixture the collected
+// statistics misestimate the static pick's fetch volume by >10x; the
+// closed loop must switch to the realized-cheapest candidate within k
+// executions and hold it — no plan flapping — over 1000 more. Run
+// unsharded and at P = 8 (same contract through the sharded gather).
+func TestFeedbackConvergence(t *testing.T) {
+	for _, shards := range []int{0, 8} {
+		name := "unsharded"
+		if shards > 0 {
+			name = fmt.Sprintf("P=%d", shards)
+		}
+		t.Run(name, func(t *testing.T) {
+			sys, fx := feedbackSystem(t)
+			db := fx.Generate()
+			direct, err := sys.EvalDirect(NewUCQ(fx.Q), db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var h Handle
+			if shards > 0 {
+				h, err = sys.Open(db, WithShards(shards))
+			} else {
+				h, err = sys.Open(db)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			pq, err := sys.Prepare(NewUCQ(fx.Q), LangCQ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fetches, minF := realizedFetches(t, pq, h)
+
+			// The fixture must be adversarial: the open-loop pick under the
+			// handle's collected statistics realizes >= 10x the frontier's
+			// cheapest fetch volume.
+			st0, _ := h.Stats()
+			openLoop, _ := bestCandidate(pq.cands, st0)
+			if fetches[openLoop] < 10*max(1, minF) {
+				t.Fatalf("fixture not adversarial: open-loop pick fetches %d, frontier min %d",
+					fetches[openLoop], minF)
+			}
+
+			// Converge within k executions.
+			const k = 8
+			last := -1
+			for i := 0; i < k; i++ {
+				rows, f, err := pq.Execute(h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !cq.RowsEqual(rows, direct) {
+					t.Fatalf("exec %d: answers diverge from direct evaluation", i)
+				}
+				last = f
+			}
+			bound := 12 * max(1, minF) / 10 // the 1.2x gate
+			if last > bound {
+				t.Fatalf("no convergence: execution %d fetched %d, frontier min %d (bound %d)",
+					k, last, minF, bound)
+			}
+			st, ok := pq.SelectionStats(h)
+			if !ok {
+				t.Fatal("no selection state after executing")
+			}
+			if st.Switches < 1 {
+				t.Fatal("feedback never re-ranked away from the misestimated pick")
+			}
+			if st.Samples < k {
+				t.Fatalf("observations not absorbed: %d samples after %d executions", st.Samples, k)
+			}
+
+			// Stability: 1000 further executions, every one cheap, zero
+			// additional switches (exploration of the near-tied twin
+			// candidate is allowed; switching is not).
+			swaps := st.Switches
+			for i := 0; i < 1000; i++ {
+				_, f, err := pq.Execute(h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f > bound {
+					t.Fatalf("post-convergence execution %d fetched %d (> %d): plan flapped", i, f, bound)
+				}
+			}
+			st2, _ := pq.SelectionStats(h)
+			if st2.Switches != swaps {
+				t.Fatalf("selection oscillated: %d -> %d switches over 1000 stable executions",
+					swaps, st2.Switches)
+			}
+		})
+	}
+}
+
+// Drift stickiness: a statistics rebuild (churn past the drift threshold)
+// bumps the stats version and used to reset selection to the fresh — still
+// skew-blind — estimates. The observation overlay must survive the
+// rebuild: the corrected selection stays corrected.
+func TestFeedbackStickyUnderStatsDrift(t *testing.T) {
+	sys, fx := feedbackSystem(t)
+	h, err := sys.Open(fx.Generate(), WithStatsDrift(0.01), WithStatsMinChurn(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	pq, err := sys.Prepare(NewUCQ(fx.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := pq.Execute(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st0, ok := pq.SelectionStats(h)
+	if !ok || st0.Switches < 1 {
+		t.Fatalf("fixture must converge before the drift: %+v (%v)", st0, ok)
+	}
+	_, ver0 := h.Stats()
+	ds, err := h.ApplyDelta(fx.ChurnBatch(0, 200), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.StatsRefreshed {
+		t.Fatal("churn batch must trip the drift rebuild")
+	}
+	if _, ver1 := h.Stats(); ver1 == ver0 {
+		t.Fatal("stats version must change on rebuild")
+	}
+	for i := 0; i < 4; i++ {
+		_, f, err := pq.Execute(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f > 2*fx.JGroup {
+			t.Fatalf("post-drift execution fetched %d: selection reverted to the misestimate", f)
+		}
+	}
+	st1, _ := pq.SelectionStats(h)
+	if st1.Selected != st0.Selected || st1.Switches != st0.Switches {
+		t.Fatalf("drift rebuild moved the selection: %+v -> %+v", st0, st1)
+	}
+}
+
+// Observed statistics are NOT durable: they live with the handle, Close
+// clears them, and a WAL restart comes up estimate-driven — the first
+// execution pays the misestimate once, then re-converges. This pins the
+// documented reset-on-restart behavior.
+func TestFeedbackResetOnWALRestart(t *testing.T) {
+	sys, fx := feedbackSystem(t)
+	dir := t.TempDir()
+	h, err := sys.Open(fx.Generate(), WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := sys.Prepare(NewUCQ(fx.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := pq.Execute(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, ok := pq.SelectionStats(h); !ok || st.Samples < 4 || st.Switches < 1 {
+		t.Fatalf("must converge before the restart: %+v (%v)", st, ok)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pq.SelectionStats(h); ok {
+		t.Fatal("Close must clear the handle's selection state")
+	}
+
+	h2, err := sys.Open(NewDatabase(fx.Schema), WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if _, ok := pq.SelectionStats(h2); ok {
+		t.Fatal("restarted handle must start with no observed statistics")
+	}
+	// First execution is estimate-driven again (pays the hot group), the
+	// second has the observation and is cheap: reset, then re-converge.
+	_, f1, err := pq.Execute(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f2, err := pq.Execute(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 < 10*max(1, f2) {
+		t.Fatalf("restart did not reset observed stats: first exec fetched %d, second %d", f1, f2)
+	}
+	if st, ok := pq.SelectionStats(h2); !ok || st.Samples < 2 {
+		t.Fatalf("re-convergence must accumulate fresh observations: %+v (%v)", st, ok)
+	}
+}
+
+// The per-handle selection cache must never evict the handle being served
+// (the old arbitrary-eviction could drop the current handle's entry —
+// discarding the feedback the call was about to add), and Close must
+// clear a dead handle's slot.
+func TestSelectionEvictionSparesServingHandle(t *testing.T) {
+	sys, pp := planPickSystem(t)
+	pq, err := sys.Prepare(NewUCQ(pp.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var handles []Handle
+	for i := 0; i < maxLiveSelections+3; i++ {
+		h, err := sys.Open(pp.Generate(300, 3, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		handles = append(handles, h)
+		if _, _, err := pq.Execute(h); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := pq.SelectionStats(h); !ok {
+			t.Fatalf("handle %d: its own fresh selection entry was evicted", i)
+		}
+	}
+	pq.mu.Lock()
+	n := len(pq.sels)
+	pq.mu.Unlock()
+	if n > maxLiveSelections {
+		t.Fatalf("selection cache exceeded its bound: %d > %d", n, maxLiveSelections)
+	}
+	last := handles[len(handles)-1]
+	if err := last.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pq.SelectionStats(last); ok {
+		t.Fatal("Close must clear the closed handle's selection slot")
+	}
+}

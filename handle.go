@@ -91,6 +91,12 @@ type Handle interface {
 	Close() error
 
 	handleID() uint64
+
+	// executeObserved is Execute plus the run's execution profile — the
+	// observation the closed-loop plan selection feeds on (see
+	// PreparedQuery.Execute). Sealing method: implemented by *Live and
+	// *LiveSharded.
+	executeObserved(p Plan) ([][]string, int, *plan.Observation, error)
 }
 
 // ErrClosed is returned by ApplyDelta on a closed handle.
@@ -312,6 +318,21 @@ func (s *Snapshot) Execute(p Plan) ([][]string, int, error) {
 		return nil, 0, err
 	}
 	return rows, int(call.Load()), nil
+}
+
+// executeObserved is Execute plus the run's execution profile, for the
+// closed-loop selection in PreparedQuery.ExecuteOn. Observation wraps the
+// same epoch source the counters do, so on sharded snapshots the profile
+// reflects the cross-shard-deduplicated fetches exactly like the fetch
+// accounting.
+func (s *Snapshot) executeObserved(p Plan) ([][]string, int, *plan.Observation, error) {
+	var call atomic.Int64
+	src := &countedSource{src: s.e.src, counters: [3]*atomic.Int64{&call, &s.fetched, s.hfetched}}
+	rows, ob, err := plan.RunObserved(p, src, s.e.pv)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return rows, int(call.Load()), ob, nil
 }
 
 // Views returns a decoded copy of the pinned epoch's view extents. The
@@ -660,6 +681,19 @@ func (l *Live) Execute(p Plan) ([][]string, int, error) {
 	return rows, int(call.Load()), nil
 }
 
+// executeObserved is Execute plus the run's execution profile, for the
+// closed-loop selection in PreparedQuery.Execute.
+func (l *Live) executeObserved(p Plan) ([][]string, int, *plan.Observation, error) {
+	e := l.cur.Load()
+	var call atomic.Int64
+	src := &countedSource{src: e.src, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
+	rows, ob, err := plan.RunObserved(p, src, e.pv)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return rows, int(call.Load()), ob, nil
+}
+
 // Views returns a decoded copy of the current epoch's view extents. The
 // returned map and rows are fresh copies owned by the caller.
 func (l *Live) Views() map[string][][]string {
@@ -709,6 +743,7 @@ func (l *Live) Close() error {
 	}
 	l.closed = true
 	l.db, l.eng = nil, nil
+	l.sys.releaseHandle(l.id)
 	return err
 }
 

@@ -37,17 +37,43 @@ func (c Cost) Score() float64 { return c.Fetch*fetchWeight + c.Work + c.Rows }
 
 // Estimate costs a plan against the statistics (nil for static defaults).
 func Estimate(n Node, st *Stats) Cost {
-	e := costOf(n, st)
+	return EstimateObserved(n, st, nil)
+}
+
+// EstimateObserved costs a plan against the statistics with an
+// observed-cost overlay: where obs carries a realized group width for an
+// access constraint, that width replaces the one derived from collected
+// distinct counts (the skew-blind |R|/distinct average). A nil obs — or
+// one with no sample for a constraint — falls back to Estimate's behavior.
+func EstimateObserved(n Node, st *Stats, obs *ObservedStats) Cost {
+	e := costOf(n, st, obs)
 	return Cost{Fetch: e.fetch, Work: e.work, Rows: e.rows}
 }
 
 // Best returns the index of the cheapest candidate and its cost; -1 for an
-// empty candidate set.
+// empty candidate set. Candidates with a non-finite score (NaN or ±Inf —
+// overflow of the float cost arithmetic on degenerate statistics) are
+// skipped unless every score is non-finite; exact ties keep the
+// lowest-index candidate, so selection is deterministic in the search
+// order (which enumerates smallest plans first).
 func Best(cands []Node, st *Stats) (int, Cost) {
+	return BestObserved(cands, st, nil)
+}
+
+// BestObserved is Best under EstimateObserved's observation overlay.
+func BestObserved(cands []Node, st *Stats, obs *ObservedStats) (int, Cost) {
 	best, bc := -1, Cost{}
+	bestFinite := false
 	for i, p := range cands {
-		c := Estimate(p, st)
-		if best < 0 || c.Score() < bc.Score() {
+		c := EstimateObserved(p, st, obs)
+		s := c.Score()
+		finite := !math.IsNaN(s) && !math.IsInf(s, 0)
+		switch {
+		case best < 0:
+			best, bc, bestFinite = i, c, finite
+		case finite && !bestFinite:
+			best, bc, bestFinite = i, c, true
+		case finite == bestFinite && s < bc.Score():
 			best, bc = i, c
 		}
 	}
@@ -129,7 +155,7 @@ func (e *est) capDist() {
 	}
 }
 
-func costOf(n Node, st *Stats) est {
+func costOf(n Node, st *Stats, obs *ObservedStats) est {
 	switch x := n.(type) {
 	case *Const:
 		return est{rows: 1, dist: []float64{1}}
@@ -145,13 +171,16 @@ func costOf(n Node, st *Stats) est {
 			// Input-free fetch: one probe returning the distinct
 			// XY-projections, bounded by both N and the table.
 			r := math.Min(float64(x.C.N), relRows)
+			if w, ok := obs.obsWidth(x.C.Key(), float64(x.C.N)); ok {
+				r = w
+			}
 			d := make([]float64, len(xy))
 			for i, a := range xy {
 				d[i] = math.Min(st.relDist(x.C.Rel, a, relRows), math.Max(1, r))
 			}
 			return est{rows: r, fetch: r, work: r, dist: d}
 		}
-		c := costOf(x.Child, st)
+		c := costOf(x.Child, st, obs)
 		childAttrs := x.Child.Attrs()
 		bind := x.InBind()
 		// Distinct probe keys: the execution dedupes child rows on the
@@ -168,13 +197,19 @@ func costOf(n Node, st *Stats) est {
 		}
 		keys = clamp(keys, 1, math.Max(1, c.rows))
 		// Average group width on this D: |R| over the distinct X-combos,
-		// never above the constraint's promise N.
+		// never above the constraint's promise N. An observed width for
+		// this constraint — what fetches through it actually returned per
+		// probe — takes precedence over the collected-distinct-count
+		// average, which skew can put an order of magnitude off.
 		dx := 1.0
 		for _, a := range x.C.X {
 			dx *= st.relDist(x.C.Rel, a, relRows)
 		}
 		dx = clamp(dx, 1, math.Max(1, relRows))
 		g := math.Min(float64(x.C.N), math.Max(1, relRows/dx))
+		if w, ok := obs.obsWidth(x.C.Key(), float64(x.C.N)); ok {
+			g = w
+		}
 		r := keys * g
 		d := make([]float64, len(xy))
 		for i, a := range xy {
@@ -189,7 +224,7 @@ func costOf(n Node, st *Stats) est {
 		return e
 
 	case *Project:
-		c := costOf(x.Child, st)
+		c := costOf(x.Child, st, obs)
 		childAttrs := x.Child.Attrs()
 		prod := 1.0
 		d := make([]float64, len(x.Cols))
@@ -210,17 +245,17 @@ func costOf(n Node, st *Stats) est {
 
 	case *Select:
 		if prod, ok := x.Child.(*Product); ok {
-			if e, joined := joinCost(x, prod, st); joined {
+			if e, joined := joinCost(x, prod, st, obs); joined {
 				return e
 			}
 		}
-		c := costOf(x.Child, st)
+		c := costOf(x.Child, st, obs)
 		e := est{rows: c.rows, fetch: c.fetch, work: c.work + c.rows, dist: append([]float64(nil), c.dist...)}
 		applyConds(&e, x.Cond, x.Child.Attrs())
 		return e
 
 	case *Product:
-		l, r := costOf(x.L, st), costOf(x.R, st)
+		l, r := costOf(x.L, st, obs), costOf(x.R, st, obs)
 		cross := l.rows * r.rows
 		e := est{rows: cross, fetch: l.fetch + r.fetch, work: l.work + r.work + cross,
 			dist: append(append([]float64(nil), l.dist...), r.dist...)}
@@ -228,7 +263,7 @@ func costOf(n Node, st *Stats) est {
 		return e
 
 	case *Union:
-		l, r := costOf(x.L, st), costOf(x.R, st)
+		l, r := costOf(x.L, st, obs), costOf(x.R, st, obs)
 		e := est{rows: l.rows + r.rows, fetch: l.fetch + r.fetch, work: l.work + r.work + l.rows + r.rows}
 		e.dist = make([]float64, len(l.dist))
 		for i := range e.dist {
@@ -242,14 +277,14 @@ func costOf(n Node, st *Stats) est {
 		return e
 
 	case *Diff:
-		l, r := costOf(x.L, st), costOf(x.R, st)
+		l, r := costOf(x.L, st, obs), costOf(x.R, st, obs)
 		e := est{rows: l.rows, fetch: l.fetch + r.fetch, work: l.work + r.work + l.rows + r.rows,
 			dist: append([]float64(nil), l.dist...)}
 		e.capDist()
 		return e
 
 	case *Rename:
-		return costOf(x.Child, st)
+		return costOf(x.Child, st, obs)
 
 	default:
 		return est{}
@@ -292,7 +327,7 @@ func applyConds(e *est, conds []CondItem, attrs []string) {
 // sides. Work is the two inputs plus the join output, never the cross
 // product. joined is false when no cross-side equality exists (the generic
 // path then prices the materialized product, matching execution).
-func joinCost(sel *Select, prod *Product, st *Stats) (est, bool) {
+func joinCost(sel *Select, prod *Product, st *Stats, obs *ObservedStats) (est, bool) {
 	la, ra := prod.L.Attrs(), prod.R.Attrs()
 	type crossEq struct{ lp, rp int } // positions in the combined row
 	var cross []crossEq
@@ -316,7 +351,7 @@ func joinCost(sel *Select, prod *Product, st *Stats) (est, bool) {
 	if len(cross) == 0 {
 		return est{}, false
 	}
-	l, r := costOf(prod.L, st), costOf(prod.R, st)
+	l, r := costOf(prod.L, st, obs), costOf(prod.R, st, obs)
 	dist := append(append([]float64(nil), l.dist...), r.dist...)
 	rows := l.rows * r.rows
 	for _, eq := range cross {

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/access"
 	"repro/internal/instance"
@@ -123,8 +124,23 @@ var emptyPrepared = &PreparedViews{rows: map[string][][]uint32{}}
 // RunOn executes the plan against an arbitrary Source with views prepared
 // over the same dictionary. A nil pv serves no views (View nodes error).
 func RunOn(n Node, src Source, pv *PreparedViews) ([][]string, error) {
+	rows, _, err := runOn(n, src, pv, false)
+	return rows, err
+}
+
+// RunObserved is RunOn with execution profiling: alongside the answer it
+// returns the run's Observation — realized per-constraint fetch groups,
+// hash-join fan-outs and the output cardinality — the feedback signal a
+// serving layer folds into an ObservedStats to correct the cost model's
+// estimates. Profiling costs a few counter updates per operator, not per
+// row; Run/RunOn skip even that.
+func RunObserved(n Node, src Source, pv *PreparedViews) ([][]string, *Observation, error) {
+	return runOn(n, src, pv, true)
+}
+
+func runOn(n Node, src Source, pv *PreparedViews, observe bool) ([][]string, *Observation, error) {
 	if pv != nil && pv.d != src.Dict() {
-		return nil, fmt.Errorf("plan: prepared views belong to a different database")
+		return nil, nil, fmt.Errorf("plan: prepared views belong to a different database")
 	}
 	ctx := &execCtx{src: src, d: src.Dict()}
 	if pv != nil {
@@ -132,7 +148,11 @@ func RunOn(n Node, src Source, pv *PreparedViews) ([][]string, error) {
 	} else {
 		ctx.prepared = emptyPrepared
 	}
-	return exec(n, ctx)
+	if observe {
+		ctx.obs = &Observation{}
+	}
+	rows, err := exec(n, ctx)
+	return rows, ctx.obs, err
 }
 
 func exec(n Node, ctx *execCtx) ([][]string, error) {
@@ -147,6 +167,9 @@ func exec(n Node, ctx *execCtx) ([][]string, error) {
 			out = append(out, r)
 		}
 	}
+	if ctx.obs != nil {
+		ctx.obs.Rows = len(out)
+	}
 	return ctx.d.DecodeAll(out), nil
 }
 
@@ -159,6 +182,31 @@ type execCtx struct {
 	views    Materialized
 	cache    *intern.RowCache // lazy interning of views (Run path)
 	prepared *PreparedViews   // non-nil when running over PreparedViews
+
+	obs   *Observation // nil unless RunObserved; guarded by obsMu
+	obsMu sync.Mutex   // parallel subtrees record concurrently
+}
+
+// observeFetch records one fetch node's realized traffic: probes distinct
+// probe keys through constraint c returned rows tuples.
+func (ctx *execCtx) observeFetch(c *access.Constraint, probes, rows int) {
+	if ctx.obs == nil {
+		return
+	}
+	ctx.obsMu.Lock()
+	ctx.obs.addGroup(c.Key(), probes, rows)
+	ctx.obsMu.Unlock()
+}
+
+// observeJoin records one hash join's realized fan-out.
+func (ctx *execCtx) observeJoin(in, out int) {
+	if ctx.obs == nil {
+		return
+	}
+	ctx.obsMu.Lock()
+	ctx.obs.JoinIn += in
+	ctx.obs.JoinOut += out
+	ctx.obsMu.Unlock()
 }
 
 func (ctx *execCtx) viewRows(name string) ([][]uint32, bool) {
@@ -234,6 +282,7 @@ func (ctx *execCtx) run(n Node) ([][]uint32, error) {
 			}
 			out = append(out, rows...)
 		}
+		ctx.observeFetch(x.C, len(inputs), len(out))
 		return out, nil
 
 	case *Project:
@@ -427,6 +476,7 @@ func (ctx *execCtx) hashJoin(sel *Select, prod *Product) ([][]uint32, bool, erro
 			out = append(out, row)
 		}
 	}
+	ctx.observeJoin(len(lRows)+len(rRows), len(out))
 	return out, true, nil
 }
 

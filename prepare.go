@@ -2,7 +2,9 @@ package repro
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
 	"repro/internal/vbrp"
@@ -20,12 +22,46 @@ const prepCacheMax = 65536
 // prepEntry is one slot of the prepared-query cache. The once gates the
 // exponential VBRP search: the first Prepare for a canonical key runs it,
 // every later (or concurrent) Prepare for an equivalent query waits on the
-// same entry and shares the result.
+// same entry and shares the result. done flips after the once completes —
+// an entry that is not done is mid-search (or about to be) and must never
+// be evicted out from under the searcher.
 type prepEntry struct {
 	once sync.Once
+	done atomic.Bool
 	pq   *PreparedQuery
 	err  error
 }
+
+// Observed-cost feedback knobs (see the README's "Self-tuning selection").
+const (
+	// feedbackAlpha is the EWMA weight of the newest observation when
+	// folding realized group widths into a selection's ObservedStats.
+	feedbackAlpha = 0.3
+	// feedbackDivergence triggers a re-rank: after absorbing an
+	// observation, the incumbent plan's overlaid score must have moved by
+	// at least this factor (either direction) from the score it was ranked
+	// at. Below it the estimates are deemed "close enough" and selection
+	// stays put — the cheap-arithmetic guard that keeps steady state at
+	// one Estimate per execution.
+	feedbackDivergence = 2.0
+	// feedbackHysteresis is the switching margin: a challenger must beat
+	// the incumbent's overlaid score by this factor to take over. It is
+	// what keeps two genuinely near-tied candidates from flapping as noisy
+	// observations leapfrog their scores.
+	feedbackHysteresis = 1.3
+	// exploreEvery is the exploration budget: at most one execution in
+	// this many serves a near-tied runner-up instead of the incumbent, so
+	// a candidate whose estimate is pessimistic gets real observations
+	// and can be promoted. Every candidate answers the query, so an
+	// exploratory execution returns correct answers — it only risks
+	// fetching more.
+	exploreEvery = 64
+	// exploreWithin bounds which runner-up qualifies: its overlaid score
+	// must be within this factor of the incumbent's. Far-off candidates
+	// are never re-tried — exploration refines ties, it does not
+	// periodically re-run the worst plan in the frontier.
+	exploreWithin = 4.0
+)
 
 // PreparedQuery is a compiled query handle: the full frontier of bounded
 // candidate plans found by the VBRP search, plus the cost-model selection
@@ -33,6 +69,14 @@ type prepEntry struct {
 // selection is revisited whenever the Live handle it serves publishes new
 // statistics — re-selection is a cheap arithmetic pass over the cached
 // candidates, never a new search.
+//
+// Selection is closed-loop: every Execute through the handle profiles the
+// run (realized per-constraint fetch groups, join fan-outs, output rows)
+// and folds it into the serving handle's ObservedStats. When observation
+// diverges from the estimates the current ranking trusted, the cached
+// frontier is re-ranked under the observation overlay — switching plans
+// is a re-pick, never a re-search — with hysteresis and a bounded
+// exploration budget so selection converges instead of thrashing.
 //
 // Handles are safe for concurrent use; one handle may serve many Execute
 // calls in parallel while deltas churn the Live state.
@@ -46,20 +90,40 @@ type PreparedQuery struct {
 	staticCost plan.Cost // its static cost estimate
 
 	mu   sync.Mutex
-	sels map[uint64]selState // Live handle id -> selection (bounded, see planFor)
+	sels map[uint64]*selState // Live handle id -> selection (bounded, see selFor)
 }
 
-// selState is one Live handle's cached plan selection: revisited only
-// when that handle's statistics version moves.
+// selState is one Live handle's cached plan selection and its accumulated
+// observed-cost feedback. All fields are guarded by the PreparedQuery
+// mutex. The state lives as long as the handle does: Handle.Close clears
+// it (and a restart therefore starts from estimates again — observed
+// statistics are deliberately not durable; see the README).
 type selState struct {
-	sel  int
-	cost plan.Cost
-	ver  uint64
+	sel    int       // incumbent candidate index
+	cost   plan.Cost // incumbent's overlaid cost when last ranked
+	ver    uint64    // statistics version the ranking used
+	obs    *plan.ObservedStats
+	execs  int64 // executions attributed to this (handle, query) pair
+	swaps  int64 // incumbent switches (diagnostics; the flap detector)
+	probes int64 // exploratory executions of a runner-up
 }
 
-// maxLiveSelections bounds the per-handle selection cache; an arbitrary
-// entry is dropped beyond it (re-selection is cheap arithmetic).
+// maxLiveSelections bounds the per-handle selection cache; beyond it an
+// entry for a handle OTHER than the one being served is dropped
+// (re-selection is cheap arithmetic, but evicting the current handle
+// would discard the very feedback this call is about to add).
 const maxLiveSelections = 8
+
+// SelectionStats reports one handle's closed-loop selection state for a
+// prepared query: which candidate is serving, and how the feedback loop
+// got there.
+type SelectionStats struct {
+	Selected     int   // incumbent candidate index (into Candidates())
+	Executions   int64 // executions attributed to this (handle, query) pair
+	Switches     int64 // times observation re-ranking changed the incumbent
+	Explorations int64 // executions served by a near-tied runner-up
+	Samples      int64 // observations absorbed into the overlay
+}
 
 // Prepare compiles a UCQ for repeated serving: it canonicalizes the query
 // into a cache key (invariant under variable renaming and atom/disjunct
@@ -78,16 +142,16 @@ func (sys *System) Prepare(q *UCQ, lang Language) (*PreparedQuery, error) {
 	}
 	e, hit := sys.prepQ[key]
 	if !hit {
-		// Bound the cache: beyond prepCacheMax distinct canonical queries
-		// an arbitrary entry is dropped (in-flight holders keep their
-		// shared prepEntry; a later Prepare for the evicted key just
-		// re-searches). Keeps a long-running server's memory flat under
-		// adversarial or naturally diverse query text.
-		if len(sys.prepQ) >= prepCacheMax {
-			for k := range sys.prepQ {
-				delete(sys.prepQ, k)
-				break
-			}
+		// Bound the cache: beyond the cap an entry is evicted — negative
+		// entries (no-rewriting and truncated-search results, which are
+		// cheap to rediscover and the likeliest product of adversarial
+		// query text) go first, and an entry whose search is still
+		// in-flight is never touched (its holders share the prepEntry; a
+		// later Prepare for an evicted key just re-searches). Keeps a
+		// long-running server's memory flat under naturally diverse or
+		// adversarial query text.
+		if cap := sys.prepCacheCap(); len(sys.prepQ) >= cap {
+			sys.evictPrepLocked()
 		}
 		e = &prepEntry{}
 		sys.prepQ[key] = e
@@ -97,6 +161,7 @@ func (sys *System) Prepare(q *UCQ, lang Language) (*PreparedQuery, error) {
 		sys.prepHits.Add(1)
 	}
 	e.once.Do(func() {
+		defer e.done.Store(true)
 		sys.prepSearches.Add(1)
 		cands, err := sys.searchCandidates(q, lang)
 		if err != nil && err != vbrp.ErrSearchTruncated {
@@ -111,7 +176,7 @@ func (sys *System) Prepare(q *UCQ, lang Language) (*PreparedQuery, error) {
 			e.err = ErrNoBoundedRewriting
 			return
 		}
-		pq := &PreparedQuery{sys: sys, key: key, lang: lang, cands: cands, sels: make(map[uint64]selState)}
+		pq := &PreparedQuery{sys: sys, key: key, lang: lang, cands: cands, sels: make(map[uint64]*selState)}
 		// Static selection so Plan() is meaningful before any Live exists.
 		pq.staticSel, pq.staticCost = bestCandidate(cands, nil)
 		e.pq = pq
@@ -119,19 +184,57 @@ func (sys *System) Prepare(q *UCQ, lang Language) (*PreparedQuery, error) {
 	return e.pq, e.err
 }
 
+// prepCacheCap returns the prepared-query cache bound (the test seam
+// defaults to prepCacheMax).
+func (sys *System) prepCacheCap() int {
+	if sys.prepCacheBound > 0 {
+		return sys.prepCacheBound
+	}
+	return prepCacheMax
+}
+
+// evictPrepLocked drops one evictable cache entry: a completed negative
+// entry if any exists, else a completed positive one. Entries whose
+// search is mid-flight are never evicted (the map may transiently exceed
+// the cap when every entry is in-flight). Callers hold prepQMu.
+func (sys *System) evictPrepLocked() {
+	victim := ""
+	for k, e := range sys.prepQ {
+		if !e.done.Load() {
+			continue
+		}
+		if e.err != nil {
+			victim = k // negative entry: evict it and stop looking
+			break
+		}
+		if victim == "" {
+			victim = k
+		}
+	}
+	if victim == "" {
+		return
+	}
+	delete(sys.prepQ, victim)
+	sys.prepEvicts.Add(1)
+}
+
 // PrepareCacheStats reports the prepared-query cache counters: the number
-// of VBRP searches actually run and the number of Prepare calls served
-// from the cache.
-func (sys *System) PrepareCacheStats() (searches, hits int64) {
-	return sys.prepSearches.Load(), sys.prepHits.Load()
+// of VBRP searches actually run, the number of Prepare calls served from
+// the cache, and the number of entries evicted by the cache bound.
+func (sys *System) PrepareCacheStats() (searches, hits, evictions int64) {
+	return sys.prepSearches.Load(), sys.prepHits.Load(), sys.prepEvicts.Load()
 }
 
 func bestCandidate(cands []vbrp.Candidate, st *plan.Stats) (int, plan.Cost) {
+	return bestObserved(cands, st, nil)
+}
+
+func bestObserved(cands []vbrp.Candidate, st *plan.Stats, obs *plan.ObservedStats) (int, plan.Cost) {
 	plans := make([]plan.Node, len(cands))
 	for i, c := range cands {
 		plans[i] = c.Plan
 	}
-	return plan.Best(plans, st)
+	return plan.BestObserved(plans, st, obs)
 }
 
 // Key returns the canonical cache key the query was prepared under.
@@ -154,44 +257,187 @@ func (pq *PreparedQuery) Plan() (Plan, plan.Cost) {
 	return pq.cands[pq.staticSel].Plan, pq.staticCost
 }
 
-// planOn returns the plan to serve the handle with the given identity and
-// statistics. Each live handle (Live or LiveSharded) keeps its own cached
-// selection (so alternating Executes against several handles do not
-// thrash), re-ranked only when that handle's statistics version moved —
-// churn past the drift threshold rebuilt them.
-func (pq *PreparedQuery) planOn(id uint64, st *plan.Stats, ver uint64) Plan {
+// SelectionStats reports the closed-loop selection state this prepared
+// query holds for the handle (false when the handle never executed the
+// query, or its state was cleared by Handle.Close).
+func (pq *PreparedQuery) SelectionStats(h Handle) (SelectionStats, bool) {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	s, ok := pq.sels[h.handleID()]
+	if !ok {
+		return SelectionStats{}, false
+	}
+	return SelectionStats{
+		Selected:     s.sel,
+		Executions:   s.execs,
+		Switches:     s.swaps,
+		Explorations: s.probes,
+		Samples:      s.obs.Samples(),
+	}, true
+}
+
+// selFor returns the handle's selection state, creating or re-ranking it
+// as needed. Callers hold pq.mu.
+func (pq *PreparedQuery) selFor(id uint64, st *plan.Stats, ver uint64) *selState {
+	s, ok := pq.sels[id]
+	if !ok {
+		if len(pq.sels) >= maxLiveSelections {
+			pq.evictSelLocked(id)
+		}
+		s = &selState{obs: plan.NewObservedStats(feedbackAlpha)}
+		s.sel, s.cost = bestObserved(pq.cands, st, s.obs)
+		s.ver = ver
+		pq.sels[id] = s
+		return s
+	}
+	if s.ver != ver {
+		// The handle's statistics were rebuilt (churn drift). Re-rank
+		// under the fresh estimates WITH the observation overlay — the
+		// realized widths survive the rebuild, so a selection that
+		// feedback corrected stays corrected instead of reverting to
+		// whatever the new skew-blind averages say.
+		pq.rerankLocked(s, st)
+		s.ver = ver
+	}
+	return s
+}
+
+// evictSelLocked drops one selection entry for a handle other than keep.
+// Callers hold pq.mu.
+func (pq *PreparedQuery) evictSelLocked(keep uint64) {
+	for sid := range pq.sels {
+		if sid != keep {
+			delete(pq.sels, sid)
+			return
+		}
+	}
+}
+
+// dropHandle clears a closed handle's selection state so dead handle ids
+// stop occupying cache slots (called from Handle.Close via the System).
+func (pq *PreparedQuery) dropHandle(id uint64) {
+	pq.mu.Lock()
+	delete(pq.sels, id)
+	pq.mu.Unlock()
+}
+
+// rerankLocked re-ranks the frontier under the observation overlay and
+// switches the incumbent only when the challenger clears the hysteresis
+// margin. Callers hold pq.mu.
+func (pq *PreparedQuery) rerankLocked(s *selState, st *plan.Stats) {
+	cur := plan.EstimateObserved(pq.cands[s.sel].Plan, st, s.obs)
+	best, bc := bestObserved(pq.cands, st, s.obs)
+	if best != s.sel && bc.Score()*feedbackHysteresis < cur.Score() {
+		s.sel, s.cost = best, bc
+		s.swaps++
+		return
+	}
+	s.cost = cur
+}
+
+// pickPlan chooses the candidate to execute for this call: the incumbent,
+// or — once per exploreEvery executions — a near-tied runner-up, so a
+// pessimistically estimated candidate gets real observations and can be
+// promoted. Returns the plan and the candidate index the run must be
+// attributed to.
+func (pq *PreparedQuery) pickPlan(id uint64, st *plan.Stats, ver uint64) (Plan, int) {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	s := pq.selFor(id, st, ver)
+	s.execs++
+	idx := s.sel
+	if exploreEvery > 0 && s.execs%exploreEvery == 0 && s.obs.Samples() > 0 {
+		if ri, rc, ok := pq.runnerUpLocked(s, st); ok && rc.Score() <= s.cost.Score()*exploreWithin {
+			s.probes++
+			idx = ri
+		}
+	}
+	return pq.cands[idx].Plan, idx
+}
+
+// runnerUpLocked returns the best-scored candidate other than the
+// incumbent under the overlay. Callers hold pq.mu.
+func (pq *PreparedQuery) runnerUpLocked(s *selState, st *plan.Stats) (int, plan.Cost, bool) {
+	best, bc := -1, plan.Cost{}
+	for i, c := range pq.cands {
+		if i == s.sel {
+			continue
+		}
+		cost := plan.EstimateObserved(c.Plan, st, s.obs)
+		if best < 0 || cost.Score() < bc.Score() {
+			best, bc = i, cost
+		}
+	}
+	return best, bc, best >= 0
+}
+
+// feedback folds one run's observation into the handle's selection state
+// and re-ranks when the incumbent's overlaid score diverged past the
+// threshold from the score it was ranked at (or when the run explored a
+// runner-up, whose fresh observations are exactly what a re-rank needs).
+func (pq *PreparedQuery) feedback(id uint64, st *plan.Stats, executed int, ob *plan.Observation) {
+	if ob == nil {
+		return
+	}
 	pq.mu.Lock()
 	defer pq.mu.Unlock()
 	s, ok := pq.sels[id]
-	if !ok || s.ver != ver {
-		if !ok && len(pq.sels) >= maxLiveSelections {
-			for sid := range pq.sels {
-				delete(pq.sels, sid)
-				break
-			}
-		}
-		s.sel, s.cost = bestCandidate(pq.cands, st)
-		s.ver = ver
-		pq.sels[id] = s
+	if !ok {
+		// The selection was evicted or the handle closed mid-flight;
+		// nothing to attribute the run to.
+		return
 	}
-	return pq.cands[s.sel].Plan
+	s.obs.Absorb(ob)
+	cur := plan.EstimateObserved(pq.cands[s.sel].Plan, st, s.obs)
+	if executed != s.sel || diverged(cur.Score(), s.cost.Score()) {
+		pq.rerankLocked(s, st)
+	}
+}
+
+// diverged reports whether an overlaid score moved past the feedback
+// divergence threshold from the score the ranking trusted. Non-finite
+// scores always count as diverged.
+func diverged(now, ranked float64) bool {
+	if math.IsNaN(now) || math.IsInf(now, 0) || math.IsNaN(ranked) || math.IsInf(ranked, 0) {
+		return true
+	}
+	lo, hi := math.Min(now, ranked), math.Max(now, ranked)
+	if lo <= 0 {
+		return hi > 0
+	}
+	return hi/lo >= feedbackDivergence
 }
 
 // Execute serves the query against any handle — single-instance or
-// sharded: the min-cost candidate under the handle's current statistics
-// runs over the current epoch's views and indices. Returns the answer
-// rows and the tuples this call fetched from the underlying database.
+// sharded: the candidate selected by the closed-loop cost model runs over
+// the current epoch's views and indices, the run is profiled, and the
+// realized costs feed the next selection. Returns the answer rows and the
+// tuples this call fetched from the underlying database.
 func (pq *PreparedQuery) Execute(h Handle) ([][]string, int, error) {
 	st, ver := h.Stats()
-	return h.Execute(pq.planOn(h.handleID(), st, ver))
+	id := h.handleID()
+	p, idx := pq.pickPlan(id, st, ver)
+	rows, fetched, ob, err := h.executeObserved(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	pq.feedback(id, st, idx, ob)
+	return rows, fetched, nil
 }
 
-// ExecuteOn serves the query against a pinned snapshot: the min-cost
+// ExecuteOn serves the query against a pinned snapshot: the selected
 // candidate under the snapshot's statistics runs against exactly the
-// snapshot's epoch.
+// snapshot's epoch. Observations feed the same per-handle selection state
+// as Execute — a snapshot read is a real measurement of its epoch.
 func (pq *PreparedQuery) ExecuteOn(s *Snapshot) ([][]string, int, error) {
 	st, ver := s.Stats()
-	return s.Execute(pq.planOn(s.hid, st, ver))
+	p, idx := pq.pickPlan(s.hid, st, ver)
+	rows, fetched, ob, err := s.executeObserved(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	pq.feedback(s.hid, st, idx, ob)
+	return rows, fetched, nil
 }
 
 // ExecuteSharded serves the query against a sharded handle.
@@ -199,4 +445,13 @@ func (pq *PreparedQuery) ExecuteOn(s *Snapshot) ([][]string, int, error) {
 // Deprecated: Execute accepts any Handle, including *LiveSharded.
 func (pq *PreparedQuery) ExecuteSharded(l *LiveSharded) ([][]string, int, error) {
 	return pq.Execute(l)
+}
+
+// planOn returns the plan the closed-loop selection would serve the
+// handle with, without executing it (kept for the serving layers that
+// need the plan itself, e.g. open-loop baselines and diagnostics).
+func (pq *PreparedQuery) planOn(id uint64, st *plan.Stats, ver uint64) Plan {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	return pq.cands[pq.selFor(id, st, ver).sel].Plan
 }

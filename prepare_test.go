@@ -71,12 +71,12 @@ func TestPrepareSelectsCheapPlanAndCaches(t *testing.T) {
 	}
 
 	// Renamed query: cache hit, no second search.
-	searches0, _ := sys.PrepareCacheStats()
+	searches0, _, _ := sys.PrepareCacheStats()
 	pq2, err := sys.Prepare(renamedPlanPickQuery(1), LangCQ)
 	if err != nil {
 		t.Fatal(err)
 	}
-	searches1, hits := sys.PrepareCacheStats()
+	searches1, hits, _ := sys.PrepareCacheStats()
 	if searches1 != searches0 || hits == 0 {
 		t.Fatalf("renamed query must hit the cache: searches %d -> %d, hits %d", searches0, searches1, hits)
 	}
@@ -92,11 +92,11 @@ func TestPrepareSelectsCheapPlanAndCaches(t *testing.T) {
 	if _, err := sys.Prepare(noRw, LangCQ); err != ErrNoBoundedRewriting {
 		t.Fatalf("want ErrNoBoundedRewriting, got %v", err)
 	}
-	s2, _ := sys.PrepareCacheStats()
+	s2, _, _ := sys.PrepareCacheStats()
 	if _, err := sys.Prepare(noRw, LangCQ); err != ErrNoBoundedRewriting {
 		t.Fatalf("negative answer must be cached: %v", err)
 	}
-	if s3, _ := sys.PrepareCacheStats(); s3 != s2 {
+	if s3, _, _ := sys.PrepareCacheStats(); s3 != s2 {
 		t.Fatal("negative Prepare re-ran the search")
 	}
 }
@@ -124,7 +124,7 @@ func TestPreparedReselectsUnderChurnDrift(t *testing.T) {
 	if fetched0 != 0 {
 		t.Fatalf("small instance must be served from the view (0 fetches), got %d", fetched0)
 	}
-	searches0, _ := sys.PrepareCacheStats()
+	searches0, _, _ := sys.PrepareCacheStats()
 
 	// Grow the instance well past the break-even (~fetchWeight rows) in
 	// batches; the drift threshold rebuilds statistics along the way.
@@ -159,7 +159,7 @@ func TestPreparedReselectsUnderChurnDrift(t *testing.T) {
 	if fetched1 == 0 {
 		t.Fatal("grown instance must swing the selection to the index fetch")
 	}
-	if s1, _ := sys.PrepareCacheStats(); s1 != searches0 {
+	if s1, _, _ := sys.PrepareCacheStats(); s1 != searches0 {
 		t.Fatal("re-selection must not re-run the VBRP search")
 	}
 }
@@ -288,7 +288,7 @@ func TestPreparedConcurrentChurnMatchesLockedRecompute(t *testing.T) {
 		t.Fatal(err)
 	default:
 	}
-	if searches, hits := sys.PrepareCacheStats(); searches != 1 || hits == 0 {
+	if searches, hits, _ := sys.PrepareCacheStats(); searches != 1 || hits == 0 {
 		t.Fatalf("all concurrent Prepares were renamings of one query: want 1 search, got %d (hits %d)", searches, hits)
 	}
 }
@@ -349,5 +349,55 @@ func TestNoAliasingOfViewsAndPreparedResults(t *testing.T) {
 	}
 	if !cq.RowsEqual(got2, want) {
 		t.Fatalf("prepared results alias internal storage: %v vs %v", got2, want)
+	}
+}
+
+// chainQuery is Q(a) :- R(a,x1), R(x1,x2), ..., R(x_{n-1},x_n): a join
+// chain with no 3-bounded rewriting under the planpick access schema —
+// each length is a distinct canonical key, so the family fills the
+// prepared-query cache with negative entries on demand.
+func chainQuery(n int) *UCQ {
+	atoms := []Atom{NewAtom("R", Var("a"), Var("x1"))}
+	for i := 1; i < n; i++ {
+		atoms = append(atoms, NewAtom("R", Var(fmt.Sprintf("x%d", i)), Var(fmt.Sprintf("x%d", i+1))))
+	}
+	return NewUCQ(NewCQ([]Term{Var("a")}, atoms))
+}
+
+// TestPrepareCacheEvictsNegativesFirst: when the bounded cache overflows,
+// negative entries (no bounded rewriting) must be evicted before positive
+// ones — the old arbitrary-map-entry eviction could drop the hot positive
+// entry while the negatives survived — and evictions must be counted.
+func TestPrepareCacheEvictsNegativesFirst(t *testing.T) {
+	sys, pp := planPickSystem(t)
+	sys.prepCacheBound = 4
+	pq, err := sys.Prepare(NewUCQ(pp.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 2; n < 8; n++ {
+		if _, err := sys.Prepare(chainQuery(n), LangCQ); err != ErrNoBoundedRewriting {
+			t.Fatalf("chain %d: want ErrNoBoundedRewriting, got %v", n, err)
+		}
+	}
+	_, _, evictions := sys.PrepareCacheStats()
+	if evictions == 0 {
+		t.Fatal("cache overflow must count evictions")
+	}
+	sys.prepQMu.Lock()
+	size := len(sys.prepQ)
+	sys.prepQMu.Unlock()
+	if size > sys.prepCacheBound {
+		t.Fatalf("cache exceeded its bound: %d > %d", size, sys.prepCacheBound)
+	}
+	// The positive entry must have survived: re-Prepare hits the cache
+	// (same handle, no new search).
+	s0, _, _ := sys.PrepareCacheStats()
+	pq2, err := sys.Prepare(NewUCQ(pp.Q), LangCQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1, _, _ := sys.PrepareCacheStats(); s1 != s0 || pq2 != pq {
+		t.Fatal("hot positive entry was evicted while negative entries survived")
 	}
 }

@@ -140,6 +140,23 @@ func (l *LiveSharded) Execute(p Plan) ([][]string, int, error) {
 	return rows, int(call.Load()), nil
 }
 
+// executeObserved is Execute plus the run's execution profile, for the
+// closed-loop selection in PreparedQuery.Execute. The observing source
+// wraps the cross-shard epoch exactly like the fetch counters do, so
+// observed group widths reflect the deduplicated gather — per-constraint
+// probe and row counts merge across shards for free, the same way the
+// |Dξ| accounting does.
+func (l *LiveSharded) executeObserved(p Plan) ([][]string, int, *plan.Observation, error) {
+	e := l.cur.Load()
+	var call atomic.Int64
+	src := &countedSource{src: e.src, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
+	rows, ob, err := plan.RunObserved(p, src, e.pv)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return rows, int(call.Load()), ob, nil
+}
+
 // ApplyDelta applies a batch of mutations with Live.ApplyDelta's
 // semantics (deletes first, one occurrence per delete, absent deletes are
 // no-ops), routed per shard, maintained concurrently and published as the
@@ -298,5 +315,6 @@ func (l *LiveSharded) Close() error {
 	}
 	l.closed = true
 	l.sh.Close()
+	l.sys.releaseHandle(l.id)
 	return err
 }
