@@ -17,6 +17,7 @@
 //	benchrun -exp recover durable restart: checkpoint+replay recovery vs cold rebuild
 //	benchrun -exp churnmem bounded memory: steady-state heap under sustained swap churn
 //	benchrun -exp feedback closed-loop selection: observed-cost re-ranking vs open loop
+//	benchrun -exp obs   observability overhead: instrumented vs bare epoch readers
 //	benchrun -exp all   everything (default)
 //
 // With -json FILE, per-experiment wall-clock timings and the individual
@@ -95,11 +96,60 @@ type measurement struct {
 	Explorations    int64   `json:"explorations,omitempty"`      // feedback: runner-up probe executions
 }
 
+// benchSchemaVersion identifies the BENCH_*.json document layout, so
+// the trajectory tooling can tell a field rename from a regression.
+// Bump whenever a field changes name or meaning.
+const benchSchemaVersion = 2
+
+// gateSpec is one pass/fail threshold an experiment enforces: the run
+// aborts (log.Fatalf) when the measured value lands on the wrong side
+// of Threshold. Stamped into the -json report so a BENCH_*.json is
+// self-describing — the recorded numbers carry the bounds they were
+// accepted under.
+type gateSpec struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	Op         string  `json:"op"` // measured-value comparison: ">=", "<=", "=="
+	Threshold  float64 `json:"threshold"`
+	Detail     string  `json:"detail"`
+}
+
+// gateSpecs are the per-experiment gates, keyed by experiment id; run()
+// stamps the entries of every executed experiment into the report.
+var gateSpecs = map[string][]gateSpec{
+	"churn": {
+		{Name: "fetch_bound", Op: "<=", Threshold: 2, Detail: "realized fetches per execution <= 2*N0 across every churn step"},
+	},
+	"shard": {
+		{Name: "delta_throughput_8x", Op: ">=", Threshold: 2.0, Detail: "8-shard delta throughput vs 1 shard (needs GOMAXPROCS >= 4)"},
+		{Name: "serve_throughput_8x", Op: ">=", Threshold: 0.6, Detail: "8-shard serving throughput vs 1 shard, no-regression bound"},
+	},
+	"epoch": {
+		{Name: "churn_p99_vs_idle", Op: "<=", Threshold: 3.0, Detail: "reader p99 under churn vs max(idle p99, 250us) (needs GOMAXPROCS >= 2)"},
+	},
+	"recover": {
+		{Name: "checkpoint_vs_cold", Op: ">=", Threshold: 10, Detail: "checkpointed restart speedup over cold rebuild"},
+		{Name: "replay_vs_cold", Op: ">=", Threshold: 1.5, Detail: "log-replay recovery speedup over cold rebuild"},
+	},
+	"churnmem": {
+		{Name: "heap_ratio", Op: "<=", Threshold: 1.5, Detail: "max post-warmup live heap vs warmup floor"},
+	},
+	"feedback": {
+		{Name: "converged_fetch", Op: "<=", Threshold: 1.2, Detail: "closed-loop per-exec fetches vs best candidate after convergence"},
+	},
+	"obs": {
+		{Name: "instrumented_throughput", Op: ">=", Threshold: 0.95, Detail: "epoch-reader throughput with metrics on vs WithoutMetrics"},
+		{Name: "trace_fetch_delta", Op: "==", Threshold: 0, Detail: "slow-trace per-constraint rows minus the pinned snapshot's exact fetch count"},
+	},
+}
+
 // report is the -json output document.
 type report struct {
-	GoMaxProcs   int           `json:"gomaxprocs"`
-	Experiments  []expTiming   `json:"experiments"`
-	Measurements []measurement `json:"measurements"`
+	SchemaVersion int           `json:"schema_version"`
+	GoMaxProcs    int           `json:"gomaxprocs"`
+	Experiments   []expTiming   `json:"experiments"`
+	Gates         []gateSpec    `json:"gates"`
+	Measurements  []measurement `json:"measurements"`
 }
 
 var rep report
@@ -108,10 +158,12 @@ var rep report
 func record(m measurement) { rep.Measurements = append(rep.Measurements, m) }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover, churnmem, feedback, all)")
+	exp := flag.String("exp", "all", "experiment id (t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover, churnmem, feedback, obs, all)")
 	jsonPath := flag.String("json", "", "write per-experiment timings as JSON to this file")
 	flag.Parse()
+	rep.SchemaVersion = benchSchemaVersion
 	rep.Experiments = []expTiming{}
+	rep.Gates = []gateSpec{}
 	rep.Measurements = []measurement{}
 	matched := false
 	run := func(id string, f func()) {
@@ -120,6 +172,10 @@ func main() {
 			t0 := time.Now()
 			f()
 			rep.Experiments = append(rep.Experiments, expTiming{ID: id, Seconds: time.Since(t0).Seconds()})
+			for _, g := range gateSpecs[id] {
+				g.Experiment = id
+				rep.Gates = append(rep.Gates, g)
+			}
 		}
 	}
 	run("t1", expT1)
@@ -137,8 +193,9 @@ func main() {
 	run("recover", expRecover)
 	run("churnmem", expChurnMem)
 	run("feedback", expFeedback)
+	run("obs", expObs)
 	if !matched {
-		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover, churnmem, feedback or all)", *exp)
+		log.Fatalf("unknown experiment %q (want t1, f1, f3, cdr, gs, pct, ex33, ex63, churn, planpick, shard, epoch, recover, churnmem, feedback, obs or all)", *exp)
 	}
 	if *jsonPath != "" {
 		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
@@ -1481,4 +1538,128 @@ func expFeedback() {
 	fmt.Println("\n(The open loop trusts skew-blind distinct-count averages and pins the hot-group")
 	fmt.Println("probe forever; the closed loop pays the misestimate once, overlays the realized")
 	fmt.Println("group width, and re-ranks its own cached frontier — no new VBRP search.)")
+}
+
+// expObs measures the observability tax on the epoch read path and
+// verifies the instrumentation's exactness claim.
+//
+// Overhead: interleaved rounds of identical plan executions against an
+// instrumented handle (metrics on, the default) and one opened
+// WithoutMetrics, over identical databases. Recording on the read path
+// is two clock reads, one histogram observe (three atomic adds) and a
+// striped counter increment, so the median-round throughput ratio must
+// stay >= 0.95 — metrics are not allowed to buy more than 5% of the
+// epoch readers' throughput.
+//
+// Exactness: a third handle arms the slow-query log with a 1ns
+// threshold so every execution is traced, pins a snapshot, and runs
+// once; the trace's per-constraint group rows must sum to EXACTLY the
+// snapshot's own fetched-tuple counter — the per-constraint attribution
+// and the engine's fetch accounting are two views of the same count,
+// and any drift between them is a lost or double-counted tuple.
+func expObs() {
+	header("EXP-OBS — observability overhead: instrumented vs bare epoch readers")
+	const (
+		n        = 3000
+		rounds   = 9
+		perRound = 800
+	)
+	m := workload.NewMovies(50)
+	params := workload.MoviesParams{Persons: n, Movies: n, LikesPerPerson: 5, NASAShare: 10, Seed: 7}
+	sys, err := repro.NewSystem(m.Schema, m.Access, m.Views(), 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xi0 := m.Fig1Plan()
+
+	open := func(opts ...repro.OpenOption) repro.Handle {
+		h, err := sys.Open(m.Generate(params), opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Warm-up: lazy one-time builds out of the measured rounds.
+		if _, _, err := h.Execute(xi0); err != nil {
+			log.Fatal(err)
+		}
+		return h
+	}
+	inst := open()
+	bare := open(repro.WithoutMetrics())
+	defer inst.Close()
+	defer bare.Close()
+
+	// Per-execution MINIMUM latency, not round throughput: on a shared
+	// (often single-core) CI box, scheduler preemption, GC and thermal
+	// noise swing whole-round throughput by 10-20% — far coarser than
+	// the 5% being gated. Noise only ever ADDS latency, so the minimum
+	// over thousands of individually-timed executions converges on the
+	// clean cost of one execution, and that best case is exactly where
+	// a per-call instrumentation tax must show.
+	round := func(h repro.Handle, best time.Duration) time.Duration {
+		for i := 0; i < perRound; i++ {
+			t0 := time.Now()
+			if _, _, err := h.Execute(xi0); err != nil {
+				log.Fatal(err)
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	// Interleave the rounds so clock drift and thermal noise land on
+	// both sides evenly.
+	instMin, bareMin := time.Duration(1<<62), time.Duration(1<<62)
+	runtime.GC()
+	for r := 0; r < rounds; r++ {
+		instMin = round(inst, instMin)
+		bareMin = round(bare, bareMin)
+	}
+	instPeak := 1 / instMin.Seconds()
+	barePeak := 1 / bareMin.Seconds()
+	ratio := instPeak / barePeak
+
+	record(measurement{Experiment: "obs", Name: "instrumented", DBSize: inst.Size(), OpsPerSec: instPeak})
+	record(measurement{Experiment: "obs", Name: "bare", DBSize: bare.Size(), OpsPerSec: barePeak})
+	record(measurement{Experiment: "obs", Name: "overhead", Speedup: ratio})
+
+	fmt.Printf("|D| = %d tuples, %d interleaved rounds of %d timed executions per handle, GOMAXPROCS=%d\n\n",
+		inst.Size(), rounds, perRound, runtime.GOMAXPROCS(0))
+	fmt.Println("| handle | best-case latency | best-case throughput (exec/s) |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| instrumented (default) | %v | %.0f |\n", instMin, instPeak)
+	fmt.Printf("| WithoutMetrics | %v | %.0f |\n", bareMin, barePeak)
+	fmt.Printf("\ngate: instrumented/bare = %.3f >= 0.95\n", ratio)
+	if ratio < 0.95 {
+		log.Fatalf("metrics cost %.1f%% of epoch-reader throughput (gate: <= 5%%)", 100*(1-ratio))
+	}
+
+	// Exactness: trace attribution vs the snapshot's fetch counter.
+	traced := open(repro.WithSlowQueryThreshold(time.Nanosecond))
+	defer traced.Close()
+	s := traced.Snapshot()
+	defer s.Close()
+	base := s.FetchedTuples()
+	_, fetched, err := s.Execute(xi0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces := traced.SlowQueries()
+	if len(traces) == 0 {
+		log.Fatal("a 1ns slow threshold traced nothing")
+	}
+	tr := traces[0]
+	var groupRows int
+	for _, g := range tr.Groups {
+		groupRows += g.Rows
+	}
+	pinned := s.FetchedTuples() - base
+	fmt.Printf("\ntrace reconciliation at epoch %d: trace fetched %d, group-rows sum %d, snapshot counted %d\n",
+		tr.EpochSeq, tr.Fetched, groupRows, pinned)
+	if tr.Fetched != fetched || groupRows != fetched || pinned != fetched {
+		log.Fatalf("trace accounting diverged: exec reported %d, trace %d, groups %d, snapshot %d",
+			fetched, tr.Fetched, groupRows, pinned)
+	}
+	fmt.Println("(the fetch gauge, the snapshot counter and the trace groups all read the same")
+	fmt.Println("per-call attribution — equality is by construction, and gated here.)")
 }

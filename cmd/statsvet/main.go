@@ -1,0 +1,105 @@
+// Command statsvet enforces the repository's stats-struct contract:
+// every EXPORTED struct type whose name marks it as a poll-style
+// result (…Stats, …Metrics, …Trace, …Snapshot, …Info, …Obs) must
+// carry a doc comment that states its copy semantics — whether it is
+// a plain value safe to copy, or retains references to live engine
+// state. These types cross the API boundary as return values, so a
+// reader deciding whether to cache, copy, or share one must not have
+// to read the implementation.
+//
+// Usage: statsvet [dir]   (defaults to ".", walks recursively,
+// skipping _test.go files, testdata and dot-directories). Exits
+// non-zero listing every violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// nameRE marks the type names the contract covers.
+var nameRE = regexp.MustCompile(`(Stats|Metrics|Trace|Snapshot|Info|Obs)$`)
+
+// copyRE is the statement the doc comment must make: some form of the
+// word "copy" (e.g. "safe to copy", "must not be copied", "copies
+// share the underlying maps") or the "plain value" idiom.
+var copyRE = regexp.MustCompile(`(?i)(cop(y|ies|ied|ying)|plain value)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	var bad []string
+	checked := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() || !nameRE.MatchString(ts.Name.Name) {
+					continue
+				}
+				// Structs and type aliases are result values; interfaces
+				// and other kinds are out of scope.
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct && !ts.Assign.IsValid() {
+					continue
+				}
+				checked++
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				switch {
+				case doc == nil:
+					bad = append(bad, fmt.Sprintf("%s: %s has no doc comment (must state copy semantics)",
+						fset.Position(ts.Pos()), ts.Name.Name))
+				case !copyRE.MatchString(doc.Text()):
+					bad = append(bad, fmt.Sprintf("%s: %s's doc comment does not state its copy semantics",
+						fset.Position(ts.Pos()), ts.Name.Name))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsvet:", err)
+		os.Exit(2)
+	}
+	if len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "statsvet: %d of %d stats structs violate the doc contract\n", len(bad), checked)
+		os.Exit(1)
+	}
+	fmt.Printf("statsvet: %d stats structs documented\n", checked)
+}

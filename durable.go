@@ -14,7 +14,8 @@ import (
 // RecoveryInfo reports what opening a durable directory had to do to get
 // back to serving: the checkpoint it started from, the log suffix it
 // replayed on top, and whether an incomplete tail (a batch cut mid-write
-// by a crash) was discarded.
+// by a crash) was discarded. RecoveryInfo is a plain value — safe to
+// copy, retains no reference to engine state.
 type RecoveryInfo struct {
 	CheckpointSeq  uint64 // epoch the loaded checkpoint serialized
 	ReplayedEpochs int    // journal records replayed after the checkpoint
@@ -136,6 +137,7 @@ func (sys *System) openLiveDurable(db *Database, cfg openConfig) (*Live, error) 
 			log.Close()
 			return nil, err
 		}
+		log.SetMetrics(walMetrics(l.met))
 		l.wal, l.ckptEvery = log, cfg.ckptEvery
 		if err := l.checkpointLocked(); err != nil {
 			l.wal = nil
@@ -156,6 +158,7 @@ func (sys *System) openLiveDurable(db *Database, cfg openConfig) (*Live, error) 
 	// Journaling attaches only after replay: the replayed batches are
 	// already in the log, and the counter makes them count toward the next
 	// periodic checkpoint so a crash-loop cannot replay unboundedly.
+	log.SetMetrics(walMetrics(l.met))
 	l.wal, l.ckptEvery, l.sinceCkpt = log, cfg.ckptEvery, len(rec.Records)
 	return l, nil
 }
@@ -186,11 +189,13 @@ func (sys *System) restoreLive(rec *wal.Recovered, cfg openConfig) (*Live, error
 	if err != nil {
 		return nil, err
 	}
+	met := newCoreFor(cfg, 0)
 	l := &Live{
 		sys: sys, id: liveIDs.Add(1), cfg: cfg, db: db, eng: eng, vix: vix,
 		seq: ck.Seq, statsVer: ck.StatsVer, statsChurn: ck.StatsChurn,
-		lc: newLifecycle(cfg.retainEpochs),
+		lc: newLifecycle(cfg.retainEpochs, met), met: met,
 	}
+	l.registerGauges()
 	views := make(map[string][][]uint32, len(sys.Views))
 	for name := range sys.Views {
 		views[name] = eng.PublishExtentIDs(name)
@@ -220,6 +225,7 @@ func (sys *System) openShardedDurable(db *Database, cfg openConfig) (*LiveSharde
 			log.Close()
 			return nil, err
 		}
+		log.SetMetrics(walMetrics(l.met))
 		l.wal, l.ckptEvery = log, cfg.ckptEvery
 		if err := l.checkpointLocked(); err != nil {
 			l.wal = nil
@@ -238,6 +244,7 @@ func (sys *System) openShardedDurable(db *Database, cfg openConfig) (*LiveSharde
 		log.Close()
 		return nil, err
 	}
+	log.SetMetrics(walMetrics(l.met))
 	l.wal, l.ckptEvery, l.sinceCkpt = log, cfg.ckptEvery, len(rec.Records)
 	l.attachJournal(log)
 	return l, nil
@@ -265,17 +272,20 @@ func (sys *System) restoreSharded(rec *wal.Recovered, cfg openConfig) (*LiveShar
 	if err != nil {
 		return nil, err
 	}
+	met := newCoreFor(cfg, cfg.shards)
 	sh, err := shard.Open(db, sys.Schema, sys.Access, sys.Views, shard.Config{
 		Shards:         cfg.shards,
 		StatsDriftFrac: cfg.statsDrift,
 		StatsMinChurn:  cfg.statsMinChurn,
 		InitialSeq:     ck.Seq,
 		Restored:       &shard.RestoredStats{Stats: ck.Stats, StatsVer: ck.StatsVer, StatsChurn: ck.StatsChurn},
+		Probes:         shardProbes(met),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("repro: recover: %w", err)
 	}
-	l := &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh, lc: newLifecycle(cfg.retainEpochs)}
+	l := &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh, lc: newLifecycle(cfg.retainEpochs, met), met: met}
+	l.registerGauges()
 	// The checkpoint's epoch enters the ring before replay, so the replayed
 	// batches retire it through the normal eviction path.
 	l.publishEpoch()

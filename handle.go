@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/instance"
 	"repro/internal/intern"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/wal"
 )
@@ -84,6 +86,15 @@ type Handle interface {
 	// FetchedTuples returns the handle-lifetime count of tuples fetched
 	// from the database across all calls and snapshots.
 	FetchedTuples() int
+	// Metrics returns a point-in-time snapshot of the handle's metrics:
+	// counters, gauges (sampled from the authoritative engine state at
+	// call time) and latency histograms with p50/p99. Empty when the
+	// handle was opened WithoutMetrics. See the README's "Observability"
+	// section for the metric catalog.
+	Metrics() Metrics
+	// SlowQueries returns the retained slow-query traces, newest first
+	// (nil unless WithSlowQueryThreshold armed the log).
+	SlowQueries() []QueryTrace
 	// Close fences writers: later ApplyDelta calls fail, reads keep
 	// serving the final epoch, and the writer-side maintenance machinery
 	// is released. Close is idempotent — the second and later calls are
@@ -92,11 +103,16 @@ type Handle interface {
 
 	handleID() uint64
 
+	// metricsCore exposes the live metrics core (nil when disabled) to
+	// the prepared-query layer and the debug exporter. Sealing method.
+	metricsCore() *obs.Core
+
 	// executeObserved is Execute plus the run's execution profile — the
 	// observation the closed-loop plan selection feeds on (see
-	// PreparedQuery.Execute). Sealing method: implemented by *Live and
-	// *LiveSharded.
-	executeObserved(p Plan) ([][]string, int, *plan.Observation, error)
+	// PreparedQuery.Execute). tc carries the prepared-query identity for
+	// slow-query tracing (nil for ad-hoc runs). Sealing method:
+	// implemented by *Live and *LiveSharded.
+	executeObserved(p Plan, tc *traceCtx) ([][]string, int, *plan.Observation, error)
 }
 
 // ErrClosed is returned by ApplyDelta on a closed handle.
@@ -123,6 +139,8 @@ type openConfig struct {
 	durDir        string
 	ckptEvery     int
 	groupCommit   time.Duration
+	slowQuery     time.Duration
+	noMetrics     bool
 }
 
 // OpenOption configures Open.
@@ -196,6 +214,38 @@ func WithCheckpointEvery(n int) OpenOption {
 // torn batch). Only meaningful with WithDurability.
 func WithGroupCommit(d time.Duration) OpenOption {
 	return func(c *openConfig) { c.groupCommit = d }
+}
+
+// WithSlowQueryThreshold arms the handle's slow-query log: any plan
+// execution slower than d is traced — query key, plan, candidate index,
+// epoch sequence, per-constraint probe/row counts, join cardinalities
+// and timings — into a ring of the most recent traces, readable through
+// Handle.SlowQueries and the debug exporter. The fast path pays one
+// duration comparison; the trace itself is only built for executions
+// over the threshold. d <= 0 (the default) disables slow logging.
+func WithSlowQueryThreshold(d time.Duration) OpenOption {
+	return func(c *openConfig) { c.slowQuery = d }
+}
+
+// WithoutMetrics opens the handle with the observability core disabled:
+// Metrics returns an empty snapshot, no latency is recorded and the
+// slow-query log is off. The instrumented path is allocation-free and
+// costs a few percent at most (the `benchrun -exp obs` gate bounds it
+// at 5% on epoch-reader throughput), so this is mainly the baseline for
+// that measurement — production handles should keep metrics on.
+func WithoutMetrics() OpenOption {
+	return func(c *openConfig) { c.noMetrics = true }
+}
+
+// newCoreFor builds the handle's metrics core per the open options
+// (nil when disabled — every recording site is nil-safe).
+func newCoreFor(cfg openConfig, shards int) *obs.Core {
+	if cfg.noMetrics {
+		return nil
+	}
+	met := obs.NewCore(shards)
+	met.SetSlowThreshold(cfg.slowQuery)
+	return met
 }
 
 // Open builds a serving handle over db: fetch indices for the system's
@@ -273,6 +323,50 @@ func (c *countedSource) FetchIDs(con *Constraint, xval []uint32) ([][]uint32, er
 	return rows, err
 }
 
+// traceCtx carries the prepared-query identity of an execution into the
+// sealed observed-execution path, so slow-query traces can name the
+// query and frontier candidate that ran. nil for ad-hoc plan runs.
+type traceCtx struct {
+	key       string // canonical query key
+	candidate int    // index in the prepared frontier
+	explore   bool   // exploration probe of a non-incumbent
+}
+
+// recordExec folds one observed execution into the metrics core and,
+// when it ran over the armed threshold, the slow-query log. The trace —
+// including the rendered plan — is built only on the slow path; the
+// fast path pays the latency histogram update and one comparison.
+func recordExec(met *obs.Core, seq uint64, p Plan, tc *traceCtx, start time.Time, fetched, rows int, ob *plan.Observation) {
+	if met == nil {
+		return
+	}
+	d := time.Since(start)
+	met.RecordQuery(d)
+	if !met.SlowEnabled() || d < met.SlowThreshold {
+		return
+	}
+	t := obs.Trace{
+		Start: start, Plan: plan.Render(p), Candidate: -1,
+		EpochSeq: seq, Duration: d, Fetched: fetched, Rows: rows,
+	}
+	if tc != nil {
+		t.QueryKey, t.Candidate, t.Explore = tc.key, tc.candidate, tc.explore
+	}
+	if ob != nil {
+		t.JoinIn, t.JoinOut = ob.JoinIn, ob.JoinOut
+		keys := make([]string, 0, len(ob.Groups))
+		for k := range ob.Groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := ob.Groups[k]
+			t.Groups = append(t.Groups, obs.GroupTrace{Key: k, Probes: g.Probes, Rows: g.Rows})
+		}
+	}
+	met.MaybeSlow(t)
+}
+
 // Snapshot is an epoch-pinned, immutable view of a handle's state: every
 // read through it — Execute, Views, Fetch, Size — answers against exactly
 // the epoch that was current when it was taken, no matter how many deltas
@@ -280,7 +374,9 @@ func (c *countedSource) FetchIDs(con *Constraint, xval []uint32) ([][]uint32, er
 //
 // A snapshot retains its epoch's structures; Close it when done so
 // superseded epochs can be reclaimed promptly (a GC finalizer backstops
-// forgotten Closes, best-effort). Snapshots are safe for concurrent use.
+// forgotten Closes, best-effort). Snapshots are safe for concurrent use
+// but must not be copied: a *Snapshot is a live pin holding internal
+// counters, so share the pointer and Close it exactly once.
 type Snapshot struct {
 	hid      uint64
 	e        *epochState
@@ -307,15 +403,40 @@ func (s *Snapshot) Stats() (*plan.Stats, uint64) { return s.e.stats, s.e.statsVe
 // other snapshots (or the handle) never inflate it.
 func (s *Snapshot) FetchedTuples() int { return int(s.fetched.Load()) }
 
+// met returns the owning handle's metrics core: nil on transient
+// internal snapshots and on metrics-disabled handles, which every
+// recording site tolerates.
+func (s *Snapshot) met() *obs.Core {
+	if s.lc == nil {
+		return nil
+	}
+	return s.lc.met
+}
+
 // Execute runs a plan against the pinned epoch, returning the answer rows
 // and the tuples fetched from the database by this call (exact per-call
 // attribution, also under concurrent use).
 func (s *Snapshot) Execute(p Plan) ([][]string, int, error) {
+	m := s.met()
+	if m.SlowEnabled() {
+		// Slow logging needs the execution profile for the trace's
+		// per-constraint breakdown: upgrade to the observed path (its
+		// extra allocation is the documented cost of arming the log).
+		rows, n, _, err := s.executeObserved(p, nil)
+		return rows, n, err
+	}
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	var call atomic.Int64
 	src := &countedSource{src: s.e.src, counters: [3]*atomic.Int64{&call, &s.fetched, s.hfetched}}
 	rows, err := plan.RunOn(p, src, s.e.pv)
 	if err != nil {
 		return nil, 0, err
+	}
+	if m != nil {
+		m.RecordQuery(time.Since(t0))
 	}
 	return rows, int(call.Load()), nil
 }
@@ -325,13 +446,15 @@ func (s *Snapshot) Execute(p Plan) ([][]string, int, error) {
 // same epoch source the counters do, so on sharded snapshots the profile
 // reflects the cross-shard-deduplicated fetches exactly like the fetch
 // accounting.
-func (s *Snapshot) executeObserved(p Plan) ([][]string, int, *plan.Observation, error) {
+func (s *Snapshot) executeObserved(p Plan, tc *traceCtx) ([][]string, int, *plan.Observation, error) {
+	t0 := time.Now()
 	var call atomic.Int64
 	src := &countedSource{src: s.e.src, counters: [3]*atomic.Int64{&call, &s.fetched, s.hfetched}}
 	rows, ob, err := plan.RunObserved(p, src, s.e.pv)
 	if err != nil {
 		return nil, 0, nil, err
 	}
+	recordExec(s.met(), s.e.seq, p, tc, t0, int(call.Load()), len(rows), ob)
 	return rows, int(call.Load()), ob, nil
 }
 
@@ -376,7 +499,8 @@ func (s *Snapshot) Fetch(c *Constraint, xval Tuple) ([]Tuple, error) {
 	return rows, nil
 }
 
-// DeltaStats summarizes one applied batch.
+// DeltaStats summarizes one applied batch. It is a plain value — safe
+// to copy, retains no reference to engine state.
 type DeltaStats struct {
 	Inserted       int  // tuples physically inserted
 	Deleted        int  // tuples physically removed (absent deletes are no-ops)
@@ -426,6 +550,7 @@ type Live struct {
 
 	cur     atomic.Pointer[epochState]
 	fetched atomic.Int64 // handle-lifetime fetched tuples
+	met     *obs.Core    // nil when opened WithoutMetrics
 }
 
 func (sys *System) openLive(db *Database, cfg openConfig) (*Live, error) {
@@ -437,13 +562,41 @@ func (sys *System) openLive(db *Database, cfg openConfig) (*Live, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Live{sys: sys, id: liveIDs.Add(1), cfg: cfg, db: db, eng: eng, vix: vix, lc: newLifecycle(cfg.retainEpochs)}
+	met := newCoreFor(cfg, 0)
+	l := &Live{sys: sys, id: liveIDs.Add(1), cfg: cfg, db: db, eng: eng, vix: vix,
+		lc: newLifecycle(cfg.retainEpochs, met), met: met}
+	l.registerGauges()
 	views := make(map[string][][]uint32, len(sys.Views))
 	for name := range sys.Views {
 		views[name] = eng.PublishExtentIDs(name)
 	}
 	l.publishLocked(views, l.collectStatsLocked())
 	return l, nil
+}
+
+// registerGauges installs the handle-state function gauges: they read
+// the authoritative counters at snapshot time, so e.g. the exported
+// fetched-tuples value can never drift from FetchedTuples().
+func (l *Live) registerGauges() {
+	if l.met == nil {
+		return
+	}
+	l.met.Reg.GaugeFunc("repro_fetched_tuples_total",
+		"handle-lifetime tuples fetched from the database (== FetchedTuples)",
+		func() int64 { return l.fetched.Load() })
+	l.met.Reg.GaugeFunc("repro_epoch_seq", "current epoch sequence number",
+		func() int64 { return int64(l.cur.Load().seq) })
+	l.met.Reg.GaugeFunc("repro_db_size", "|D| as of the current epoch",
+		func() int64 { return int64(l.cur.Load().size) })
+}
+
+// walMetrics extracts the WAL instrument bundle from a core (nil when
+// metrics are disabled — the log then records nothing).
+func walMetrics(met *obs.Core) *obs.WALMetrics {
+	if met == nil {
+		return nil
+	}
+	return &met.WAL
 }
 
 // collectStatsLocked builds fresh cost-model statistics from the interned
@@ -501,6 +654,9 @@ func (l *Live) publishLocked(views map[string][][]uint32, stats *plan.Stats) {
 	// the time Snapshot can observe it as current.
 	l.lc.push(e)
 	l.cur.Store(e)
+	if l.met != nil {
+		l.met.EpochPublishes.Add(1)
+	}
 }
 
 func (l *Live) handleID() uint64 { return l.id }
@@ -596,6 +752,7 @@ func (l *Live) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 		}
 	}
 	st.MaxExclusive = time.Since(t0)
+	l.met.RecordApply(st.MaxExclusive, batch)
 	return st, nil
 }
 
@@ -671,6 +828,17 @@ func (l *Live) Lifecycle() LifecycleStats { return l.lc.stats() }
 // returning the answer rows and the tuples fetched from D by this call
 // (exact attribution, also under concurrent readers and writers).
 func (l *Live) Execute(p Plan) ([][]string, int, error) {
+	if l.met.SlowEnabled() {
+		// Slow logging needs the execution profile for the trace's
+		// per-constraint breakdown: upgrade to the observed path (its
+		// extra allocation is the documented cost of arming the log).
+		rows, n, _, err := l.executeObserved(p, nil)
+		return rows, n, err
+	}
+	var t0 time.Time
+	if l.met != nil {
+		t0 = time.Now()
+	}
 	e := l.cur.Load()
 	var call atomic.Int64
 	src := &countedSource{src: e.src, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
@@ -678,12 +846,16 @@ func (l *Live) Execute(p Plan) ([][]string, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if l.met != nil {
+		l.met.RecordQuery(time.Since(t0))
+	}
 	return rows, int(call.Load()), nil
 }
 
 // executeObserved is Execute plus the run's execution profile, for the
 // closed-loop selection in PreparedQuery.Execute.
-func (l *Live) executeObserved(p Plan) ([][]string, int, *plan.Observation, error) {
+func (l *Live) executeObserved(p Plan, tc *traceCtx) ([][]string, int, *plan.Observation, error) {
+	t0 := time.Now()
 	e := l.cur.Load()
 	var call atomic.Int64
 	src := &countedSource{src: e.src, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
@@ -691,8 +863,23 @@ func (l *Live) executeObserved(p Plan) ([][]string, int, *plan.Observation, erro
 	if err != nil {
 		return nil, 0, nil, err
 	}
+	recordExec(l.met, e.seq, p, tc, t0, int(call.Load()), len(rows), ob)
 	return rows, int(call.Load()), ob, nil
 }
+
+// Metrics returns a point-in-time snapshot of the handle's metrics.
+func (l *Live) Metrics() Metrics { return l.met.Snapshot() }
+
+// SlowQueries returns the retained slow-query traces, newest first (nil
+// unless WithSlowQueryThreshold armed the log).
+func (l *Live) SlowQueries() []QueryTrace {
+	if l.met == nil {
+		return nil
+	}
+	return l.met.Slow.Snapshot()
+}
+
+func (l *Live) metricsCore() *obs.Core { return l.met }
 
 // Views returns a decoded copy of the current epoch's view extents. The
 // returned map and rows are fresh copies owned by the caller.

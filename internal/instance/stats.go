@@ -6,7 +6,9 @@ import "repro/internal/intern"
 // database: row counts and per-column distinct-ID counts. They feed the
 // plan cost model (package plan) with the selectivity inputs the access
 // constraints alone cannot provide — how wide a fetch group actually is on
-// this D, and how selective an equality over a column is.
+// this D, and how selective an equality over a column is. A RelStats is
+// immutable once collected; copying the struct shares the underlying
+// maps, which is safe because nothing mutates them after collection.
 type RelStats struct {
 	Rows     map[string]int   // relation -> |R|
 	Distinct map[string][]int // relation -> per-attribute-position distinct count

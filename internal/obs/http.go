@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTPHandler returns an opt-in debug handler for a handle's metrics,
+// intended to be mounted at /debug/repro:
+//
+//	mux.Handle("/debug/repro", repro.DebugHandler(h))
+//	mux.Handle("/debug/repro/", repro.DebugHandler(h))
+//
+// Routes (relative to the mount point):
+//
+//	.            expvar-style JSON: counters, gauges, histogram
+//	             quantiles, and the slow-query log
+//	./metrics    Prometheus text exposition (also selected by
+//	             ?format=prometheus on the root)
+//	./slow       just the slow-query traces, JSON
+//
+// The handler only reads snapshots; serving it never blocks writers.
+func HTTPHandler(c *Core) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, "/metrics") || r.URL.Query().Get("format") == "prometheus":
+			servePrometheus(w, c)
+		case strings.HasSuffix(r.URL.Path, "/slow"):
+			serveJSON(w, map[string]any{"slow": slowJSON(c)})
+		default:
+			s := c.Snapshot()
+			serveJSON(w, map[string]any{
+				"counters":   s.Counters,
+				"gauges":     s.Gauges,
+				"histograms": histJSON(s.Histograms),
+				"slow":       slowJSON(c),
+			})
+		}
+	})
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// histJSONEntry is the wire form of one histogram: durations in
+// seconds so the JSON is unit-consistent with the Prometheus view.
+type histJSONEntry struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum_seconds"`
+	P50   float64 `json:"p50_seconds"`
+	P99   float64 `json:"p99_seconds"`
+}
+
+func histJSON(hs map[string]HistogramSnapshot) map[string]histJSONEntry {
+	out := make(map[string]histJSONEntry, len(hs))
+	for name, h := range hs {
+		out[name] = histJSONEntry{
+			Count: h.Count,
+			Sum:   h.Sum.Seconds(),
+			P50:   h.P50.Seconds(),
+			P99:   h.P99.Seconds(),
+		}
+	}
+	return out
+}
+
+// slowTraceJSON is the wire form of a slow-query trace.
+type slowTraceJSON struct {
+	Start     time.Time        `json:"start"`
+	QueryKey  string           `json:"query_key,omitempty"`
+	Plan      string           `json:"plan"`
+	Candidate int              `json:"candidate"`
+	Explore   bool             `json:"explore,omitempty"`
+	EpochSeq  uint64           `json:"epoch_seq"`
+	Seconds   float64          `json:"seconds"`
+	Fetched   int              `json:"fetched"`
+	Rows      int              `json:"rows"`
+	JoinIn    int              `json:"join_in,omitempty"`
+	JoinOut   int              `json:"join_out,omitempty"`
+	Groups    []groupTraceJSON `json:"groups,omitempty"`
+}
+
+type groupTraceJSON struct {
+	Key    string `json:"key"`
+	Probes int    `json:"probes"`
+	Rows   int    `json:"rows"`
+}
+
+func slowJSON(c *Core) []slowTraceJSON {
+	if c == nil {
+		return []slowTraceJSON{}
+	}
+	traces := c.Slow.Snapshot()
+	out := make([]slowTraceJSON, 0, len(traces))
+	for _, t := range traces {
+		gs := make([]groupTraceJSON, 0, len(t.Groups))
+		for _, g := range t.Groups {
+			gs = append(gs, groupTraceJSON{Key: g.Key, Probes: g.Probes, Rows: g.Rows})
+		}
+		out = append(out, slowTraceJSON{
+			Start: t.Start, QueryKey: t.QueryKey, Plan: t.Plan,
+			Candidate: t.Candidate, Explore: t.Explore, EpochSeq: t.EpochSeq,
+			Seconds: t.Duration.Seconds(), Fetched: t.Fetched, Rows: t.Rows,
+			JoinIn: t.JoinIn, JoinOut: t.JoinOut, Groups: gs,
+		})
+	}
+	return out
+}
+
+// servePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Histograms are rendered as
+// cumulative le buckets in seconds.
+func servePrometheus(w http.ResponseWriter, c *Core) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if c == nil {
+		return
+	}
+	c.Reg.mu.Lock()
+	metrics := make([]metric, len(c.Reg.metrics))
+	copy(metrics, c.Reg.metrics)
+	c.Reg.mu.Unlock()
+	var b strings.Builder
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", m.name, m.help, m.name, m.name, m.c.Load())
+		case kindGauge:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m.name, m.help, m.name, m.name, m.g.Load())
+		case kindGaugeFunc:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", m.name, m.help, m.name, m.name, m.gf())
+		case kindHistogram:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", m.name, m.help, m.name)
+			var cum int64
+			for i := 0; i < histBuckets; i++ {
+				cum += m.h.buckets[i].Load()
+				if i == histBuckets-1 {
+					fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+				} else {
+					fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", m.name, histBucketBound(i).Seconds(), cum)
+				}
+			}
+			fmt.Fprintf(&b, "%s_sum %g\n", m.name, time.Duration(m.h.sum.Load()).Seconds())
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, m.h.count.Load())
+		}
+	}
+	_, _ = w.Write([]byte(b.String()))
+}

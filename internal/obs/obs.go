@@ -1,0 +1,324 @@
+// Package obs is the engine's zero-dependency observability core:
+// striped lock-free counters, gauges, fixed-bucket latency histograms
+// with p50/p99 extraction, a metric registry with JSON and Prometheus
+// text rendering, a per-execution trace record, and a ring-buffered
+// slow-query log.
+//
+// The package is built for the engine's hot-path contract: recording a
+// metric is allocation-free and lock-free (a striped or single atomic
+// update), so instrumentation can live inside the epoch read path
+// without adding a lock rank or a GC edge. Snapshots are taken by the
+// reader and never block writers.
+//
+// Every metric type tolerates a nil receiver: a nil *Counter,
+// *Gauge, *Histogram, *SlowLog or *Core ignores writes and reads as
+// zero, so call sites compiled against a metrics-disabled handle pay
+// only a predictable branch.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counterStripes is the fan-out of a striped counter. Eight cache-line
+// padded cells are enough to keep a per-probe counter off a single hot
+// line at the shard counts the engine runs (P <= 16 in practice).
+const counterStripes = 8
+
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte // pad to a 64-byte cache line
+}
+
+// Counter is a monotonically increasing, striped lock-free counter.
+// Add distributes increments across cache-line padded cells so
+// concurrent writers do not contend on one line; Load sums the cells.
+type Counter struct {
+	cells [counterStripes]stripe
+}
+
+// Add increments the counter by n. Safe for concurrent use;
+// allocation-free; no-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	// rand/v2's global generator reads per-thread runtime state: a few
+	// nanoseconds, no lock, no allocation — cheap enough per increment
+	// and it spreads goroutines across stripes without unsafe tricks.
+	c.cells[rand.Uint32()%counterStripes].v.Add(n)
+}
+
+// Load returns the current total. The sum is not a single atomic
+// snapshot across stripes, but since cells only grow the result is
+// always between the counter's value at the start and at the end of
+// the call (a linearizable lower/upper bound).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load returns the current value (0 on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a latency histogram:
+// exponential power-of-two buckets from 1µs up to ~67s, plus an
+// overflow bucket. Fixed buckets keep Observe allocation-free and
+// branch-cheap (bits.Len64 + one atomic add).
+const histBuckets = 28
+
+// Histogram is a fixed-bucket latency histogram. Bucket i counts
+// observations whose duration in microseconds has bit length i, i.e.
+// durations in (2^(i-1), 2^i] µs; bucket 0 is sub-microsecond and the
+// last bucket absorbs everything over ~67s.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// histBucketIdx maps a duration to its bucket.
+func histBucketIdx(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	i := bits.Len64(us)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// histBucketBound is the upper bound of bucket i as a duration.
+func histBucketBound(i int) time.Duration {
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}
+
+// Observe records one latency sample. Allocation-free and lock-free;
+// no-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[histBucketIdx(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of
+// the recorded samples: the upper bound of the bucket containing the
+// q-th sample. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	// Nearest-rank: the ceiling keeps the top quantiles honest — of 101
+	// samples, q=0.999 must land on the 101st, not truncate to the 100th.
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return histBucketBound(i)
+		}
+	}
+	return histBucketBound(histBuckets - 1)
+}
+
+// Snapshot returns a point-in-time copy of the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	s.P50 = h.Quantile(0.50)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is a plain-value copy of a histogram at one point
+// in time; it is safe to copy and retains no reference to the live
+// histogram.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   time.Duration
+	P50   time.Duration
+	P99   time.Duration
+}
+
+// metricKind tags a registry entry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered metric: exactly one of c/g/gf/h is set.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	gf   func() int64
+	h    *Histogram
+}
+
+// Registry names and orders a set of metrics for export. Registration
+// takes a lock (open-time only); readers snapshot under the same lock
+// but never touch the hot recording path.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+func (r *Registry) add(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.names[m.name]; dup {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.names[m.name] = struct{}{}
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.add(metric{name: name, help: help, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.add(metric{name: name, help: help, kind: kindGauge, g: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled by calling f at
+// snapshot time — the bridge for values that already live elsewhere
+// (the handle's fetch counter, the lifecycle ring depth) so the export
+// path reads the authoritative state instead of a shadow copy.
+func (r *Registry) GaugeFunc(name, help string, f func() int64) {
+	r.add(metric{name: name, help: help, kind: kindGaugeFunc, gf: f})
+}
+
+// Histogram registers and returns a new latency histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.add(metric{name: name, help: help, kind: kindHistogram, h: h})
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric, keyed
+// by metric name. It is a plain value: safe to copy, retains no
+// reference to live metric state, and never changes after it is
+// returned.
+type Snapshot struct {
+	// Counters holds counter totals and function-gauge samples taken
+	// at snapshot time.
+	Counters map[string]int64
+	// Gauges holds settable gauge values.
+	Gauges map[string]int64
+	// Histograms holds per-histogram count/sum/p50/p99 copies.
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot samples every registered metric once, in registration
+// order, and returns the copies. Counters and gauges are read
+// atomically; gauge funcs are invoked at call time.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	metrics := make([]metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.name] = m.c.Load()
+		case kindGauge:
+			s.Gauges[m.name] = m.g.Load()
+		case kindGaugeFunc:
+			s.Gauges[m.name] = m.gf()
+		case kindHistogram:
+			s.Histograms[m.name] = m.h.Snapshot()
+		}
+	}
+	return s
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	if c.Load() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Load() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must be empty")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot must be zero")
+	}
+	var sl *SlowLog
+	sl.Add(Trace{})
+	if sl.Snapshot() != nil || sl.Total() != 0 {
+		t.Fatal("nil slow log must be empty")
+	}
+	var core *Core
+	core.RecordQuery(time.Second)
+	core.RecordApply(time.Second, 10)
+	core.MaybeSlow(Trace{Duration: time.Hour})
+	core.SetSlowThreshold(time.Millisecond)
+	if core.SlowEnabled() {
+		t.Fatal("nil core must report slow logging disabled")
+	}
+	s := core.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil core snapshot must be empty, non-nil maps")
+	}
+	var r *Registry
+	if got := r.Snapshot(); got.Counters == nil {
+		t.Fatal("nil registry snapshot must have non-nil maps")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	var h Histogram
+	// 100 samples at ~10µs, 1 sample at ~1s: p50 must sit in the
+	// microsecond range and p99 still below the 1s outlier's bucket
+	// upper bound but above the cluster.
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(time.Second)
+	if got := h.Count(); got != 101 {
+		t.Fatalf("count = %d, want 101", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 10*time.Microsecond || p50 > 32*time.Microsecond {
+		t.Fatalf("p50 = %v, want a microsecond-range bucket bound", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < time.Second {
+		t.Fatalf("p999 = %v, must cover the 1s outlier", p999)
+	}
+	s := h.Snapshot()
+	if s.Count != 101 || s.P50 != p50 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+	wantSum := 100*10*time.Microsecond + time.Second
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramBucketIdx(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{2 * time.Microsecond, 2},
+		{3 * time.Microsecond, 2},
+		{time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucketIdx(c.d); got != c.want {
+			t.Errorf("histBucketIdx(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	sl := NewSlowLog(3)
+	for i := 0; i < 5; i++ {
+		sl.Add(Trace{Rows: i})
+	}
+	got := sl.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(got))
+	}
+	// Newest first: 4, 3, 2.
+	for i, want := range []int{4, 3, 2} {
+		if got[i].Rows != want {
+			t.Fatalf("snapshot[%d].Rows = %d, want %d", i, got[i].Rows, want)
+		}
+	}
+	if sl.Total() != 5 {
+		t.Fatalf("total = %d, want 5", sl.Total())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Counter("x", "")
+}
+
+func TestCoreSnapshotAndSlow(t *testing.T) {
+	c := NewCore(2)
+	c.SetSlowThreshold(time.Millisecond)
+	if !c.SlowEnabled() {
+		t.Fatal("slow logging should be armed")
+	}
+	c.RecordQuery(2 * time.Millisecond)
+	c.MaybeSlow(Trace{Duration: 2 * time.Millisecond, QueryKey: "q"})
+	c.MaybeSlow(Trace{Duration: time.Microsecond}) // under threshold: dropped
+	c.RecordApply(time.Millisecond, 7)
+	c.ShardProbes[1].Add(3)
+
+	s := c.Snapshot()
+	if s.Counters["repro_query_total"] != 1 {
+		t.Fatalf("query_total = %d", s.Counters["repro_query_total"])
+	}
+	if s.Counters["repro_slow_query_total"] != 1 {
+		t.Fatalf("slow_query_total = %d", s.Counters["repro_slow_query_total"])
+	}
+	if s.Counters["repro_apply_rows_total"] != 7 {
+		t.Fatalf("apply_rows_total = %d", s.Counters["repro_apply_rows_total"])
+	}
+	if s.Counters["repro_shard_probes_total_1"] != 3 {
+		t.Fatalf("shard probe counter = %d", s.Counters["repro_shard_probes_total_1"])
+	}
+	if h := s.Histograms["repro_query_seconds"]; h.Count != 1 {
+		t.Fatalf("query latency count = %d", h.Count)
+	}
+	traces := c.Slow.Snapshot()
+	if len(traces) != 1 || traces[0].QueryKey != "q" {
+		t.Fatalf("slow log = %+v", traces)
+	}
+}
+
+func TestGaugeFuncReadsAuthoritativeState(t *testing.T) {
+	r := NewRegistry()
+	v := int64(0)
+	r.GaugeFunc("live", "", func() int64 { return v })
+	v = 42
+	if got := r.Snapshot().Gauges["live"]; got != 42 {
+		t.Fatalf("gauge func = %d, want 42", got)
+	}
+}
+
+func TestHTTPHandlerJSON(t *testing.T) {
+	c := NewCore(0)
+	c.SetSlowThreshold(time.Millisecond)
+	c.RecordQuery(5 * time.Millisecond)
+	c.MaybeSlow(Trace{Duration: 5 * time.Millisecond, Plan: "p", Fetched: 3,
+		Groups: []GroupTrace{{Key: "R[x->y]", Probes: 1, Rows: 3}}})
+	h := HTTPHandler(c)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/repro", nil))
+	var body struct {
+		Counters map[string]int64 `json:"counters"`
+		Slow     []slowTraceJSON  `json:"slow"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if body.Counters["repro_query_total"] != 1 {
+		t.Fatalf("counters = %v", body.Counters)
+	}
+	if len(body.Slow) != 1 || body.Slow[0].Fetched != 3 || len(body.Slow[0].Groups) != 1 {
+		t.Fatalf("slow = %+v", body.Slow)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/repro/metrics", nil))
+	text := rec.Body.String()
+	if !strings.Contains(text, "# TYPE repro_query_total counter") ||
+		!strings.Contains(text, "repro_query_total 1") {
+		t.Fatalf("prometheus text missing counter:\n%s", text)
+	}
+	if !strings.Contains(text, "repro_query_seconds_bucket{le=\"+Inf\"} 1") {
+		t.Fatalf("prometheus text missing histogram buckets:\n%s", text)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/repro/slow", nil))
+	var slowOnly struct {
+		Slow []slowTraceJSON `json:"slow"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &slowOnly); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(slowOnly.Slow) != 1 {
+		t.Fatalf("slow route = %+v", slowOnly.Slow)
+	}
+
+	// Nil core: routes still answer with empty bodies.
+	nh := HTTPHandler(nil)
+	rec = httptest.NewRecorder()
+	nh.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/repro", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("nil-core JSON: %v", err)
+	}
+}

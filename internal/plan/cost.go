@@ -7,7 +7,8 @@ import "math"
 // interned rows by instance.CollectStats and the live view extents). A nil
 // *Stats is valid and falls back to schema-only defaults, so candidates
 // can be ranked statically — purely from the access-constraint bounds N —
-// before any database exists.
+// before any database exists. A published Stats is immutable; copying
+// the struct shares the underlying maps, which is safe read-only.
 type Stats struct {
 	RelRows      map[string]int            // relation -> |R|
 	RelDistinct  map[string]map[string]int // relation -> attribute -> distinct IDs
@@ -43,11 +44,19 @@ func Estimate(n Node, st *Stats) Cost {
 // EstimateObserved costs a plan against the statistics with an
 // observed-cost overlay: where obs carries a realized group width for an
 // access constraint, that width replaces the one derived from collected
-// distinct counts (the skew-blind |R|/distinct average). A nil obs — or
-// one with no sample for a constraint — falls back to Estimate's behavior.
+// distinct counts (the skew-blind |R|/distinct average); realized join
+// fan-outs replace the System-R selectivity guess inside hash joins (see
+// joinCost); and the realized output cardinality replaces the estimated
+// Rows term outright — every candidate answers the same query, so one
+// plan's measured output is every plan's output. A nil obs — or one with
+// no sample for a component — falls back to Estimate's behavior.
 func EstimateObserved(n Node, st *Stats, obs *ObservedStats) Cost {
 	e := costOf(n, st, obs)
-	return Cost{Fetch: e.fetch, Work: e.work, Rows: e.rows}
+	c := Cost{Fetch: e.fetch, Work: e.work, Rows: e.rows}
+	if r, ok := obs.Rows(); ok {
+		c.Rows = r
+	}
+	return c
 }
 
 // Best returns the index of the cheapest candidate and its cost; -1 for an
@@ -370,6 +379,14 @@ func joinCost(sel *Select, prod *Product, st *Stats, obs *ObservedStats) (est, b
 		if eq.rp < len(dist) {
 			dist[eq.rp] = m
 		}
+	}
+	// Observed fan-out overlay: the executor reports summed hash-join
+	// input/output rows, so the realized out-per-in ratio re-prices this
+	// join's output against its estimated inputs — replacing the System-R
+	// 1/max(d) selectivity, which correlated columns can put orders of
+	// magnitude off in either direction.
+	if fan, ok := obs.JoinFanOut(); ok {
+		rows = fan * (l.rows + r.rows)
 	}
 	e := est{rows: rows, fetch: l.fetch + r.fetch,
 		work: l.work + r.work + l.rows + r.rows + rows, dist: dist}

@@ -28,7 +28,7 @@ type Observation struct {
 }
 
 // GroupObs is the realized fetch profile of one access constraint within
-// one plan run.
+// one plan run. Plain value; safe to copy.
 type GroupObs struct {
 	Probes int // distinct probe keys fetched through the constraint
 	Rows   int // tuples those probes returned
@@ -54,9 +54,10 @@ func (o *Observation) addGroup(key string, probes, rows int) {
 // (weight Alpha on the newest sample) keeps the overlay tracking a
 // drifting instance instead of pinning the first thing it saw.
 //
-// ObservedStats is NOT safe for concurrent use; callers serialize access
-// (the PreparedQuery feedback loop folds observations under its selection
-// lock).
+// ObservedStats is NOT safe for concurrent use and must not be copied
+// (copies would share the width map but fork the scalar means); callers
+// hold one *ObservedStats and serialize access (the PreparedQuery
+// feedback loop folds observations under its selection lock).
 type ObservedStats struct {
 	alpha   float64
 	width   map[string]float64 // constraint key -> EWMA realized group width

@@ -12,6 +12,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/instance"
 	"repro/internal/intern"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/schema"
@@ -42,6 +43,12 @@ type Config struct {
 	StatsDriftFrac float64 // churn fraction of |D| before a stats rebuild
 	StatsMinChurn  int     // minimum ops before a rebuild is considered
 
+	// Probes, when non-nil, holds one counter per shard bumped on every
+	// fetch-index probe routed to (or scattered over) that shard — the
+	// per-shard load telemetry the serving layer exports. len(Probes)
+	// must equal Shards when set; nil disables the accounting.
+	Probes []*obs.Counter
+
 	// Restart state, set by the durability layer when reopening a
 	// journaled directory: the initial epoch sequence number (the restored
 	// checkpoint's, so replayed batches publish the same epochs they did
@@ -52,7 +59,9 @@ type Config struct {
 	Restored   *RestoredStats
 }
 
-// RestoredStats is a checkpointed statistics trajectory.
+// RestoredStats is a checkpointed statistics trajectory. Copying the
+// struct shares the underlying *plan.Stats, which is immutable once
+// checkpointed.
 type RestoredStats struct {
 	Stats      *plan.Stats
 	StatsVer   uint64
@@ -64,7 +73,8 @@ type RestoredStats struct {
 // batch. Under epoch reads it blocks nobody — readers stay on the
 // previous epoch until the new one is published — but it still bounds the
 // batch's publication lag, and its ~P-fold shrink is the per-shard
-// parallelism signal the scaling experiment gates.
+// parallelism signal the scaling experiment gates. DeltaStats is a
+// plain value — safe to copy, retains no reference to shard state.
 type DeltaStats struct {
 	Inserted       int
 	Deleted        int
@@ -93,6 +103,16 @@ type Epoch struct {
 	statsVer   uint64
 	size       int
 	shardSizes []int
+	probes     []*obs.Counter // per-shard probe telemetry (nil when disabled)
+}
+
+// probe bumps shard i's probe counter. A nil probes slice (metrics
+// disabled) costs one bounds check; the counter add itself is a striped
+// lock-free atomic, so probing stays allocation-free on the read path.
+func (e *Epoch) probe(i int) {
+	if i < len(e.probes) {
+		e.probes[i].Add(1)
+	}
 }
 
 // gatheredView is one view's extent as pinned by an epoch. Views whose
@@ -174,7 +194,9 @@ func (e *Epoch) FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error
 		for i, p := range r.XPos {
 			vals[i] = e.dict.Str(xval[p])
 		}
-		return e.vixes[hashVals(vals)%uint64(len(e.vixes))].FetchIDs(c, xval)
+		si := int(hashVals(vals) % uint64(len(e.vixes)))
+		e.probe(si)
+		return e.vixes[si].FetchIDs(c, xval)
 	}
 	// Broadcast: gather the distinct XY-projections across all shards.
 	// Deduplication keeps the result — and the fetch accounting layered
@@ -182,6 +204,7 @@ func (e *Epoch) FetchIDs(c *access.Constraint, xval []uint32) ([][]uint32, error
 	p := len(e.vixes)
 	parts := make([][][]uint32, p)
 	if err := par.ForEach(p, func(i int) error {
+		e.probe(i)
 		rows, err := e.vixes[i].FetchIDs(c, xval)
 		parts[i] = rows
 		return err
@@ -441,6 +464,7 @@ func (s *Sharded) publish(prev *Epoch, dirty map[string]bool, stats *plan.Stats)
 		statsVer:   s.statsVer,
 		size:       size,
 		shardSizes: sizes,
+		probes:     s.cfg.Probes,
 	}
 	e.pv = plan.NewLazyPreparedViews(s.dict, e.ViewIDs)
 	s.seq++

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/instance"
 	"repro/internal/intern"
+	"repro/internal/obs"
 )
 
 // Options configure a durable directory.
@@ -88,6 +89,30 @@ type Log struct {
 
 	stop chan struct{} // closes the group-commit syncer
 	wg   sync.WaitGroup
+
+	met *obs.WALMetrics // durability instruments (nil when disabled)
+}
+
+// SetMetrics installs the durability instruments: append/fsync and
+// checkpoint latency histograms, plus the fence-event counter bumped
+// when a write failure poisons the log. Call before the first Append
+// (the serving layer installs them at open, under its write lock).
+func (l *Log) SetMetrics(m *obs.WALMetrics) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.met = m
+}
+
+// poisonLocked records the log's FIRST poison error and counts the
+// fence event; later calls keep the original error. Callers hold l.mu.
+func (l *Log) poisonLocked(err error) error {
+	if l.err == nil {
+		l.err = err
+		if l.met != nil {
+			l.met.Fences.Add(1)
+		}
+	}
+	return l.err
 }
 
 func segName(firstSeq uint64) string { return fmt.Sprintf("wal-%016x.log", firstSeq) }
@@ -254,9 +279,17 @@ func (l *Log) syncLocked() {
 	if !l.dirty || l.err != nil || l.f == nil {
 		return
 	}
-	if err := l.f.Sync(); err != nil && l.err == nil {
-		l.err = fmt.Errorf("wal: fsync: %w", err)
+	var t0 time.Time
+	if l.met != nil {
+		t0 = time.Now()
+	}
+	if err := l.f.Sync(); err != nil {
+		l.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
 		return
+	}
+	if l.met != nil {
+		l.met.Fsyncs.Add(1)
+		l.met.FsyncLatency.Observe(time.Since(t0))
 	}
 	l.dirty = false
 }
@@ -279,6 +312,10 @@ func (l *Log) Append(dict *intern.Dict, seq uint64, a *instance.Applied) error {
 	case seq != l.seq:
 		return fmt.Errorf("wal: append out of order: got seq %d, want %d", seq, l.seq)
 	}
+	var t0 time.Time
+	if l.met != nil {
+		t0 = time.Now()
+	}
 	n := dict.Len()
 	r := &Record{Seq: seq, Dict: dict.StringsRange(l.hwm, n)}
 	relIdx := make(map[string]int)
@@ -299,14 +336,20 @@ func (l *Log) Append(dict *intern.Dict, seq uint64, a *instance.Applied) error {
 	}
 	l.buf = AppendFrame(l.buf[:0], EncodeRecord(nil, r))
 	if _, err := l.f.Write(l.buf); err != nil {
-		l.err = fmt.Errorf("wal: append: %w", err)
-		return l.err
+		return l.poisonLocked(fmt.Errorf("wal: append: %w", err))
 	}
 	l.dirty = true
 	l.seq++
 	l.hwm = n
 	if l.opts.GroupCommit <= 0 {
 		l.syncLocked()
+	}
+	if l.met != nil && l.err == nil {
+		// Append latency covers encode + write + the inline fsync of a
+		// zero group-commit window; with a window armed the fsync cost
+		// lands in the fsync histogram from the syncer goroutine instead.
+		l.met.Appends.Add(1)
+		l.met.AppendLatency.Observe(time.Since(t0))
 	}
 	return l.err
 }
@@ -333,9 +376,16 @@ func (l *Log) WriteCheckpoint(dict *intern.Dict, ck *Checkpoint) error {
 		return fmt.Errorf("wal: checkpoint at seq %d, log is at %d", ck.Seq, l.seq-1)
 	}
 	ck.Dict = dict.StringsRange(0, l.hwm)
+	var t0 time.Time
+	if l.met != nil {
+		t0 = time.Now()
+	}
 	if err := l.writeCheckpointLocked(ck); err != nil {
-		l.err = err
-		return err
+		return l.poisonLocked(err)
+	}
+	if l.met != nil {
+		l.met.Checkpoints.Add(1)
+		l.met.CheckpointDur.Observe(time.Since(t0))
 	}
 	l.fresh = false
 	return nil

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // ErrEpochRetired is wrapped by Handle.At when the requested epoch has
@@ -34,6 +36,8 @@ const (
 // they drive compaction scheduling and observability, never reader
 // safety — epoch structures are immutable and garbage-collected, so a
 // racy double-count cannot unpublish anything a reader still holds.
+// LifecycleStats is a plain value copy; it retains no reference to the
+// lifecycle it was read from.
 type LifecycleStats struct {
 	// RetainedEpochs is the retention ring's current length: the epochs
 	// addressable through At (WithRetainEpochs bounds it).
@@ -78,13 +82,40 @@ type lifecycle struct {
 	extents   atomic.Int64
 	groups    atomic.Int64
 	scans     int // writer-side cadence counter for the fetch-index repack
+
+	met *obs.Core // the owning handle's metrics core (nil when disabled)
 }
 
-func newLifecycle(retain int) *lifecycle {
+func newLifecycle(retain int, met *obs.Core) *lifecycle {
 	if retain < 1 {
 		retain = 1
 	}
-	return &lifecycle{retain: retain}
+	lc := &lifecycle{retain: retain, met: met}
+	if met != nil {
+		// Function gauges read the authoritative lifecycle counters at
+		// snapshot time instead of maintaining shadow copies, so the
+		// exported values can never drift from Handle.Lifecycle.
+		met.Reg.GaugeFunc("repro_snapshot_pins",
+			"open snapshots pinning an epoch", lc.snaps.Load)
+		met.Reg.GaugeFunc("repro_snapshot_finalized_total",
+			"snapshots released by the GC backstop instead of Close", lc.finalized.Load)
+		met.Reg.GaugeFunc("repro_epochs_retained",
+			"retention ring length (epochs addressable through At)",
+			func() int64 {
+				lc.mu.Lock()
+				defer lc.mu.Unlock()
+				return int64(len(lc.ring))
+			})
+		met.Reg.GaugeFunc("repro_epochs_reclaimed_total",
+			"epochs whose last pin dropped after leaving the ring", lc.reclaimed.Load)
+		met.Reg.GaugeFunc("repro_compaction_passes_total",
+			"writer-side compaction scans", lc.passes.Load)
+		met.Reg.GaugeFunc("repro_compaction_extents_total",
+			"view extents repacked below the live-fraction threshold", lc.extents.Load)
+		met.Reg.GaugeFunc("repro_compaction_index_groups_total",
+			"fetch-index groups repacked to exact capacity", lc.groups.Load)
+	}
+	return lc
 }
 
 // acquire pins the epoch. Pins are advisory (they inform compaction, not

@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Metrics is a point-in-time snapshot of a handle's metrics, returned
+// by Handle.Metrics: counters, gauges sampled from the authoritative
+// engine state at call time, and latency histograms reduced to
+// count/sum/p50/p99. It is a plain value — safe to copy, retains no
+// reference to live engine state, and never changes after it is
+// returned. See the README's "Observability" section for the catalog
+// of metric names.
+type Metrics = obs.Snapshot
+
+// HistogramMetric is the per-histogram slice of a Metrics snapshot
+// (count, sum, p50, p99). Plain value; safe to copy.
+type HistogramMetric = obs.HistogramSnapshot
+
+// QueryTrace is the full record of one slow plan execution, captured
+// by the slow-query log (WithSlowQueryThreshold): the canonical query
+// key and frontier candidate (for prepared executions), the rendered
+// plan, the epoch it read, end-to-end latency, answer cardinality, and
+// the per-access-constraint probe/row breakdown whose Rows sum equals
+// the execution's fetched-tuple count. A QueryTrace is a plain value
+// copy; it retains no reference to engine state.
+type QueryTrace = obs.Trace
+
+// GroupTrace is the per-access-constraint slice of a QueryTrace. Plain
+// value; safe to copy.
+type GroupTrace = obs.GroupTrace
+
+// DebugHandler returns an opt-in HTTP handler exposing the handle's
+// live metrics and slow-query log, intended to be mounted at
+// /debug/repro:
+//
+//	mux.Handle("/debug/repro", repro.DebugHandler(h))
+//	mux.Handle("/debug/repro/", repro.DebugHandler(h))
+//
+// GET at the mount point serves an expvar-style JSON document
+// (counters, gauges, histogram quantiles, slow-query traces); the
+// /metrics suffix — or ?format=prometheus — serves the Prometheus text
+// exposition; the /slow suffix serves just the traces. The handler
+// only takes snapshots: serving it never blocks ApplyDelta or readers.
+// On a handle opened WithoutMetrics the handler serves empty documents.
+func DebugHandler(h Handle) http.Handler {
+	return obs.HTTPHandler(h.metricsCore())
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/vbrp"
 )
@@ -116,7 +117,8 @@ const maxLiveSelections = 8
 
 // SelectionStats reports one handle's closed-loop selection state for a
 // prepared query: which candidate is serving, and how the feedback loop
-// got there.
+// got there. It is a plain value copy taken under the selection lock;
+// safe to copy, never updated after it is returned.
 type SelectionStats struct {
 	Selected     int   // incumbent candidate index (into Candidates())
 	Executions   int64 // executions attributed to this (handle, query) pair
@@ -278,7 +280,7 @@ func (pq *PreparedQuery) SelectionStats(h Handle) (SelectionStats, bool) {
 
 // selFor returns the handle's selection state, creating or re-ranking it
 // as needed. Callers hold pq.mu.
-func (pq *PreparedQuery) selFor(id uint64, st *plan.Stats, ver uint64) *selState {
+func (pq *PreparedQuery) selFor(id uint64, st *plan.Stats, ver uint64, met *obs.Core) *selState {
 	s, ok := pq.sels[id]
 	if !ok {
 		if len(pq.sels) >= maxLiveSelections {
@@ -296,7 +298,7 @@ func (pq *PreparedQuery) selFor(id uint64, st *plan.Stats, ver uint64) *selState
 		// realized widths survive the rebuild, so a selection that
 		// feedback corrected stays corrected instead of reverting to
 		// whatever the new skew-blind averages say.
-		pq.rerankLocked(s, st)
+		pq.rerankLocked(s, st, met)
 		s.ver = ver
 	}
 	return s
@@ -324,12 +326,18 @@ func (pq *PreparedQuery) dropHandle(id uint64) {
 // rerankLocked re-ranks the frontier under the observation overlay and
 // switches the incumbent only when the challenger clears the hysteresis
 // margin. Callers hold pq.mu.
-func (pq *PreparedQuery) rerankLocked(s *selState, st *plan.Stats) {
+func (pq *PreparedQuery) rerankLocked(s *selState, st *plan.Stats, met *obs.Core) {
+	if met != nil {
+		met.Reranks.Add(1)
+	}
 	cur := plan.EstimateObserved(pq.cands[s.sel].Plan, st, s.obs)
 	best, bc := bestObserved(pq.cands, st, s.obs)
 	if best != s.sel && bc.Score()*feedbackHysteresis < cur.Score() {
 		s.sel, s.cost = best, bc
 		s.swaps++
+		if met != nil {
+			met.Switches.Add(1)
+		}
 		return
 	}
 	s.cost = cur
@@ -340,19 +348,24 @@ func (pq *PreparedQuery) rerankLocked(s *selState, st *plan.Stats) {
 // pessimistically estimated candidate gets real observations and can be
 // promoted. Returns the plan and the candidate index the run must be
 // attributed to.
-func (pq *PreparedQuery) pickPlan(id uint64, st *plan.Stats, ver uint64) (Plan, int) {
+func (pq *PreparedQuery) pickPlan(id uint64, st *plan.Stats, ver uint64, met *obs.Core) (Plan, int, bool) {
 	pq.mu.Lock()
 	defer pq.mu.Unlock()
-	s := pq.selFor(id, st, ver)
+	s := pq.selFor(id, st, ver, met)
 	s.execs++
 	idx := s.sel
+	explore := false
 	if exploreEvery > 0 && s.execs%exploreEvery == 0 && s.obs.Samples() > 0 {
 		if ri, rc, ok := pq.runnerUpLocked(s, st); ok && rc.Score() <= s.cost.Score()*exploreWithin {
 			s.probes++
 			idx = ri
+			explore = true
+			if met != nil {
+				met.Explores.Add(1)
+			}
 		}
 	}
-	return pq.cands[idx].Plan, idx
+	return pq.cands[idx].Plan, idx, explore
 }
 
 // runnerUpLocked returns the best-scored candidate other than the
@@ -375,7 +388,7 @@ func (pq *PreparedQuery) runnerUpLocked(s *selState, st *plan.Stats) (int, plan.
 // and re-ranks when the incumbent's overlaid score diverged past the
 // threshold from the score it was ranked at (or when the run explored a
 // runner-up, whose fresh observations are exactly what a re-rank needs).
-func (pq *PreparedQuery) feedback(id uint64, st *plan.Stats, executed int, ob *plan.Observation) {
+func (pq *PreparedQuery) feedback(id uint64, st *plan.Stats, executed int, ob *plan.Observation, met *obs.Core) {
 	if ob == nil {
 		return
 	}
@@ -390,7 +403,7 @@ func (pq *PreparedQuery) feedback(id uint64, st *plan.Stats, executed int, ob *p
 	s.obs.Absorb(ob)
 	cur := plan.EstimateObserved(pq.cands[s.sel].Plan, st, s.obs)
 	if executed != s.sel || diverged(cur.Score(), s.cost.Score()) {
-		pq.rerankLocked(s, st)
+		pq.rerankLocked(s, st, met)
 	}
 }
 
@@ -416,12 +429,13 @@ func diverged(now, ranked float64) bool {
 func (pq *PreparedQuery) Execute(h Handle) ([][]string, int, error) {
 	st, ver := h.Stats()
 	id := h.handleID()
-	p, idx := pq.pickPlan(id, st, ver)
-	rows, fetched, ob, err := h.executeObserved(p)
+	met := h.metricsCore()
+	p, idx, explore := pq.pickPlan(id, st, ver, met)
+	rows, fetched, ob, err := h.executeObserved(p, &traceCtx{key: pq.key, candidate: idx, explore: explore})
 	if err != nil {
 		return nil, 0, err
 	}
-	pq.feedback(id, st, idx, ob)
+	pq.feedback(id, st, idx, ob, met)
 	return rows, fetched, nil
 }
 
@@ -431,12 +445,13 @@ func (pq *PreparedQuery) Execute(h Handle) ([][]string, int, error) {
 // as Execute — a snapshot read is a real measurement of its epoch.
 func (pq *PreparedQuery) ExecuteOn(s *Snapshot) ([][]string, int, error) {
 	st, ver := s.Stats()
-	p, idx := pq.pickPlan(s.hid, st, ver)
-	rows, fetched, ob, err := s.executeObserved(p)
+	met := s.met()
+	p, idx, explore := pq.pickPlan(s.hid, st, ver, met)
+	rows, fetched, ob, err := s.executeObserved(p, &traceCtx{key: pq.key, candidate: idx, explore: explore})
 	if err != nil {
 		return nil, 0, err
 	}
-	pq.feedback(s.hid, st, idx, ob)
+	pq.feedback(s.hid, st, idx, ob, met)
 	return rows, fetched, nil
 }
 
@@ -453,5 +468,5 @@ func (pq *PreparedQuery) ExecuteSharded(l *LiveSharded) ([][]string, int, error)
 func (pq *PreparedQuery) planOn(id uint64, st *plan.Stats, ver uint64) Plan {
 	pq.mu.Lock()
 	defer pq.mu.Unlock()
-	return pq.cands[pq.selFor(id, st, ver).sel].Plan
+	return pq.cands[pq.selFor(id, st, ver, nil).sel].Plan
 }

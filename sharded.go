@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/shard"
 	"repro/internal/wal"
@@ -51,20 +53,50 @@ type LiveSharded struct {
 	ckptEvery int
 	sinceCkpt int
 	recovery  RecoveryInfo
+
+	met *obs.Core // nil when opened WithoutMetrics
 }
 
 func (sys *System) openSharded(db *Database, cfg openConfig) (*LiveSharded, error) {
+	met := newCoreFor(cfg, cfg.shards)
 	sh, err := shard.Open(db, sys.Schema, sys.Access, sys.Views, shard.Config{
 		Shards:         cfg.shards,
 		StatsDriftFrac: cfg.statsDrift,
 		StatsMinChurn:  cfg.statsMinChurn,
+		Probes:         shardProbes(met),
 	})
 	if err != nil {
 		return nil, err
 	}
-	l := &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh, lc: newLifecycle(cfg.retainEpochs)}
+	l := &LiveSharded{sys: sys, id: liveIDs.Add(1), sh: sh, lc: newLifecycle(cfg.retainEpochs, met), met: met}
+	l.registerGauges()
 	l.publishEpoch()
 	return l, nil
+}
+
+// shardProbes extracts the per-shard probe counters from a core (nil
+// when metrics are disabled).
+func shardProbes(met *obs.Core) []*obs.Counter {
+	if met == nil {
+		return nil
+	}
+	return met.ShardProbes
+}
+
+// registerGauges installs the handle-state function gauges: they read
+// the authoritative counters at snapshot time, so e.g. the exported
+// fetched-tuples value can never drift from FetchedTuples().
+func (l *LiveSharded) registerGauges() {
+	if l.met == nil {
+		return
+	}
+	l.met.Reg.GaugeFunc("repro_fetched_tuples_total",
+		"handle-lifetime tuples fetched from the partitions (== FetchedTuples)",
+		func() int64 { return l.fetched.Load() })
+	l.met.Reg.GaugeFunc("repro_epoch_seq", "current epoch sequence number",
+		func() int64 { return int64(l.cur.Load().seq) })
+	l.met.Reg.GaugeFunc("repro_db_size", "|D| across all shards as of the current epoch",
+		func() int64 { return int64(l.cur.Load().size) })
 }
 
 // publishEpoch wraps the shard engine's freshly published epoch as the
@@ -76,6 +108,9 @@ func (l *LiveSharded) publishEpoch() {
 	e := l.snapshotEpoch(l.sh.Current())
 	l.lc.push(e)
 	l.cur.Store(e)
+	if l.met != nil {
+		l.met.EpochPublishes.Add(1)
+	}
 }
 
 // OpenLiveSharded builds the sharded live state over db, partitioned into
@@ -130,12 +165,26 @@ func (l *LiveSharded) Lifecycle() LifecycleStats { return l.lc.stats() }
 // the answer rows and the tuples fetched from D by this call (exact
 // attribution, also under concurrent readers and writers).
 func (l *LiveSharded) Execute(p Plan) ([][]string, int, error) {
+	if l.met.SlowEnabled() {
+		// Slow logging needs the execution profile for the trace's
+		// per-constraint breakdown: upgrade to the observed path (its
+		// extra allocation is the documented cost of arming the log).
+		rows, n, _, err := l.executeObserved(p, nil)
+		return rows, n, err
+	}
+	var t0 time.Time
+	if l.met != nil {
+		t0 = time.Now()
+	}
 	e := l.cur.Load()
 	var call atomic.Int64
 	src := &countedSource{src: e.src, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
 	rows, err := plan.RunOn(p, src, e.pv)
 	if err != nil {
 		return nil, 0, err
+	}
+	if l.met != nil {
+		l.met.RecordQuery(time.Since(t0))
 	}
 	return rows, int(call.Load()), nil
 }
@@ -146,7 +195,8 @@ func (l *LiveSharded) Execute(p Plan) ([][]string, int, error) {
 // observed group widths reflect the deduplicated gather — per-constraint
 // probe and row counts merge across shards for free, the same way the
 // |Dξ| accounting does.
-func (l *LiveSharded) executeObserved(p Plan) ([][]string, int, *plan.Observation, error) {
+func (l *LiveSharded) executeObserved(p Plan, tc *traceCtx) ([][]string, int, *plan.Observation, error) {
+	t0 := time.Now()
 	e := l.cur.Load()
 	var call atomic.Int64
 	src := &countedSource{src: e.src, counters: [3]*atomic.Int64{&call, &l.fetched, nil}}
@@ -154,8 +204,23 @@ func (l *LiveSharded) executeObserved(p Plan) ([][]string, int, *plan.Observatio
 	if err != nil {
 		return nil, 0, nil, err
 	}
+	recordExec(l.met, e.seq, p, tc, t0, int(call.Load()), len(rows), ob)
 	return rows, int(call.Load()), ob, nil
 }
+
+// Metrics returns a point-in-time snapshot of the handle's metrics.
+func (l *LiveSharded) Metrics() Metrics { return l.met.Snapshot() }
+
+// SlowQueries returns the retained slow-query traces, newest first (nil
+// unless WithSlowQueryThreshold armed the log).
+func (l *LiveSharded) SlowQueries() []QueryTrace {
+	if l.met == nil {
+		return nil
+	}
+	return l.met.Slow.Snapshot()
+}
+
+func (l *LiveSharded) metricsCore() *obs.Core { return l.met }
 
 // ApplyDelta applies a batch of mutations with Live.ApplyDelta's
 // semantics (deletes first, one occurrence per delete, absent deletes are
@@ -167,6 +232,7 @@ func (l *LiveSharded) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 	if l.closed {
 		return DeltaStats{}, ErrClosed
 	}
+	t0 := time.Now()
 	st, err := l.sh.ApplyDelta(inserts, deletes)
 	if err != nil {
 		// ErrTorn covers every post-mutation failure (a mid-batch shard
@@ -191,6 +257,7 @@ func (l *LiveSharded) ApplyDelta(inserts, deletes []Op) (DeltaStats, error) {
 			}
 		}
 	}
+	l.met.RecordApply(time.Since(t0), st.Inserted+st.Deleted)
 	return DeltaStats{
 		Inserted:       st.Inserted,
 		Deleted:        st.Deleted,
